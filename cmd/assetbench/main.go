@@ -1,0 +1,61 @@
+// Command assetbench regenerates the experiment tables listed in DESIGN.md
+// (E1–E14 and ablations A1–A4).
+//
+// Usage:
+//
+//	assetbench -run all            # every experiment, full parameters
+//	assetbench -run E5,E9 -quick   # selected experiments, small parameters
+//	assetbench -list               # show the experiment index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated experiment IDs, or 'all'")
+	quick := flag.Bool("quick", false, "small parameters (seconds instead of minutes)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list || *runFlag == "" {
+		fmt.Println("Experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-4s %-70s [%s]\n", e.ID, e.Title, e.Anchor)
+		}
+		if *runFlag == "" && !*list {
+			fmt.Println("\nrun with -run all or -run <id>[,<id>...]")
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if strings.EqualFold(*runFlag, "all") {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*runFlag, ",") {
+			e, ok := bench.Get(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "assetbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	start := time.Now()
+	for _, e := range selected {
+		fmt.Printf("\n== %s: %s  (%s)\n", e.ID, e.Title, e.Anchor)
+		if err := e.Run(os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "assetbench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("\n%d experiment(s) in %v\n", len(selected), time.Since(start).Round(time.Millisecond))
+}

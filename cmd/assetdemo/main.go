@@ -1,0 +1,329 @@
+// Command assetdemo walks through every §3 transaction model on an
+// in-memory database, narrating the primitive calls and their effects. It
+// is the guided-tour counterpart to the examples/ directory.
+//
+// Usage:
+//
+//	assetdemo [-model atomic|distributed|contingent|nested|split|saga|cooperate|cursor|workflow|all]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	asset "repro"
+	"repro/models"
+	"repro/workflow"
+)
+
+func main() {
+	model := flag.String("model", "all", "which model to demonstrate")
+	flag.Parse()
+
+	demos := []struct {
+		name string
+		run  func(m *asset.Manager) error
+	}{
+		{"atomic", demoAtomic},
+		{"distributed", demoDistributed},
+		{"contingent", demoContingent},
+		{"nested", demoNested},
+		{"split", demoSplit},
+		{"saga", demoSaga},
+		{"cooperate", demoCooperate},
+		{"cursor", demoCursor},
+		{"workflow", demoWorkflow},
+	}
+	ran := false
+	for _, d := range demos {
+		if *model != "all" && *model != d.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("\n=== %s ===\n", d.name)
+		m, err := asset.Open(asset.Config{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "assetdemo:", err)
+			os.Exit(1)
+		}
+		if err := d.run(m); err != nil {
+			fmt.Fprintf(os.Stderr, "assetdemo: %s: %v\n", d.name, err)
+			os.Exit(1)
+		}
+		m.Close()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "assetdemo: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+}
+
+func seed(m *asset.Manager, data string) (asset.OID, error) {
+	var oid asset.OID
+	err := models.Atomic(m, func(tx *asset.Tx) error {
+		var err error
+		oid, err = tx.Create([]byte(data))
+		return err
+	})
+	return oid, err
+}
+
+func show(m *asset.Manager, label string, oid asset.OID) {
+	if b, ok := m.Cache().Read(oid); ok {
+		fmt.Printf("  %s = %q\n", label, b)
+	} else {
+		fmt.Printf("  %s = <deleted>\n", label)
+	}
+}
+
+func demoAtomic(m *asset.Manager) error {
+	oid, err := seed(m, "v0")
+	if err != nil {
+		return err
+	}
+	fmt.Println("committing a write, then aborting one:")
+	if err := models.Atomic(m, func(tx *asset.Tx) error { return tx.Write(oid, []byte("v1")) }); err != nil {
+		return err
+	}
+	show(m, "after commit", oid)
+	err = models.Atomic(m, func(tx *asset.Tx) error {
+		tx.Write(oid, []byte("doomed"))
+		return errors.New("application decided to abort")
+	})
+	fmt.Printf("  second txn: %v\n", err)
+	show(m, "after abort", oid)
+	return nil
+}
+
+func demoDistributed(m *asset.Manager) error {
+	a, _ := seed(m, "-")
+	b, _ := seed(m, "-")
+	fmt.Println("two components with GC dependency commit as one group:")
+	if err := models.Distributed(m,
+		func(tx *asset.Tx) error { return tx.Write(a, []byte("site-A debit")) },
+		func(tx *asset.Tx) error { return tx.Write(b, []byte("site-B credit")) },
+	); err != nil {
+		return err
+	}
+	show(m, "A", a)
+	show(m, "B", b)
+	fmt.Println("now one component fails: neither commits:")
+	err := models.Distributed(m,
+		func(tx *asset.Tx) error { return tx.Write(a, []byte("should vanish")) },
+		func(tx *asset.Tx) error { return errors.New("site B down") },
+	)
+	fmt.Printf("  group result: %v\n", err)
+	show(m, "A", a)
+	return nil
+}
+
+func demoContingent(m *asset.Manager) error {
+	oid, _ := seed(m, "-")
+	fmt.Println("alternatives tried in order; at most one commits:")
+	idx, err := models.Contingent(m,
+		func(tx *asset.Tx) error { return errors.New("Delta is full") },
+		func(tx *asset.Tx) error { return errors.New("United is full") },
+		func(tx *asset.Tx) error { return tx.Write(oid, []byte("American 6/11")) },
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  committed alternative #%d\n", idx)
+	show(m, "booking", oid)
+	return nil
+}
+
+func demoNested(m *asset.Manager) error {
+	flight, _ := seed(m, "-")
+	hotel, _ := seed(m, "-")
+	fmt.Println("trip = nested transaction; each reservation is a subtransaction:")
+	err := models.Atomic(m, func(tx *asset.Tx) error {
+		if err := models.Sub(tx, func(c *asset.Tx) error { return c.Write(flight, []byte("AA100")) }); err != nil {
+			return err
+		}
+		return models.Sub(tx, func(c *asset.Tx) error { return c.Write(hotel, []byte("Equator")) })
+	})
+	if err != nil {
+		return err
+	}
+	show(m, "flight", flight)
+	show(m, "hotel", hotel)
+
+	fmt.Println("a failing subtransaction aborts the whole trip:")
+	err = models.Atomic(m, func(tx *asset.Tx) error {
+		if err := models.Sub(tx, func(c *asset.Tx) error { return c.Write(flight, []byte("UA200")) }); err != nil {
+			return err
+		}
+		return models.Sub(tx, func(c *asset.Tx) error { return errors.New("hotel sold out") })
+	})
+	fmt.Printf("  trip result: %v\n", err)
+	show(m, "flight (rolled back)", flight)
+	return nil
+}
+
+func demoSplit(m *asset.Manager) error {
+	a, _ := seed(m, "a0")
+	b, _ := seed(m, "b0")
+	fmt.Println("a transaction splits off finished work, then aborts; the split part survives:")
+	var s asset.TID
+	parent, err := m.Initiate(func(tx *asset.Tx) error {
+		if err := tx.Write(a, []byte("a: finished work")); err != nil {
+			return err
+		}
+		if err := tx.Write(b, []byte("b: in-progress")); err != nil {
+			return err
+		}
+		var err error
+		s, err = models.Split(tx, func(st *asset.Tx) error { return nil }, a)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	m.Begin(parent)
+	if err := m.Wait(parent); err != nil {
+		return err
+	}
+	if err := m.Commit(s); err != nil {
+		return err
+	}
+	if err := m.Abort(parent); err != nil {
+		return err
+	}
+	show(m, "a (split, committed)", a)
+	show(m, "b (kept, aborted)", b)
+	return nil
+}
+
+func demoSaga(m *asset.Manager) error {
+	acct, _ := seed(m, "balance=100")
+	ship, _ := seed(m, "-")
+	fmt.Println("saga: charge, then ship; shipping fails, the charge is compensated:")
+	res, err := models.NewSaga(m).
+		Step("charge",
+			func(tx *asset.Tx) error { return tx.Write(acct, []byte("balance=50")) },
+			func(tx *asset.Tx) error { return tx.Write(acct, []byte("balance=100")) }).
+		Step("ship",
+			func(tx *asset.Tx) error { return errors.New("warehouse unreachable") }, nil).
+		Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  saga: %v; compensated=%v\n", res.Err(), res.Compensated)
+	show(m, "account", acct)
+	show(m, "shipment", ship)
+	return nil
+}
+
+func demoCooperate(m *asset.Manager) error {
+	design, _ := seed(m, "....")
+	fmt.Println("two designers edit one object concurrently via permits; both commit together:")
+	ws := models.NewWorkspace(m, design)
+	ready := make(chan struct{})
+	done := make(chan struct{})
+	alice, _ := m.Initiate(func(tx *asset.Tx) error {
+		if err := tx.Update(design, func(b []byte) []byte { b[0], b[1] = 'A', 'A'; return b }); err != nil {
+			return err
+		}
+		close(ready)
+		<-done
+		return nil
+	})
+	bob, _ := m.Initiate(func(tx *asset.Tx) error {
+		<-ready
+		defer close(done)
+		return tx.Update(design, func(b []byte) []byte { b[2], b[3] = 'B', 'B'; return b })
+	})
+	if err := ws.Admit(alice); err != nil {
+		return err
+	}
+	if err := ws.Admit(bob); err != nil {
+		return err
+	}
+	m.Begin(alice, bob)
+	if err := ws.CommitAll(); err != nil {
+		return err
+	}
+	show(m, "design", design)
+	return nil
+}
+
+func demoCursor(m *asset.Manager) error {
+	var recs []asset.OID
+	if err := models.Atomic(m, func(tx *asset.Tx) error {
+		for i := 0; i < 3; i++ {
+			oid, err := tx.Create([]byte(fmt.Sprintf("row-%d", i)))
+			if err != nil {
+				return err
+			}
+			recs = append(recs, oid)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	fmt.Println("a cursor-stability scan permits writes behind the cursor:")
+	scanDone := make(chan struct{})
+	holdScan := make(chan struct{})
+	scanner, _ := m.Initiate(func(tx *asset.Tx) error {
+		err := models.Scan(tx, models.CursorStability, recs, func(oid asset.OID, data []byte) error {
+			fmt.Printf("  cursor read %q\n", data)
+			return nil
+		})
+		close(scanDone)
+		<-holdScan // scanner stays open
+		return err
+	})
+	m.Begin(scanner)
+	<-scanDone
+	start := time.Now()
+	if err := models.Atomic(m, func(tx *asset.Tx) error {
+		return tx.Write(recs[0], []byte("row-0 (updated mid-scan)"))
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("  writer committed in %v while the scanner was still open\n", time.Since(start).Round(time.Microsecond))
+	close(holdScan)
+	if err := m.Commit(scanner); err != nil {
+		return err
+	}
+	show(m, "record 0", recs[0])
+	return nil
+}
+
+func demoWorkflow(m *asset.Manager) error {
+	flight, _ := seed(m, "-")
+	hotel, _ := seed(m, "-")
+	car, _ := seed(m, "-")
+	fmt.Println("the appendix's conference trip as a workflow (hotel fails -> flight compensated):")
+	book := func(name string, fail bool, oid asset.OID) workflow.Task {
+		return workflow.Task{
+			Name: name,
+			Action: func(tx *asset.Tx) error {
+				if fail {
+					return fmt.Errorf("%s unavailable", name)
+				}
+				return tx.Write(oid, []byte(name))
+			},
+			Compensate: func(tx *asset.Tx) error { return tx.Write(oid, []byte("-")) },
+		}
+	}
+	res, err := workflow.New("X_conference").
+		Alternatives("flight",
+			book("Delta", true, flight),
+			book("United", false, flight),
+			book("American", false, flight)).
+		Step(book("Equator", true, hotel)).
+		Race("car", book("National", false, car), book("Avis", false, car)).Optional().
+		Run(m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  workflow: %v; steps=%v compensated=%v\n", res.Err(), res.Steps, res.Compensated)
+	show(m, "flight", flight)
+	show(m, "hotel", hotel)
+	return nil
+}

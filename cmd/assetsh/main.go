@@ -1,0 +1,44 @@
+// Command assetsh is an interactive shell over an ASSET database.
+// Transactions stay open across lines, so permits, delegations, and
+// dependencies between live transactions can be exercised by hand (or from
+// a script on stdin).
+//
+// Usage:
+//
+//	assetsh                 # in-memory database
+//	assetsh -dir mydb       # durable database (recovered at start)
+//	assetsh < script.ash    # run a script
+//
+// Type "help" at the prompt for the command language.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	asset "repro"
+	"repro/internal/shell"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (empty = in-memory)")
+	sync := flag.Bool("sync", false, "fsync on every commit")
+	echo := flag.Bool("echo", false, "echo commands (script transcripts)")
+	flag.Parse()
+
+	m, err := asset.Open(asset.Config{Dir: *dir, SyncCommits: *sync})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "assetsh:", err)
+		os.Exit(1)
+	}
+	defer m.Close()
+
+	sh := shell.New(m, os.Stdout)
+	sh.Echo = *echo
+	fmt.Println(`assetsh — type "help" for commands, "quit" to exit`)
+	if err := sh.Run(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "assetsh:", err)
+		os.Exit(1)
+	}
+}

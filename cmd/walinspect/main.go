@@ -1,0 +1,67 @@
+// Command walinspect dumps an ASSET write-ahead log in human-readable
+// form, one record per line, and summarizes the recovery outcome.
+//
+// Usage:
+//
+//	walinspect [-v] <path-to-wal.log>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/wal"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print image bytes")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: walinspect [-v] <wal.log>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	var count int
+	err := wal.ScanFile(path, func(r *wal.Record) error {
+		count++
+		switch r.Type {
+		case wal.TBegin, wal.TAbort:
+			fmt.Printf("%6d  %-10s %v\n", r.LSN, r.Type, r.TID)
+		case wal.TUpdate:
+			if *verbose {
+				fmt.Printf("%6d  %-10s %v %v %v before=%q after=%q\n",
+					r.LSN, r.Type, r.TID, r.OID, r.Kind, r.Before, r.After)
+			} else {
+				fmt.Printf("%6d  %-10s %v %v %v (%dB -> %dB)\n",
+					r.LSN, r.Type, r.TID, r.OID, r.Kind, len(r.Before), len(r.After))
+			}
+		case wal.TUndo:
+			fmt.Printf("%6d  %-10s %v %v %v (%dB)\n", r.LSN, r.Type, r.TID, r.OID, r.Kind, len(r.After))
+		case wal.TDelegate:
+			scope := "all objects"
+			if r.OIDs != nil {
+				scope = fmt.Sprintf("%d object(s)", len(r.OIDs))
+			}
+			fmt.Printf("%6d  %-10s %v -> %v (%s)\n", r.LSN, r.Type, r.TID, r.TID2, scope)
+		case wal.TCommit:
+			fmt.Printf("%6d  %-10s group=%v\n", r.LSN, r.Type, r.TIDs)
+		case wal.TCheckpoint:
+			fmt.Printf("%6d  %-10s\n", r.LSN, r.Type)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "walinspect: %v\n", err)
+		os.Exit(1)
+	}
+
+	st, err := wal.Recover(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "walinspect: recover: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d records; recovery: %d committed txn(s), %d loser(s), %d object image(s), %d deletion(s), next LSN %d\n",
+		count, len(st.Committed), len(st.Losers), len(st.Objects), len(st.Deleted), st.NextLSN)
+}

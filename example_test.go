@@ -1,0 +1,147 @@
+package asset_test
+
+import (
+	"errors"
+	"fmt"
+
+	asset "repro"
+	"repro/models"
+)
+
+// ExampleOpen shows the paper's §3.1.1 atomic-transaction translation:
+// initiate, begin, commit.
+func ExampleOpen() {
+	m, _ := asset.Open(asset.Config{}) // in-memory
+	defer m.Close()
+
+	t, _ := m.Initiate(func(tx *asset.Tx) error {
+		oid, err := tx.Create([]byte("hello"))
+		if err != nil {
+			return err
+		}
+		data, _ := tx.Read(oid)
+		fmt.Printf("created %v = %s\n", oid, data)
+		return nil
+	})
+	m.Begin(t)
+	if err := m.Commit(t); err == nil {
+		fmt.Println("committed")
+	}
+	// Output:
+	// created ob1 = hello
+	// committed
+}
+
+// ExampleManager_Delegate shows responsibility transfer: the delegatee's
+// commit makes the delegator's write permanent even though the delegator
+// aborts.
+func ExampleManager_Delegate() {
+	m, _ := asset.Open(asset.Config{})
+	defer m.Close()
+	var oid asset.OID
+	models.Atomic(m, func(tx *asset.Tx) error {
+		var err error
+		oid, err = tx.Create([]byte("v0"))
+		return err
+	})
+
+	worker, _ := m.Initiate(func(tx *asset.Tx) error { return tx.Write(oid, []byte("worked")) })
+	holder, _ := m.Initiate(func(tx *asset.Tx) error { return nil })
+	m.Begin(worker, holder)
+	m.Wait(worker)
+	m.Wait(holder)
+
+	m.Delegate(worker, holder) // all of worker's operations
+	m.Abort(worker)            // no longer undoes the delegated write
+	m.Commit(holder)
+
+	data, _ := m.Cache().Read(oid)
+	fmt.Printf("%s\n", data)
+	// Output: worked
+}
+
+// ExampleManager_FormDependency shows group commit: committing any member
+// commits the whole group.
+func ExampleManager_FormDependency() {
+	m, _ := asset.Open(asset.Config{})
+	defer m.Close()
+
+	t1, _ := m.Initiate(func(tx *asset.Tx) error { return nil })
+	t2, _ := m.Initiate(func(tx *asset.Tx) error { return nil })
+	m.FormDependency(asset.GC, t1, t2)
+	m.Begin(t1, t2)
+	m.Commit(t1) // commits t2 as well
+
+	fmt.Println(m.StatusOf(t2))
+	// Output: committed
+}
+
+// ExampleManager_Permit shows the §3.2.1 cooperation pattern: ti lets tj
+// perform a conflicting write without waiting for ti to commit.
+func ExampleManager_Permit() {
+	m, _ := asset.Open(asset.Config{})
+	defer m.Close()
+	var oid asset.OID
+	models.Atomic(m, func(tx *asset.Tx) error {
+		var err error
+		oid, err = tx.Create([]byte("draft"))
+		return err
+	})
+
+	wrote := make(chan struct{})
+	hold := make(chan struct{})
+	ti, _ := m.Initiate(func(tx *asset.Tx) error {
+		if err := tx.Write(oid, []byte("ti's edit")); err != nil {
+			return err
+		}
+		close(wrote)
+		<-hold // ti stays active while tj works
+		return nil
+	})
+	tj, _ := m.Initiate(func(tx *asset.Tx) error {
+		<-wrote
+		return tx.Write(oid, []byte("tj's edit over ti's"))
+	})
+	m.FormDependency(asset.CD, ti, tj) // tj cannot commit before ti terminates
+	m.Begin(ti)
+	<-wrote
+	m.Permit(ti, tj, []asset.OID{oid}, asset.OpWrite)
+	m.Begin(tj)
+	m.Wait(tj) // tj's conflicting write proceeded
+	close(hold)
+	m.Commit(ti)
+	m.Commit(tj)
+
+	data, _ := m.Cache().Read(oid)
+	fmt.Printf("%s\n", data)
+	// Output: tj's edit over ti's
+}
+
+// Example_saga shows a compensated failure.
+func Example_saga() {
+	m, _ := asset.Open(asset.Config{})
+	defer m.Close()
+	var acct asset.OID
+	models.Atomic(m, func(tx *asset.Tx) error {
+		var err error
+		acct, err = tx.Create([]byte("100"))
+		return err
+	})
+
+	res, _ := models.NewSaga(m).
+		Step("debit",
+			func(tx *asset.Tx) error { return tx.Write(acct, []byte("50")) },
+			func(tx *asset.Tx) error { return tx.Write(acct, []byte("100")) }).
+		Step("ship",
+			func(tx *asset.Tx) error { return errors.New("carrier down") }, nil).
+		Run()
+
+	fmt.Println("failed step:", res.FailedStep)
+	fmt.Println("compensated:", res.Compensated)
+	data, _ := m.Cache().Read(acct)
+	fmt.Printf("balance: %s\n", data)
+	// Output:
+	// failed step: ship
+	// compensated: [debit]
+	// balance: 100
+}

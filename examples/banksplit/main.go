@@ -1,0 +1,124 @@
+// Banksplit: the §3.1.5 split/join model on a banking workload. A batch
+// transaction reconciles many accounts; partway through it *splits off*
+// the accounts it has finished, so they can commit early (releasing their
+// locks to tellers), while the rest of the batch continues — and can still
+// abort without dragging down the finished part. A second phase *joins* a
+// helper transaction's work back into the batch.
+//
+//	go run ./examples/banksplit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	asset "repro"
+	"repro/models"
+)
+
+func main() {
+	m, err := asset.Open(asset.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	// Ten accounts with 100 units each.
+	const nAccounts = 10
+	accounts := make([]asset.OID, nAccounts)
+	if err := models.Atomic(m, func(tx *asset.Tx) error {
+		for i := range accounts {
+			var err error
+			if accounts[i], err = tx.Create([]byte("bal=100")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	balance := func(i int) string {
+		b, _ := m.Cache().Read(accounts[i])
+		return string(b)
+	}
+
+	fmt.Println("phase 1: batch reconciliation splits off its finished half")
+	var early asset.TID
+	batch, err := m.Initiate(func(tx *asset.Tx) error {
+		// Reconcile the first half.
+		for i := 0; i < nAccounts/2; i++ {
+			if err := tx.Write(accounts[i], []byte("bal=100 reconciled")); err != nil {
+				return err
+			}
+		}
+		// Split: delegate the finished accounts to a new transaction that
+		// can commit immediately.
+		var err error
+		early, err = models.Split(tx, func(s *asset.Tx) error { return nil },
+			accounts[:nAccounts/2]...)
+		if err != nil {
+			return err
+		}
+		// Keep working on the second half...
+		for i := nAccounts / 2; i < nAccounts; i++ {
+			if err := tx.Write(accounts[i], []byte("bal=100 SUSPECT")); err != nil {
+				return err
+			}
+		}
+		// ...and discover a problem: the second half must be re-done.
+		return fmt.Errorf("inconsistency found in accounts %d-%d", nAccounts/2, nAccounts-1)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Begin(batch); err != nil {
+		log.Fatal(err)
+	}
+	m.Wait(batch) // aborts: the function returned an error
+	if err := m.Commit(early); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  account 0 (split off, committed): %q\n", balance(0))
+	fmt.Printf("  account 9 (kept, rolled back):    %q\n", balance(9))
+
+	fmt.Println("phase 2: a helper's work is joined into the main transaction")
+	mainTxn, err := m.Initiate(func(tx *asset.Tx) error {
+		return tx.Write(accounts[9], []byte("bal=100 audited"))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var helper asset.TID
+	spawner, err := m.Initiate(func(tx *asset.Tx) error {
+		if err := tx.Write(accounts[8], []byte("bal=100 audited")); err != nil {
+			return err
+		}
+		// Hand the audited account over to a fresh transaction...
+		var err error
+		helper, err = models.Split(tx, func(s *asset.Tx) error { return nil }, accounts[8])
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Begin(mainTxn, spawner); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Wait(spawner); err != nil {
+		log.Fatal(err)
+	}
+	m.Commit(spawner)
+	// ...and join that transaction into mainTxn: its update now commits or
+	// aborts with mainTxn.
+	if err := models.Join(m, helper, mainTxn); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Commit(mainTxn); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  account 8 (joined, committed with main): %q\n", balance(8))
+	fmt.Printf("  account 9 (main's own write):            %q\n", balance(9))
+
+	st := m.Stats()
+	fmt.Printf("stats: %d commits, %d aborts\n", st.Commits, st.Aborts)
+}

@@ -1,0 +1,122 @@
+// Codesign: the §3.2.1 cooperative-design scenario. Two designers work on
+// the same design object inside long-lived transactions. Permits let their
+// conflicting writes interleave (the "ping-pong"); a group-commit
+// dependency ensures the shared design is committed only when both accept
+// the final state — or discarded entirely.
+//
+//	go run ./examples/codesign            # both accept: committed
+//	go run ./examples/codesign -reject    # one rejects: everything undone
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	asset "repro"
+	"repro/models"
+)
+
+func main() {
+	reject := flag.Bool("reject", false, "the reviewer rejects the final design")
+	flag.Parse()
+
+	m, err := asset.Open(asset.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	// The shared design object: an 8-cell "blueprint".
+	var design asset.OID
+	if err := models.Atomic(m, func(tx *asset.Tx) error {
+		var err error
+		design, err = tx.Create([]byte("........"))
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	show := func(stage string) {
+		b, _ := m.Cache().Read(design)
+		fmt.Printf("  %-22s %q\n", stage+":", b)
+	}
+
+	// Hand-over tokens: each designer edits only on their turn, the
+	// permits make the conflicting lock grants possible at all.
+	aliceTurn := make(chan struct{}, 1)
+	bobTurn := make(chan struct{}, 1)
+
+	edit := func(tx *asset.Tx, pos int, glyph byte) error {
+		return tx.Update(design, func(b []byte) []byte {
+			b[pos] = glyph
+			return b
+		})
+	}
+
+	alice, err := m.Initiate(func(tx *asset.Tx) error {
+		for round := 0; round < 2; round++ {
+			<-aliceTurn
+			if err := edit(tx, round*2, 'A'); err != nil {
+				return err
+			}
+			show(fmt.Sprintf("alice edits (round %d)", round+1))
+			bobTurn <- struct{}{}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := m.Initiate(func(tx *asset.Tx) error {
+		for round := 0; round < 2; round++ {
+			<-bobTurn
+			if err := edit(tx, round*2+1, 'B'); err != nil {
+				return err
+			}
+			show(fmt.Sprintf("bob edits   (round %d)", round+1))
+			aliceTurn <- struct{}{}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The workspace forms mutual permits on the design and binds the two
+	// fates with a GC dependency: both commit or neither does.
+	ws := models.NewWorkspace(m, design)
+	if err := ws.Admit(alice); err != nil {
+		log.Fatal(err)
+	}
+	if err := ws.Admit(bob); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("two designers interleave conflicting writes on one object:")
+	if err := m.Begin(alice, bob); err != nil {
+		log.Fatal(err)
+	}
+	aliceTurn <- struct{}{}
+	if err := m.Wait(alice); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Wait(bob); err != nil {
+		log.Fatal(err)
+	}
+
+	if *reject {
+		fmt.Println("review: bob rejects the design — the whole session aborts:")
+		if err := ws.AbortAll(); err != nil {
+			log.Fatal(err)
+		}
+		show("after group abort")
+		return
+	}
+	fmt.Println("review: both designers accept — the session group-commits:")
+	if err := ws.CommitAll(); err != nil {
+		log.Fatal(err)
+	}
+	show("after group commit")
+	st := m.Stats()
+	fmt.Printf("  (%d transactions, %d commit record/log force)\n", st.Commits, st.LogForces)
+}

@@ -1,0 +1,111 @@
+// Conference: a faithful rendering of the paper's appendix program — the
+// X_conference workflow. Person X flies NY→LA for a conference June 11–14,
+// 1994: flights are tried in the preference order Delta, United, American;
+// the Equator hotel is mandatory (its failure cancels the trip and
+// compensates the flight); the car rental races National against Avis and
+// is optional.
+//
+//	go run ./examples/conference                 # happy path
+//	go run ./examples/conference -full delta,united
+//	go run ./examples/conference -full hotel     # trip cancelled
+//	go run ./examples/conference -full national,avis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	asset "repro"
+	"repro/models"
+	"repro/workflow"
+)
+
+func main() {
+	full := flag.String("full", "", "comma list of sold-out providers: delta,united,american,hotel,national,avis")
+	flag.Parse()
+	soldOut := map[string]bool{}
+	for _, p := range strings.Split(*full, ",") {
+		if p != "" {
+			soldOut[strings.ToLower(strings.TrimSpace(p))] = true
+		}
+	}
+
+	m, err := asset.Open(asset.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	// The reservation book: one object per reservation kind.
+	var flight, hotel, car asset.OID
+	err = models.Atomic(m, func(tx *asset.Tx) error {
+		if flight, err = tx.Create([]byte("none")); err != nil {
+			return err
+		}
+		if hotel, err = tx.Create([]byte("none")); err != nil {
+			return err
+		}
+		car, err = tx.Create([]byte("none"))
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reserve := func(provider string, oid asset.OID, detail string) workflow.Task {
+		return workflow.Task{
+			Name: provider,
+			Action: func(tx *asset.Tx) error {
+				if soldOut[strings.ToLower(provider)] {
+					return fmt.Errorf("%s: no availability 6/11–6/14", provider)
+				}
+				return tx.Write(oid, []byte(provider+" "+detail))
+			},
+			// cancel_*_reservation of the appendix.
+			Compensate: func(tx *asset.Tx) error { return tx.Write(oid, []byte("none")) },
+		}
+	}
+
+	trip := workflow.New("X_conference").
+		// "X prefers to fly on Delta, United, or American in that order."
+		Alternatives("flight",
+			reserve("Delta", flight, "NY→LA 6/11, LA→NY 6/14"),
+			reserve("United", flight, "NY→LA 6/11, LA→NY 6/14"),
+			reserve("American", flight, "NY→LA 6/11, LA→NY 6/14")).
+		// "X must stay at hotel Equator" — required; failure compensates
+		// the flight already booked.
+		Step(reserve("Hotel", hotel, "Equator 6/11–6/14")).
+		// "The car must be rented from Avis or National" — both attempted
+		// in parallel, whichever completes first wins; optional, since "X
+		// can take public transportation".
+		Race("car-rental",
+			reserve("National", car, "corporate rate"),
+			reserve("Avis", car, "corporate rate")).Optional()
+
+	res, err := trip.Run(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("activity:", map[bool]string{true: "SUCCEEDED", false: "FAILED"}[res.Err() == nil])
+	for _, step := range res.Steps {
+		status := "skipped"
+		if step.Committed {
+			status = "committed via " + step.Chosen
+		}
+		fmt.Printf("  step %-10s %s\n", step.Step+":", status)
+	}
+	if res.Err() != nil {
+		fmt.Printf("  failed at %q; compensated: %v\n", res.FailedStep, res.Compensated)
+	}
+	show := func(label string, oid asset.OID) {
+		b, _ := m.Cache().Read(oid)
+		fmt.Printf("  %-7s %s\n", label+":", b)
+	}
+	fmt.Println("reservation book:")
+	show("flight", flight)
+	show("hotel", hotel)
+	show("car", car)
+}

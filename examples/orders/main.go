@@ -1,0 +1,132 @@
+// Orders: an order-fulfilment pipeline as a saga (§3.1.6). Each step —
+// reserve stock, charge the account, create the shipment — is an ACID
+// transaction that commits immediately, so a long-running order never
+// blocks other orders; a failing step triggers the compensations of the
+// committed steps in reverse order.
+//
+//	go run ./examples/orders
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	asset "repro"
+	"repro/models"
+	"repro/odb"
+)
+
+type shop struct {
+	db        *odb.Database
+	stock     odb.Counter // widgets on hand
+	balance   odb.Counter // customer account, cents
+	shipments *odb.Collection
+}
+
+func main() {
+	m, err := asset.Open(asset.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	db, err := odb.Init(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &shop{db: db}
+	err = models.Atomic(m, func(tx *asset.Tx) error {
+		if s.stock, err = odb.NewCounter(tx, 5); err != nil {
+			return err
+		}
+		if s.balance, err = odb.NewCounter(tx, 300); err != nil {
+			return err
+		}
+		s.shipments, err = db.Collection(tx, "shipments")
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three orders: the first succeeds, the second fails at shipping (and
+	// compensates the charge and the stock reservation), the third
+	// succeeds again — proving the compensations restored a clean state.
+	for i, o := range []struct {
+		id          string
+		qty, price  uint64
+		shippingOK  bool
+		description string
+	}{
+		{"order-1", 2, 100, true, "plain success"},
+		{"order-2", 1, 100, false, "carrier rejects: compensate charge + stock"},
+		{"order-3", 1, 100, true, "succeeds on the compensated state"},
+	} {
+		res := placeOrder(m, s, o.id, o.qty, o.price, o.shippingOK)
+		fmt.Printf("%d. %-8s (%s)\n   committed=%v compensated=%v err=%v\n",
+			i+1, o.id, o.description, res.Committed, res.Compensated, res.Err())
+	}
+
+	err = models.Atomic(m, func(tx *asset.Tx) error {
+		stock, _ := s.stock.Value(tx)
+		bal, _ := s.balance.Value(tx)
+		n, _ := s.shipments.Len(tx)
+		fmt.Printf("\nfinal state: stock=%d balance=%d shipments=%d\n", stock, bal, n)
+		// 5 - (2+1) shipped = 2; 300 - 2*100 - 1*100 = 0.
+		if stock != 2 || bal != 0 || n != 2 {
+			return errors.New("books do not balance")
+		}
+		fmt.Println("books balance: every failed order was fully compensated")
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func placeOrder(m *asset.Manager, s *shop, id string, qty, price uint64, shippingOK bool) *models.SagaResult {
+	saga := models.NewSaga(m).
+		Step("reserve-stock",
+			func(tx *asset.Tx) error {
+				onHand, err := s.stock.Value(tx)
+				if err != nil {
+					return err
+				}
+				if onHand < qty {
+					return fmt.Errorf("only %d on hand", onHand)
+				}
+				return s.stock.Sub(tx, qty)
+			},
+			func(tx *asset.Tx) error { return s.stock.Add(tx, qty) }).
+		Step("charge",
+			func(tx *asset.Tx) error {
+				bal, err := s.balance.Value(tx)
+				if err != nil {
+					return err
+				}
+				total := qty * price
+				if bal < total {
+					return fmt.Errorf("insufficient funds: %d < %d", bal, total)
+				}
+				return s.balance.Sub(tx, total)
+			},
+			func(tx *asset.Tx) error { return s.balance.Add(tx, qty*price) }).
+		Step("ship",
+			func(tx *asset.Tx) error {
+				if !shippingOK {
+					return errors.New("carrier rejected the parcel")
+				}
+				c, err := s.db.Collection(tx, "shipments")
+				if err != nil {
+					return err
+				}
+				_, err = c.Insert(tx, []byte(id))
+				return err
+			},
+			nil) // final step needs no compensation (paper: tn has no ct_n)
+	res, err := saga.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

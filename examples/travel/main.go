@@ -1,0 +1,116 @@
+// Travel: the paper's §3.1.4 nested transaction — a trip whose flight and
+// hotel reservations are subtransactions, stored in an Ode-like object
+// database. A failing reservation aborts the whole trip; committed trips
+// appear atomically.
+//
+//	go run ./examples/travel
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	asset "repro"
+	"repro/models"
+	"repro/odb"
+)
+
+// inventory seeds seat/room availability counters.
+type inventory struct {
+	seats odb.Counter
+	rooms odb.Counter
+}
+
+func main() {
+	m, err := asset.Open(asset.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	db, err := odb.Init(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var inv inventory
+	var trips *odb.Collection
+	err = models.Atomic(m, func(tx *asset.Tx) error {
+		if inv.seats, err = odb.NewCounter(tx, 3); err != nil {
+			return err
+		}
+		if inv.rooms, err = odb.NewCounter(tx, 2); err != nil {
+			return err
+		}
+		trips, err = db.Collection(tx, "trips")
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	booked, cancelled := 0, 0
+	for traveller := 1; traveller <= 5; traveller++ {
+		name := fmt.Sprintf("traveller-%d", traveller)
+		err := models.Atomic(m, func(tx *asset.Tx) error {
+			// Subtransaction 1: the airline reservation.
+			if err := models.Sub(tx, func(c *asset.Tx) error {
+				return take(c, inv.seats, "seat")
+			}); err != nil {
+				return fmt.Errorf("flight: %w", err)
+			}
+			// Subtransaction 2: the hotel reservation. Its failure must
+			// also undo the flight reservation (it was delegated to us).
+			if err := models.Sub(tx, func(c *asset.Tx) error {
+				return take(c, inv.rooms, "room")
+			}); err != nil {
+				return fmt.Errorf("hotel: %w", err)
+			}
+			// Both reservations held: record the trip.
+			c, err := db.Collection(tx, "trips")
+			if err != nil {
+				return err
+			}
+			_, err = c.Insert(tx, []byte(name+": flight+hotel"))
+			return err
+		})
+		if err != nil {
+			cancelled++
+			fmt.Printf("%s: trip cancelled (%v)\n", name, err)
+		} else {
+			booked++
+			fmt.Printf("%s: trip booked\n", name)
+		}
+		_ = rng
+	}
+
+	err = models.Atomic(m, func(tx *asset.Tx) error {
+		seats, _ := inv.seats.Value(tx)
+		rooms, _ := inv.rooms.Value(tx)
+		n, _ := trips.Len(tx)
+		fmt.Printf("\nbooked=%d cancelled=%d | seats left=%d rooms left=%d trips recorded=%d\n",
+			booked, cancelled, seats, rooms, n)
+		if uint64(booked) != 3-seats && uint64(booked) != 2-rooms {
+			return errors.New("inventory inconsistent with bookings")
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// take decrements an availability counter, failing when it is exhausted
+// (reads conflict with concurrent increments, so the check is stable).
+func take(tx *asset.Tx, c odb.Counter, what string) error {
+	v, err := c.Value(tx)
+	if err != nil {
+		return err
+	}
+	if v == 0 {
+		return fmt.Errorf("no %s available", what)
+	}
+	return c.Sub(tx, 1)
+}

@@ -1,0 +1,303 @@
+package asset_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	asset "repro"
+	"repro/models"
+	"repro/odb"
+	"repro/workflow"
+)
+
+// TestIntegrationOrderPipeline drives every layer together: a durable
+// database hosting an odb schema (collection + hash index + B-tree +
+// escrow counters), operated through sagas and a workflow, crashed in the
+// middle, recovered, and verified.
+func TestIntegrationOrderPipeline(t *testing.T) {
+	dir := t.TempDir()
+	m, err := asset.Open(asset.Config{Dir: dir, SyncCommits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := odb.Init(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Schema: an inventory counter, an orders collection, a customer
+	// index, and a B-tree over order ids.
+	var stock odb.Counter
+	if err := models.Atomic(m, func(tx *asset.Tx) error {
+		var err error
+		if stock, err = odb.NewCounter(tx, 10); err != nil {
+			return err
+		}
+		if _, err := db.Collection(tx, "orders"); err != nil {
+			return err
+		}
+		if _, err := db.Index(tx, "by-customer", 8); err != nil {
+			return err
+		}
+		_, err = db.BTree(tx, "by-order-id", 8)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// placeOrder is a saga: reserve stock, then record the order in the
+	// collection and both indexes atomically.
+	placeOrder := func(orderID, customer string, qty uint64, recordOK bool) *models.SagaResult {
+		res, err := models.NewSaga(m).
+			Step("reserve",
+				func(tx *asset.Tx) error {
+					have, err := stock.Value(tx)
+					if err != nil {
+						return err
+					}
+					if have < qty {
+						return fmt.Errorf("stock %d < %d", have, qty)
+					}
+					return stock.Sub(tx, qty)
+				},
+				func(tx *asset.Tx) error { return stock.Add(tx, qty) }).
+			Step("record",
+				func(tx *asset.Tx) error {
+					if !recordOK {
+						return errors.New("recording subsystem down")
+					}
+					c, err := db.Collection(tx, "orders")
+					if err != nil {
+						return err
+					}
+					oid, err := c.Insert(tx, []byte(orderID+" x"+fmt.Sprint(qty)))
+					if err != nil {
+						return err
+					}
+					ix, err := db.Index(tx, "by-customer", 8)
+					if err != nil {
+						return err
+					}
+					if err := ix.Set(tx, customer, oid); err != nil {
+						return err
+					}
+					bt, err := db.BTree(tx, "by-order-id", 8)
+					if err != nil {
+						return err
+					}
+					return bt.Set(tx, orderID, oid)
+				},
+				nil).
+			Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	if res := placeOrder("ord-001", "alice", 3, true); res.Err() != nil {
+		t.Fatalf("order 1: %v", res.Err())
+	}
+	// Order 2 fails at recording: the stock reservation is compensated.
+	if res := placeOrder("ord-002", "bob", 2, false); res.Err() == nil {
+		t.Fatal("order 2 should have failed")
+	}
+	if res := placeOrder("ord-003", "carol", 4, true); res.Err() != nil {
+		t.Fatalf("order 3: %v", res.Err())
+	}
+
+	// A workflow books a rush order with an optional gift-wrap step.
+	wres, err := workflow.New("rush").
+		Step(workflow.Task{
+			Name:   "rush-order",
+			Action: func(tx *asset.Tx) error { return stock.Sub(tx, 1) },
+			Compensate: func(tx *asset.Tx) error {
+				return stock.Add(tx, 1)
+			}}).
+		Step(workflow.Task{
+			Name:   "gift-wrap",
+			Action: func(tx *asset.Tx) error { return errors.New("no wrap paper") },
+		}).Optional().
+		Run(m)
+	if err != nil || wres.Err() != nil {
+		t.Fatalf("workflow: %v %v", err, wres.Err())
+	}
+
+	// Crash (no checkpoint, no clean close) and recover.
+	m.Close()
+	m2, err := asset.Open(asset.Config{Dir: dir, SyncCommits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	db2, err := odb.Init(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := models.Atomic(m2, func(tx *asset.Tx) error {
+		// Stock: 10 - 3 (ord-001) - 4 (ord-003) - 1 (rush) = 2; ord-002
+		// fully compensated.
+		have, err := stock.Value(tx)
+		if err != nil {
+			return err
+		}
+		if have != 2 {
+			return fmt.Errorf("stock = %d, want 2", have)
+		}
+		c, err := db2.Collection(tx, "orders")
+		if err != nil {
+			return err
+		}
+		if n, _ := c.Len(tx); n != 2 {
+			return fmt.Errorf("orders = %d, want 2", n)
+		}
+		ix, err := db2.Index(tx, "by-customer", 8)
+		if err != nil {
+			return err
+		}
+		if _, err := ix.Get(tx, "alice"); err != nil {
+			return fmt.Errorf("alice's order lost: %w", err)
+		}
+		if _, err := ix.Get(tx, "bob"); !errors.Is(err, odb.ErrNotFound) {
+			return fmt.Errorf("bob's failed order indexed: %v", err)
+		}
+		bt, err := db2.BTree(tx, "by-order-id", 8)
+		if err != nil {
+			return err
+		}
+		var ids []string
+		bt.Range(tx, "", "", func(k string, _ asset.OID) bool {
+			ids = append(ids, k)
+			return true
+		})
+		if fmt.Sprint(ids) != "[ord-001 ord-003]" {
+			return fmt.Errorf("order ids = %v", ids)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpoint, restart again, verify once more (checkpoint path).
+	if err := m2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	m2.Close()
+	m3, err := asset.Open(asset.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m3.Close()
+	db3, err := odb.Init(m3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := models.Atomic(m3, func(tx *asset.Tx) error {
+		have, err := stock.Value(tx)
+		if err != nil {
+			return err
+		}
+		if have != 2 {
+			return fmt.Errorf("post-checkpoint stock = %d", have)
+		}
+		c, err := db3.Collection(tx, "orders")
+		if err != nil {
+			return err
+		}
+		if n, _ := c.Len(tx); n != 2 {
+			return fmt.Errorf("post-checkpoint orders = %d", n)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntegrationNestedSplitCooperate exercises the less common model
+// combinations against one manager: a nested transaction whose parent
+// splits off work, while a cooperating observer is permitted to watch the
+// shared object.
+func TestIntegrationNestedSplitCooperate(t *testing.T) {
+	m, err := asset.Open(asset.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	var design, journal asset.OID
+	models.Atomic(m, func(tx *asset.Tx) error {
+		var err error
+		if design, err = tx.Create([]byte("....")); err != nil {
+			return err
+		}
+		journal, err = tx.Create([]byte(""))
+		return err
+	})
+
+	observed := make(chan string, 1)
+	observerReady := make(chan struct{})
+	editDone := make(chan struct{})
+
+	// The editor: a nested transaction edits the design via a child, then
+	// splits the journal entry off so it commits even if the edit aborts.
+	var journalTxn asset.TID
+	editor, _ := m.Initiate(func(tx *asset.Tx) error {
+		if err := models.Sub(tx, func(c *asset.Tx) error {
+			return c.Write(design, []byte("EDIT"))
+		}); err != nil {
+			return err
+		}
+		if err := tx.Write(journal, []byte("edit started")); err != nil {
+			return err
+		}
+		var err error
+		journalTxn, err = models.Split(tx, func(s *asset.Tx) error { return nil }, journal)
+		if err != nil {
+			return err
+		}
+		// Let the observer see the in-progress design.
+		if err := m.Permit(tx.ID(), asset.NilTID, []asset.OID{design}, asset.OpRead); err != nil {
+			return err
+		}
+		close(observerReady)
+		<-editDone
+		return nil
+	})
+	observer, _ := m.Initiate(func(tx *asset.Tx) error {
+		<-observerReady
+		data, err := tx.Read(design) // permitted despite the editor's lock
+		if err != nil {
+			return err
+		}
+		observed <- string(data)
+		return nil
+	})
+	m.Begin(editor, observer)
+	if err := m.Wait(observer); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-observed; got != "EDIT" {
+		t.Fatalf("observer saw %q", got)
+	}
+	m.Commit(observer)
+
+	// The editor changes its mind: the design edit rolls back, but the
+	// split-off journal entry commits.
+	close(editDone)
+	m.Wait(editor)
+	if err := m.Commit(journalTxn); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Abort(editor); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := m.Cache().Read(design)
+	j, _ := m.Cache().Read(journal)
+	if string(d) != "...." {
+		t.Fatalf("design = %q, want rollback", d)
+	}
+	if string(j) != "edit started" {
+		t.Fatalf("journal = %q, want the split-off entry", j)
+	}
+}

@@ -1,0 +1,121 @@
+// Package bench is the experiment harness that regenerates every
+// experiment table listed in DESIGN.md (E1–E14 for the paper's models and
+// implementation section, A1–A4 for design-choice ablations). Each
+// experiment prints a table; cmd/assetbench drives them from the command
+// line, and bench_test.go exposes them as testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Experiment is one harness entry.
+type Experiment struct {
+	ID     string
+	Title  string
+	Anchor string // the paper section / figure it reproduces
+	Run    func(w io.Writer, quick bool) error
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment; experiments self-register from init.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment sorted by ID (E* before A*).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		gi, gj := out[i].ID[0], out[j].ID[0]
+		if gi != gj {
+			return gi == 'E' // experiments before ablations
+		}
+		// numeric order within the group
+		var ni, nj int
+		fmt.Sscanf(out[i].ID[1:], "%d", &ni)
+		fmt.Sscanf(out[j].ID[1:], "%d", &nj)
+		return ni < nj
+	})
+	return out
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[strings.ToUpper(id)]
+	return e, ok
+}
+
+// Table accumulates rows and prints them column-aligned.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row, stringifying each cell.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond / 10).String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint writes the aligned table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// pick returns a when quick mode is on, b otherwise.
+func pick[T any](quick bool, a, b T) T {
+	if quick {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every registered experiment in quick mode
+// and sanity-checks that each prints a non-empty table. This is the
+// harness's own integration test; full runs happen via cmd/assetbench.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take seconds")
+	}
+	exps := All()
+	if len(exps) < 16 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	for _, e := range exps {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, true); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "---") && !strings.Contains(out, "--") {
+				t.Fatalf("%s produced no table:\n%s", e.ID, out)
+			}
+			if len(strings.Split(strings.TrimSpace(out), "\n")) < 3 {
+				t.Fatalf("%s table too small:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestRegistryOrderAndLookup(t *testing.T) {
+	exps := All()
+	// E* must precede A*, both numerically ordered.
+	sawA := false
+	lastE, lastA := 0, 0
+	for _, e := range exps {
+		var n int
+		if e.ID[0] == 'E' {
+			if sawA {
+				t.Fatalf("E after A in %v", e.ID)
+			}
+			if _, err := parseNum(e.ID, &n); err != nil {
+				t.Fatal(err)
+			}
+			if n <= lastE {
+				t.Fatalf("E order broken at %s", e.ID)
+			}
+			lastE = n
+		} else {
+			sawA = true
+			if _, err := parseNum(e.ID, &n); err != nil {
+				t.Fatal(err)
+			}
+			if n <= lastA {
+				t.Fatalf("A order broken at %s", e.ID)
+			}
+			lastA = n
+		}
+	}
+	if _, ok := Get("e1"); !ok {
+		t.Fatal("case-insensitive Get failed")
+	}
+	if _, ok := Get("E999"); ok {
+		t.Fatal("Get of unknown experiment succeeded")
+	}
+}
+
+func parseNum(id string, n *int) (int, error) {
+	var v int
+	for _, c := range id[1:] {
+		v = v*10 + int(c-'0')
+	}
+	*n = v
+	return v, nil
+}
+
+func TestTableFormatting(t *testing.T) {
+	var tb Table
+	tb.Headers = []string{"col", "value"}
+	tb.Add("short", 1)
+	tb.Add("a-much-longer-cell", 2.5)
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatalf("header and rule misaligned:\n%s", buf.String())
+	}
+}

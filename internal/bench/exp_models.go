@@ -1,0 +1,416 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	asset "repro"
+	"repro/internal/workload"
+	"repro/models"
+	"repro/workflow"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E3",
+		Title:  "Cooperating transactions: permit ping-pong vs commit-per-handoff",
+		Anchor: "§3.2.1",
+		Run:    runE3,
+	})
+	register(Experiment{
+		ID:     "E4",
+		Title:  "Nested transaction overhead vs flat (depth sweep)",
+		Anchor: "§3.1.4",
+		Run:    runE4,
+	})
+	register(Experiment{
+		ID:     "E5",
+		Title:  "Saga vs monolithic long transaction: background throughput",
+		Anchor: "§3.1.6 / §1 motivation",
+		Run:    runE5,
+	})
+	register(Experiment{
+		ID:     "E8",
+		Title:  "Saga abort: compensation latency (t1..tk ct_k..ct_1)",
+		Anchor: "§3.1.6",
+		Run:    runE8,
+	})
+	register(Experiment{
+		ID:     "E12",
+		Title:  "Contingent transactions: cost vs alternatives and failure rate",
+		Anchor: "§3.1.3",
+		Run:    runE12,
+	})
+	register(Experiment{
+		ID:     "E13",
+		Title:  "Conference-trip workflow throughput (appendix program)",
+		Anchor: "appendix",
+		Run:    runE13,
+	})
+}
+
+// runE3: two transactions must apply strictly alternating updates to one
+// shared object. With permits both stay active and hand the object back
+// and forth inside one transaction each (2 commits total); without
+// permits, each handoff requires a commit to release the lock (2N
+// commits). We measure wall time per handoff.
+func runE3(w io.Writer, quick bool) error {
+	var t Table
+	t.Headers = []string{"handoffs", "permit ping-pong", "commit-per-handoff", "speedup"}
+	rounds := pick(quick, 200, 2_000)
+
+	m, err := memManager()
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	oids, err := seedObjects(m, 1, 8)
+	if err != nil {
+		return err
+	}
+	oid := oids[0]
+
+	// Cooperative version (§3.2.1): ti and tj alternate under permits.
+	turnA := make(chan struct{}, 1)
+	turnB := make(chan struct{}, 1)
+	startCoop := time.Now()
+	ti, _ := m.Initiate(func(tx *asset.Tx) error {
+		for r := 0; r < rounds; r++ {
+			<-turnA
+			if err := tx.Update(oid, func(b []byte) []byte { b[0]++; return b }); err != nil {
+				return err
+			}
+			turnB <- struct{}{}
+		}
+		return nil
+	})
+	tj, _ := m.Initiate(func(tx *asset.Tx) error {
+		for r := 0; r < rounds; r++ {
+			<-turnB
+			if err := tx.Update(oid, func(b []byte) []byte { b[0]++; return b }); err != nil {
+				return err
+			}
+			turnA <- struct{}{}
+		}
+		return nil
+	})
+	if err := m.FormDependency(asset.CD, ti, tj); err != nil {
+		return err
+	}
+	if err := m.Permit(ti, tj, []asset.OID{oid}, asset.OpAll); err != nil {
+		return err
+	}
+	if err := m.Permit(tj, ti, []asset.OID{oid}, asset.OpAll); err != nil {
+		return err
+	}
+	if err := m.Begin(ti, tj); err != nil {
+		return err
+	}
+	turnA <- struct{}{}
+	if err := m.Commit(ti); err != nil {
+		return err
+	}
+	if err := m.Commit(tj); err != nil {
+		return err
+	}
+	coop := time.Since(startCoop)
+
+	// Baseline: every handoff is a full commit so the other side can lock.
+	startBase := time.Now()
+	for r := 0; r < 2*rounds; r++ {
+		if err := models.Atomic(m, func(tx *asset.Tx) error {
+			return tx.Update(oid, func(b []byte) []byte { b[0]++; return b })
+		}); err != nil {
+			return err
+		}
+	}
+	base := time.Since(startBase)
+
+	t.Add(2*rounds,
+		time.Duration(int64(coop)/int64(2*rounds)),
+		time.Duration(int64(base)/int64(2*rounds)),
+		fmt.Sprintf("%.2fx", float64(base)/float64(coop)))
+	t.Fprint(w)
+	fmt.Fprintln(w, "  (cooperation keeps both transactions active: 2 commits instead of one per handoff)")
+	return nil
+}
+
+func runE4(w io.Writer, quick bool) error {
+	var t Table
+	t.Headers = []string{"depth", "flat txn (d writes)", "nested (d levels)", "overhead/level"}
+	iters := pick(quick, 100, 1_000)
+	for _, depth := range []int{1, 2, 4, 8} {
+		m, err := memManager()
+		if err != nil {
+			return err
+		}
+		oids, err := seedObjects(m, depth, 16)
+		if err != nil {
+			m.Close()
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := models.Atomic(m, func(tx *asset.Tx) error {
+				for _, oid := range oids {
+					if err := tx.Write(oid, []byte("flat")); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				m.Close()
+				return err
+			}
+		}
+		flat := time.Duration(int64(time.Since(start)) / int64(iters))
+
+		var nest func(tx *asset.Tx, level int) error
+		nest = func(tx *asset.Tx, level int) error {
+			if err := tx.Write(oids[level], []byte("nest")); err != nil {
+				return err
+			}
+			if level+1 == depth {
+				return nil
+			}
+			return models.Sub(tx, func(c *asset.Tx) error { return nest(c, level+1) })
+		}
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if err := models.Atomic(m, func(tx *asset.Tx) error { return nest(tx, 0) }); err != nil {
+				m.Close()
+				return err
+			}
+		}
+		nested := time.Duration(int64(time.Since(start)) / int64(iters))
+		t.Add(depth, flat, nested, time.Duration(int64(nested-flat)/int64(depth)))
+		m.Close()
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "  (each nesting level costs one initiate/permit/begin/wait/delegate/commit sequence)")
+	return nil
+}
+
+// runE5: one long-lived activity updates k hot objects with think time per
+// step, while background workers run short transactions on the same
+// objects. As a single transaction the activity holds every lock until the
+// end; as a saga each step releases its lock at commit.
+func runE5(w io.Writer, quick bool) error {
+	var t Table
+	t.Headers = []string{"steps k", "mode", "bg txn/s", "bg p99", "bg deadlock aborts"}
+	think := pick(quick, 200*time.Microsecond, time.Millisecond)
+	dur := pick(quick, 60*time.Millisecond, 500*time.Millisecond)
+	stepsList := pick(quick, []int{4, 16}, []int{2, 4, 8, 16, 32})
+	const bgWorkers = 4
+
+	for _, k := range stepsList {
+		for _, mode := range []string{"long-txn", "saga"} {
+			m, err := memManager()
+			if err != nil {
+				return err
+			}
+			hot, err := seedObjects(m, k, 16)
+			if err != nil {
+				m.Close()
+				return err
+			}
+			stop := make(chan struct{})
+			activityDone := make(chan struct{})
+			// The activity loops for the whole measurement window.
+			go func() {
+				defer close(activityDone)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if mode == "long-txn" {
+						models.Atomic(m, func(tx *asset.Tx) error {
+							for _, oid := range hot {
+								if err := tx.Write(oid, []byte("activity")); err != nil {
+									return err
+								}
+								time.Sleep(think)
+							}
+							return nil
+						})
+					} else {
+						s := models.NewSaga(m)
+						for _, oid := range hot {
+							oid := oid
+							s.Step("s", func(tx *asset.Tx) error {
+								if err := tx.Write(oid, []byte("activity")); err != nil {
+									return err
+								}
+								time.Sleep(think)
+								return nil
+							}, nil)
+						}
+						s.Run()
+					}
+				}
+			}()
+			rng := rand.New(rand.NewSource(7))
+			_ = rng
+			res := workload.RunClosed(bgWorkers, dur, func(wkr, i int) error {
+				oid := hot[(wkr+i)%len(hot)]
+				return models.Atomic(m, func(tx *asset.Tx) error {
+					return tx.Write(oid, []byte("bg"))
+				})
+			})
+			close(stop)
+			<-activityDone
+			st := m.Stats()
+			t.Add(k, mode, fmt.Sprintf("%.0f", res.Throughput()),
+				res.Lat.Percentile(0.99), st.Deadlocks)
+			m.Close()
+		}
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "  (the saga releases each step's locks at step commit; the long txn starves the background)")
+	return nil
+}
+
+func runE8(w io.Writer, quick bool) error {
+	var t Table
+	t.Headers = []string{"fail after step k", "committed", "compensated", "compensation wall"}
+	for _, k := range pick(quick, []int{2, 8}, []int{1, 2, 4, 8, 16}) {
+		m, err := memManager()
+		if err != nil {
+			return err
+		}
+		oids, err := seedObjects(m, k, 16)
+		if err != nil {
+			m.Close()
+			return err
+		}
+		s := models.NewSaga(m)
+		for i := 0; i < k; i++ {
+			oid := oids[i]
+			s.Step(fmt.Sprintf("s%d", i+1),
+				func(tx *asset.Tx) error { return tx.Write(oid, []byte("done")) },
+				func(tx *asset.Tx) error { return tx.Write(oid, []byte("undone")) })
+		}
+		s.Step("fail", func(tx *asset.Tx) error { return errors.New("step fails") }, nil)
+		start := time.Now()
+		res, err := s.Run()
+		if err != nil {
+			m.Close()
+			return err
+		}
+		t.Add(k, len(res.Committed), len(res.Compensated), time.Since(start))
+		m.Close()
+	}
+	t.Fprint(w)
+	return nil
+}
+
+func runE12(w io.Writer, quick bool) error {
+	var t Table
+	t.Headers = []string{"alternatives", "fail prob", "activities/s", "avg tried"}
+	iters := pick(quick, 300, 3_000)
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, failPct := range []int{25, 75} {
+			m, err := memManager()
+			if err != nil {
+				return err
+			}
+			rng := rand.New(rand.NewSource(int64(n*100 + failPct)))
+			tried := 0
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				fns := make([]asset.TxnFunc, n)
+				for j := range fns {
+					fail := rng.Intn(100) < failPct
+					fns[j] = func(tx *asset.Tx) error {
+						tried++
+						if fail {
+							return errors.New("alternative failed")
+						}
+						return nil
+					}
+				}
+				models.Contingent(m, fns...)
+			}
+			wall := time.Since(start)
+			t.Add(n, fmt.Sprintf("%d%%", failPct),
+				fmt.Sprintf("%.0f", float64(iters)/wall.Seconds()),
+				fmt.Sprintf("%.2f", float64(tried)/float64(iters)))
+			m.Close()
+		}
+	}
+	t.Fprint(w)
+	return nil
+}
+
+func runE13(w io.Writer, quick bool) error {
+	var t Table
+	t.Headers = []string{"scenario", "activities/s", "outcome"}
+	iters := pick(quick, 100, 1_000)
+	scenarios := []struct {
+		name                  string
+		hotelFull, flightFull bool
+	}{
+		{"happy path", false, false},
+		{"hotel full (compensate flight)", true, false},
+		{"no flight (fail fast)", false, true},
+	}
+	for _, sc := range scenarios {
+		m, err := memManager()
+		if err != nil {
+			return err
+		}
+		oids, err := seedObjects(m, 3, 32)
+		if err != nil {
+			m.Close()
+			return err
+		}
+		flight, hotel, car := oids[0], oids[1], oids[2]
+		build := func() *workflow.Workflow {
+			book := func(name string, full bool, oid asset.OID) workflow.Task {
+				return workflow.Task{
+					Name: name,
+					Action: func(tx *asset.Tx) error {
+						if full {
+							return errors.New("sold out")
+						}
+						return tx.Write(oid, []byte(name))
+					},
+					Compensate: func(tx *asset.Tx) error { return tx.Write(oid, []byte("-")) },
+				}
+			}
+			return workflow.New("X_conference").
+				Alternatives("flight",
+					book("Delta", sc.flightFull, flight),
+					book("United", sc.flightFull, flight),
+					book("American", sc.flightFull, flight)).
+				Step(book("Equator", sc.hotelFull, hotel)).
+				Race("car",
+					book("National", false, car),
+					book("Avis", false, car)).Optional()
+		}
+		start := time.Now()
+		var lastOutcome string
+		for i := 0; i < iters; i++ {
+			res, err := build().Run(m)
+			if err != nil {
+				m.Close()
+				return err
+			}
+			if res.Err() == nil {
+				lastOutcome = "booked"
+			} else {
+				lastOutcome = res.Err().Error()
+			}
+		}
+		wall := time.Since(start)
+		t.Add(sc.name, fmt.Sprintf("%.0f", float64(iters)/wall.Seconds()), lastOutcome)
+		m.Close()
+	}
+	t.Fprint(w)
+	return nil
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	asset "repro"
+	"repro/internal/workload"
+	"repro/models"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E9",
+		Title:  "Cursor stability vs repeatable read: writer throughput under a scanner",
+		Anchor: "§3.2.2",
+		Run:    runE9,
+	})
+	register(Experiment{
+		ID:     "E14",
+		Title:  "Commutative increments (OpIncr) vs read-modify-write on a hot counter",
+		Anchor: "§5 future work",
+		Run:    runE14,
+	})
+}
+
+// runE9: a scanner walks all records with think time per record; writers
+// update random records. Under repeatable read the scanner's read locks
+// accumulate and block writers until the scan commits; under cursor
+// stability each record is released (permitted for writing) as the cursor
+// moves past it.
+func runE9(w io.Writer, quick bool) error {
+	var t Table
+	t.Headers = []string{"mode", "records", "writers", "writer txn/s", "writer p99"}
+	records := pick(quick, 32, 128)
+	think := pick(quick, 100*time.Microsecond, 500*time.Microsecond)
+	dur := pick(quick, 80*time.Millisecond, 600*time.Millisecond)
+	const writers = 4
+
+	for _, mode := range []models.CursorMode{models.RepeatableRead, models.CursorStability} {
+		m, err := memManager()
+		if err != nil {
+			return err
+		}
+		oids, err := seedObjects(m, records, 32)
+		if err != nil {
+			m.Close()
+			return err
+		}
+		stop := make(chan struct{})
+		scannerDone := make(chan struct{})
+		go func() {
+			defer close(scannerDone)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				models.Atomic(m, func(tx *asset.Tx) error {
+					return models.Scan(tx, mode, oids, func(oid asset.OID, data []byte) error {
+						time.Sleep(think)
+						return nil
+					})
+				})
+			}
+		}()
+		gens := make([]workload.Generator, writers)
+		for i := range gens {
+			gens[i] = workload.NewUniform(int64(i+1), uint64(records))
+		}
+		res := workload.RunClosed(writers, dur, func(wkr, i int) error {
+			oid := oids[gens[wkr].Next()]
+			return models.Atomic(m, func(tx *asset.Tx) error {
+				return tx.Write(oid, []byte("written"))
+			})
+		})
+		close(stop)
+		<-scannerDone
+		name := "repeatable-read"
+		if mode == models.CursorStability {
+			name = "cursor-stability"
+		}
+		t.Add(name, records, writers, fmt.Sprintf("%.0f", res.Throughput()), res.Lat.Percentile(0.99))
+		m.Close()
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "  (cursor stability's post-read write permits let writers proceed mid-scan)")
+	return nil
+}
+
+func runE14(w io.Writer, quick bool) error {
+	var t Table
+	t.Headers = []string{"workers", "OpIncr (commuting) txn/s", "RMW write-lock txn/s", "speedup"}
+	dur := pick(quick, 60*time.Millisecond, 400*time.Millisecond)
+	for _, workers := range pick(quick, []int{1, 8}, []int{1, 4, 16, 32}) {
+		m, err := memManager()
+		if err != nil {
+			return err
+		}
+		ctrs, err := seedCounters(m, 1)
+		if err != nil {
+			m.Close()
+			return err
+		}
+		hot := ctrs[0]
+
+		incr := workload.RunClosed(workers, dur, func(wkr, i int) error {
+			return models.Atomic(m, func(tx *asset.Tx) error { return tx.Add(hot, 1) })
+		})
+		rmw := workload.RunClosed(workers, dur, func(wkr, i int) error {
+			return models.AtomicRetry(m, 10, func(tx *asset.Tx) error {
+				return tx.Update(hot, func(b []byte) []byte {
+					v := uint64(0)
+					for j := 7; j >= 0; j-- {
+						v = v<<8 | uint64(b[j])
+					}
+					v++
+					for j := 0; j < 8; j++ {
+						b[j] = byte(v >> (8 * j))
+					}
+					return b
+				})
+			})
+		})
+		t.Add(workers,
+			fmt.Sprintf("%.0f", incr.Throughput()),
+			fmt.Sprintf("%.0f", rmw.Throughput()),
+			fmt.Sprintf("%.2fx", incr.Throughput()/rmw.Throughput()))
+		m.Close()
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "  (increment locks commute: no blocking on the hot counter; RMW serializes on the write lock)")
+	return nil
+}

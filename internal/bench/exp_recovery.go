@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	asset "repro"
+	"repro/models"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E10",
+		Title:  "Recovery time vs log size; crash consistency",
+		Anchor: "§4 log / recovery",
+		Run:    runE10,
+	})
+}
+
+func runE10(w io.Writer, quick bool) error {
+	var t Table
+	t.Headers = []string{"committed updates", "log replay + open", "objects recovered", "consistent"}
+	sizes := pick(quick, []int{1_000, 5_000}, []int{1_000, 10_000, 100_000})
+	for _, n := range sizes {
+		dir, err := os.MkdirTemp("", "asset-e10-*")
+		if err != nil {
+			return err
+		}
+		m, err := asset.Open(asset.Config{Dir: dir, ReapTerminated: true})
+		if err != nil {
+			return err
+		}
+		const objects = 256
+		oids, err := seedObjects(m, objects, 64)
+		if err != nil {
+			m.Close()
+			return err
+		}
+		// n committed updates in batches, plus one in-flight loser at the
+		// end (crash mid-transaction).
+		const batch = 50
+		want := make(map[asset.OID]byte, objects)
+		for i := 0; i < n/batch; i++ {
+			i := i
+			if err := models.Atomic(m, func(tx *asset.Tx) error {
+				for j := 0; j < batch; j++ {
+					oid := oids[(i*batch+j)%objects]
+					v := byte(i + j)
+					if err := tx.Write(oid, []byte{v}); err != nil {
+						return err
+					}
+					want[oid] = v
+				}
+				return nil
+			}); err != nil {
+				m.Close()
+				return err
+			}
+		}
+		hold := make(chan struct{})
+		started := make(chan struct{})
+		loser, _ := m.Initiate(func(tx *asset.Tx) error {
+			tx.Write(oids[0], []byte{0xFF})
+			close(started)
+			<-hold
+			return nil
+		})
+		m.Begin(loser)
+		<-started
+		m.Close() // crash
+		close(hold)
+
+		start := time.Now()
+		m2, err := asset.Open(asset.Config{Dir: dir})
+		if err != nil {
+			return err
+		}
+		openTime := time.Since(start)
+		consistent := true
+		for oid, v := range want {
+			got, ok := m2.Cache().Read(oid)
+			if !ok || got[0] != v {
+				consistent = false
+				break
+			}
+		}
+		recovered := m2.Cache().Len()
+		m2.Close()
+		os.RemoveAll(dir)
+		t.Add(n, openTime, recovered, consistent)
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "  (redo-only recovery: committed updates replayed, the in-flight loser discarded)")
+	return nil
+}

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/wal"
+	"repro/internal/xid"
+)
+
+// Commit commits transaction id, implementing §4.2's commit algorithm. It
+// blocks until the transaction's code has completed, then resolves
+// dependencies: outgoing CD/AD edges block until the supporting transaction
+// terminates (an aborted AD supporter aborts this transaction); GC edges
+// gather the whole group, every member of which is driven to completion and
+// committed atomically under a single commit record. Commit returns nil on
+// success (the paper's 1) and ErrAborted if the transaction aborts instead
+// (the paper's 0).
+func (m *Manager) Commit(id xid.TID) error {
+	m.mu.Lock()
+	t, err := m.lookup(id)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	for {
+		switch t.status {
+		case xid.StatusCommitted:
+			m.mu.Unlock()
+			return nil
+		case xid.StatusAborted, xid.StatusAborting:
+			err := t.abErr
+			m.mu.Unlock()
+			if err == nil {
+				err = ErrAborted
+			}
+			return err
+		case xid.StatusInitiated:
+			m.mu.Unlock()
+			return ErrNotBegun
+		case xid.StatusRunning:
+			// commit blocks until execution completes (§2.1).
+			ch := t.done
+			m.mu.Unlock()
+			<-ch
+			m.mu.Lock()
+			continue
+		}
+
+		// t is completed (or committing under another driver). Drive its
+		// whole GC group.
+		group, waitFor := m.examineGroupLocked(t)
+		if group == nil && waitFor == nil {
+			// The group aborted underneath us.
+			continue
+		}
+		if waitFor != nil {
+			// Block until the obstacle resolves, watching for our own
+			// abort. Register waits-for edges so cross-mechanism deadlocks
+			// are caught.
+			var victim xid.TID
+			for _, member := range group {
+				if member.id != waitFor.id {
+					if v, _ := m.waits.Add(member.id, waitFor.id); !v.IsNil() {
+						victim = v
+					}
+				}
+			}
+			if !victim.IsNil() {
+				if vt, ok := m.txns.Get(uint64(victim)); ok {
+					m.abortLocked(vt, fmt.Errorf("%w: commit-wait deadlock victim: %w", ErrAborted, ErrDeadlock))
+				}
+			}
+			waitCh := waitFor.waitCh
+			myAbort := t.abortCh
+			m.mu.Unlock()
+			select {
+			case <-waitCh:
+			case <-myAbort:
+			}
+			m.mu.Lock()
+			for _, member := range group {
+				if member.id != waitFor.id {
+					m.waits.Remove(member.id, waitFor.id)
+				}
+			}
+			continue
+		}
+
+		// No obstacles: commit the group atomically.
+		m.commitGroupLocked(group)
+		m.mu.Unlock()
+		return nil
+	}
+}
+
+// obstacle names what a commit driver must wait for: a transaction's
+// completion or termination.
+type obstacle struct {
+	id     xid.TID
+	waitCh <-chan struct{}
+}
+
+// examineGroupLocked inspects t's GC component. It returns (group, nil)
+// when every member is completed and free of blocking dependencies,
+// (group, obstacle) when the driver must wait, and (nil, nil) when the
+// group aborted (t included). Caller holds m.mu.
+func (m *Manager) examineGroupLocked(t *txn) ([]*txn, *obstacle) {
+	comp := m.deps.GCComponent(t.id)
+	group := make([]*txn, 0, len(comp))
+	for _, mid := range comp {
+		member, ok := m.txns.Get(uint64(mid))
+		if !ok {
+			continue // reaped: cannot happen for live groups
+		}
+		group = append(group, member)
+	}
+	// An aborted member dooms the group.
+	for _, member := range group {
+		if member.status == xid.StatusAborting || member.status == xid.StatusAborted {
+			for _, other := range group {
+				m.abortLocked(other, fmt.Errorf("%w: group member %v aborted", ErrAborted, member.id))
+			}
+			return nil, nil
+		}
+	}
+	// Every member must have completed execution. (An initiated member
+	// blocks the commit until someone begins it, per the paper's blocking
+	// commit; its done channel covers both.) A member already in the
+	// committing state is being driven by another commit — with batched
+	// commits the driver may be off the mutex forcing the log — so this
+	// driver waits for that outcome instead of double-committing.
+	for _, member := range group {
+		switch member.status {
+		case xid.StatusInitiated, xid.StatusRunning:
+			return group, &obstacle{id: member.id, waitCh: member.done}
+		case xid.StatusCommitting:
+			return group, &obstacle{id: member.id, waitCh: member.term}
+		}
+	}
+	// Blocking dependencies to transactions outside the group must be
+	// resolved by the supporter's termination (commit steps 2a/2b).
+	inGroup := make(map[xid.TID]bool, len(group))
+	for _, member := range group {
+		inGroup[member.id] = true
+	}
+	// Exclusion: a group containing a transaction whose EXC partner is
+	// already committing (or committed) must lose — this check runs under
+	// the manager mutex, so of two racing EXC partners exactly one passes
+	// even when batched commits force the log off the mutex.
+	for _, member := range group {
+		for _, e := range m.deps.Outgoing(member.id) {
+			if !e.Types.Has(xid.DepEXC) {
+				continue
+			}
+			if p, ok := m.txns.Get(uint64(e.Other)); ok &&
+				(p.status == xid.StatusCommitting || p.status == xid.StatusCommitted) {
+				for _, other := range group {
+					m.abortLocked(other, fmt.Errorf("%w: excluded by committing partner %v", ErrAborted, p.id))
+				}
+				return nil, nil
+			}
+		}
+	}
+	for _, member := range group {
+		for _, e := range m.deps.Outgoing(member.id) {
+			// Only CD/AD delay a commit; BD/BAD gate begin (already
+			// satisfied once the member ran) and EXC never waits.
+			if !e.Types.CommitBlocking() || inGroup[e.Other] {
+				continue
+			}
+			sup, ok := m.txns.Get(uint64(e.Other))
+			if !ok || sup.status.Terminated() {
+				// Terminated supporters leave no edges (RemoveNode), but be
+				// defensive: a committed supporter satisfies everything; an
+				// aborted one with an AD would have aborted us already.
+				continue
+			}
+			return group, &obstacle{id: sup.id, waitCh: sup.term}
+		}
+	}
+	return group, nil
+}
+
+// commitGroupLocked performs the final commit of a ready group: one commit
+// record, durable flush, then lock release and dependency cleanup for every
+// member. Caller holds m.mu.
+func (m *Manager) commitGroupLocked(group []*txn) {
+	tids := make([]xid.TID, len(group))
+	for i, member := range group {
+		tids[i] = member.id
+		member.status = xid.StatusCommitting
+	}
+	// Commit record for the whole group; one log force covers all members
+	// (this is what experiment E6 measures).
+	if _, err := m.log.Append(&wal.Record{Type: wal.TCommit, TIDs: tids}); err != nil {
+		for _, member := range group {
+			m.abortLocked(member, fmt.Errorf("core: commit record append failed: %w", err))
+		}
+		return
+	}
+	var flushErr error
+	if m.cfg.BatchedCommits {
+		// Classic group commit: release the manager mutex around the
+		// physical force so concurrent committers coalesce into one fsync.
+		// The members sit in the committing state meanwhile; every other
+		// path treats committing as untouchable (Abort waits on term,
+		// drivers wait via examineGroupLocked, FormDependency rejects).
+		m.mu.Unlock()
+		flushErr = m.log.Flush()
+		m.mu.Lock()
+	} else {
+		flushErr = m.log.Flush()
+	}
+	if flushErr != nil {
+		for _, member := range group {
+			m.abortLocked(member, fmt.Errorf("core: commit flush failed: %w", flushErr))
+		}
+		return
+	}
+	m.stats.logForces.Add(1)
+	m.stats.groupSize.Add(uint64(len(group)))
+	// A commit forces the abort of two kinds of dependents: begin-on-abort
+	// transactions (their trigger can no longer fire) and exclusion
+	// partners (at most one side commits). Collect them before the edges
+	// disappear with RemoveNode.
+	var forcedAborts []*txn
+	for _, member := range group {
+		for _, e := range m.deps.Incoming(member.id) {
+			if e.Types.Has(xid.DepBAD) || e.Types.Has(xid.DepEXC) {
+				if dependent, ok := m.txns.Get(uint64(e.Other)); ok {
+					forcedAborts = append(forcedAborts, dependent)
+				}
+			}
+		}
+	}
+	for _, member := range group {
+		// The member's committed updates change durable state relative to
+		// the last checkpoint.
+		for _, u := range member.undo {
+			if u.kind == wal.KindDelete {
+				m.dirty[u.oid] = dirtyDelete
+			} else {
+				m.dirty[u.oid] = dirtyUpsert
+			}
+		}
+		member.undo = nil
+		member.status = xid.StatusCommitted
+		m.deps.RemoveNode(member.id)
+		m.locks.ReleaseAll(member.id)
+		m.waits.RemoveNode(member.id)
+		m.live--
+		m.stats.commits.Add(1)
+		member.closeDone()
+		member.closeTerm()
+		if m.cfg.ReapTerminated {
+			m.txns.Delete(uint64(member.id))
+		}
+	}
+	for _, dependent := range forcedAborts {
+		m.abortLocked(dependent, fmt.Errorf("%w: excluded by a committed partner", ErrAborted))
+	}
+	m.cond.Broadcast()
+}
+
+// Abort aborts transaction id, implementing §4.2's abort algorithm: install
+// before images for every update the transaction is responsible for,
+// release its locks, abort dependents connected by AD/GC (and BD) edges,
+// and drop CD edges. It returns nil if the abort succeeds or the
+// transaction was already aborted, and ErrAlreadyCommitted if it committed
+// first (the paper's 0).
+func (m *Manager) Abort(id xid.TID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	for t.status == xid.StatusCommitting {
+		// The transaction is past its commit record (a batched-commit
+		// driver may be forcing the log); wait for the outcome rather than
+		// yanking a half-committed group.
+		term := t.term
+		m.mu.Unlock()
+		<-term
+		m.mu.Lock()
+	}
+	switch t.status {
+	case xid.StatusCommitted:
+		return ErrAlreadyCommitted
+	case xid.StatusAborted:
+		return nil
+	}
+	m.abortLocked(t, fmt.Errorf("%w: explicit abort", ErrAborted))
+	return nil
+}
+
+// abortReason normalizes an abort cause so it always matches
+// errors.Is(err, ErrAborted) while preserving the original error (and in
+// particular ErrDeadlock identity, which retry loops dispatch on).
+func abortReason(err error) error {
+	if err == nil || errors.Is(err, ErrAborted) {
+		return err
+	}
+	return errors.Join(ErrAborted, err)
+}
+
+// AbortReason returns why the transaction aborted, or nil if it has not
+// aborted (or was reaped).
+func (m *Manager) AbortReason(id xid.TID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t, ok := m.txns.Get(uint64(id)); ok {
+		return t.abErr
+	}
+	return nil
+}
+
+// abortTxn is the internal abort entry point (function failure, panic,
+// dependency propagation from outside the mutex).
+func (m *Manager) abortTxn(t *txn, reason error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.abortLocked(t, reason)
+}
+
+// abortLocked aborts t and, transitively, every dependent that must abort
+// with it (AD, GC, and BD edges). It runs in three phases so that undo is
+// correct even when cascade members wrote the same objects through permits:
+// (1) mark the whole cascade set aborting and cancel its lock waits, (2)
+// install every member's before images in one pass, in reverse global LSN
+// order, logging each installation, (3) release locks, drop dependencies,
+// and finalize statuses. Caller holds m.mu.
+func (m *Manager) abortLocked(t *txn, reason error) {
+	// Deadlock accounting happens here so every victim path — lock-wait
+	// victims, commit-wait victims, and the OnVictim callback — is counted
+	// exactly once (per cascade root).
+	if !t.status.Terminated() && t.status != xid.StatusAborting && errors.Is(reason, ErrDeadlock) {
+		m.stats.deadlocks.Add(1)
+	}
+	// Phase 1: close the cascade set over AD/GC/BD incoming edges.
+	var set []*txn
+	work := []*txn{t}
+	for len(work) > 0 {
+		u := work[len(work)-1]
+		work = work[:len(work)-1]
+		if u.status.Terminated() || u.status == xid.StatusAborting {
+			continue
+		}
+		u.status = xid.StatusAborting
+		u.abErr = reason
+		u.closeAbort()
+		m.locks.CancelWaits(u.id)
+		set = append(set, u)
+		for _, e := range m.deps.Incoming(u.id) {
+			if e.Types.Has(xid.DepAD) || e.Types.Has(xid.DepGC) || e.Types.Has(xid.DepBD) {
+				if dep, ok := m.txns.Get(uint64(e.Other)); ok {
+					work = append(work, dep)
+				}
+			}
+		}
+	}
+	if len(set) == 0 {
+		return
+	}
+	// Phase 2: undo all updates of the set in reverse global order. Per the
+	// paper's caveat, later updates by permitted cooperating transactions —
+	// inside or outside the set — are overwritten too; each installation is
+	// logged so recovery reproduces exactly this state.
+	var undos []struct {
+		tid xid.TID
+		rec undoRec
+	}
+	for _, u := range set {
+		for _, rec := range u.undo {
+			undos = append(undos, struct {
+				tid xid.TID
+				rec undoRec
+			}{u.id, rec})
+		}
+		u.undo = nil
+	}
+	sort.Slice(undos, func(i, j int) bool { return undos[i].rec.lsn > undos[j].rec.lsn })
+	for _, ur := range undos {
+		rec := ur.rec
+		switch rec.kind {
+		case wal.KindDelta:
+			// Logical undo: add the negated delta, leaving concurrent
+			// committed increments intact.
+			neg := wal.EncodeCounter(-wal.DecodeCounter(rec.before))
+			m.log.Append(&wal.Record{Type: wal.TUndo, TID: ur.tid, OID: rec.oid, Kind: wal.KindDelta, After: neg})
+			if obj := m.cache.Object(rec.oid); obj != nil {
+				obj.Lat.Lock()
+				obj.SetData(wal.EncodeCounter(wal.DecodeCounter(obj.Data()) + wal.DecodeCounter(neg)))
+				obj.Lat.Unlock()
+				m.dirty[rec.oid] = dirtyUpsert
+			}
+		case wal.KindCreate:
+			m.log.Append(&wal.Record{Type: wal.TUndo, TID: ur.tid, OID: rec.oid, Kind: wal.KindDelete})
+			m.cache.Delete(rec.oid)
+			m.dirty[rec.oid] = dirtyDelete
+		case wal.KindDelete:
+			m.log.Append(&wal.Record{Type: wal.TUndo, TID: ur.tid, OID: rec.oid, Kind: wal.KindCreate, After: rec.before})
+			m.cache.Install(rec.oid, rec.before)
+			m.dirty[rec.oid] = dirtyUpsert
+		default: // modify
+			m.log.Append(&wal.Record{Type: wal.TUndo, TID: ur.tid, OID: rec.oid, Kind: wal.KindModify, After: rec.before})
+			m.cache.Install(rec.oid, rec.before)
+			m.dirty[rec.oid] = dirtyUpsert
+		}
+	}
+	// Phase 3: cleanup and final statuses.
+	for _, u := range set {
+		m.log.Append(&wal.Record{Type: wal.TAbort, TID: u.id})
+		m.deps.RemoveNode(u.id)
+		m.locks.ReleaseAll(u.id)
+		m.waits.RemoveNode(u.id)
+		u.status = xid.StatusAborted
+		m.live--
+		m.stats.aborts.Add(1)
+		u.closeDone()
+		u.closeTerm()
+		if m.cfg.ReapTerminated {
+			m.txns.Delete(uint64(u.id))
+		}
+	}
+	m.cond.Broadcast()
+}

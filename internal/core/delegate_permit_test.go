@@ -1,0 +1,366 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/xid"
+)
+
+// TestDelegateCommitResponsibility: updates delegated from ti to tj are
+// committed iff tj commits, even though ti performed them (§2.2).
+func TestDelegateCommitResponsibility(t *testing.T) {
+	m := newMem(t)
+	oid := seedObject(t, m, []byte("base"))
+	worker := initiated(t, m, func(tx *Tx) error { return tx.Write(oid, []byte("worked")) })
+	holder := initiated(t, m, noop)
+	m.Begin(worker, holder)
+	m.Wait(worker)
+	m.Wait(holder)
+	if err := m.Delegate(worker, holder); err != nil {
+		t.Fatal(err)
+	}
+	// The worker aborting no longer undoes the delegated write.
+	if err := m.Abort(worker); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Cache().Read(oid)
+	if string(got) != "worked" {
+		t.Fatalf("delegated write undone by delegator's abort: %q", got)
+	}
+	if err := m.Commit(holder); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = m.Cache().Read(oid)
+	if string(got) != "worked" {
+		t.Fatalf("after commit: %q", got)
+	}
+}
+
+// TestDelegateAbortResponsibility: if the delegatee aborts, the delegated
+// updates are undone.
+func TestDelegateAbortResponsibility(t *testing.T) {
+	m := newMem(t)
+	oid := seedObject(t, m, []byte("base"))
+	worker := initiated(t, m, func(tx *Tx) error { return tx.Write(oid, []byte("worked")) })
+	holder := initiated(t, m, noop)
+	m.Begin(worker, holder)
+	m.Wait(worker)
+	m.Wait(holder)
+	m.Delegate(worker, holder)
+	if err := m.Commit(worker); err != nil { // commits nothing: all delegated
+		t.Fatal(err)
+	}
+	if err := m.Abort(holder); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Cache().Read(oid)
+	if string(got) != "base" {
+		t.Fatalf("delegatee abort did not undo delegated write: %q", got)
+	}
+}
+
+// TestDelegateSubset: only the named objects move.
+func TestDelegateSubset(t *testing.T) {
+	m := newMem(t)
+	a := seedObject(t, m, []byte("a0"))
+	b := seedObject(t, m, []byte("b0"))
+	worker := initiated(t, m, func(tx *Tx) error {
+		if err := tx.Write(a, []byte("a1")); err != nil {
+			return err
+		}
+		return tx.Write(b, []byte("b1"))
+	})
+	holder := initiated(t, m, noop)
+	m.Begin(worker, holder)
+	m.Wait(worker)
+	m.Wait(holder)
+	if err := m.Delegate(worker, holder, a); err != nil {
+		t.Fatal(err)
+	}
+	m.Abort(worker) // undoes only b
+	va, _ := m.Cache().Read(a)
+	vb, _ := m.Cache().Read(b)
+	if string(va) != "a1" || string(vb) != "b0" {
+		t.Fatalf("a=%q b=%q; want a1/b0", va, vb)
+	}
+	if err := m.Commit(holder); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDelegateToInitiated: the paper separates initiation from beginning so
+// one can delegate to a transaction before it begins.
+func TestDelegateToInitiated(t *testing.T) {
+	m := newMem(t)
+	oid := seedObject(t, m, []byte("base"))
+	worker := initiated(t, m, func(tx *Tx) error { return tx.Write(oid, []byte("split-work")) })
+	m.Begin(worker)
+	m.Wait(worker)
+	later := initiated(t, m, noop) // not begun
+	if err := m.Delegate(worker, later); err != nil {
+		t.Fatal(err)
+	}
+	m.Begin(later)
+	if err := m.Commit(later); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Cache().Read(oid)
+	if string(got) != "split-work" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDelegateTerminatedFails(t *testing.T) {
+	m := newMem(t)
+	done := runTxn(t, m, noop)
+	live := initiated(t, m, noop)
+	if err := m.Delegate(done, live); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("delegate from committed = %v", err)
+	}
+	if err := m.Delegate(live, done); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("delegate to committed = %v", err)
+	}
+}
+
+// TestPermitCooperation reproduces §3.2.1: two transactions ping-pong
+// conflicting writes on one object via permits, with a CD so the permitted
+// transaction cannot commit first.
+func TestPermitCooperation(t *testing.T) {
+	m := newMem(t)
+	oid := seedObject(t, m, []byte{0})
+	tiWrote := make(chan struct{})
+	tjWrote := make(chan struct{})
+	tiDone := make(chan struct{})
+
+	ti := initiated(t, m, func(tx *Tx) error {
+		if err := tx.Update(oid, func(b []byte) []byte { b[0] += 1; return b }); err != nil {
+			return err
+		}
+		// Allow tj to write concurrently.
+		if err := m.Permit(tx.ID(), 0, []xid.OID{oid}, xid.OpAll); err != nil {
+			return err
+		}
+		close(tiWrote)
+		<-tjWrote
+		// tj permitted us back; we can write again.
+		if err := tx.Update(oid, func(b []byte) []byte { b[0] += 10; return b }); err != nil {
+			return err
+		}
+		close(tiDone)
+		return nil
+	})
+	tj := initiated(t, m, func(tx *Tx) error {
+		<-tiWrote
+		if err := tx.Update(oid, func(b []byte) []byte { b[0] += 100; return b }); err != nil {
+			return err
+		}
+		if err := m.Permit(tx.ID(), ti, []xid.OID{oid}, xid.OpAll); err != nil {
+			return err
+		}
+		close(tjWrote)
+		<-tiDone
+		return nil
+	})
+	if err := m.FormDependency(xid.DepCD, ti, tj); err != nil {
+		t.Fatal(err)
+	}
+	m.Begin(ti, tj)
+	if err := m.Commit(ti); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(tj); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Cache().Read(oid)
+	if got[0] != 111 {
+		t.Fatalf("cooperative result = %d, want 111", got[0])
+	}
+}
+
+// TestPermitCooperationAbortCascade: per the paper's caveat, if the first
+// cooperating transaction aborts, its before-images clobber the permitted
+// partner's later writes; an AD dependency makes the partner abort too,
+// keeping the pair consistent.
+func TestPermitCooperationAbortCascade(t *testing.T) {
+	m := newMem(t)
+	oid := seedObject(t, m, []byte("v0"))
+	tiWrote := make(chan struct{})
+	tjWrote := make(chan struct{})
+	hold := make(chan struct{})
+	ti := initiated(t, m, func(tx *Tx) error {
+		if err := tx.Write(oid, []byte("ti")); err != nil {
+			return err
+		}
+		m.Permit(tx.ID(), 0, []xid.OID{oid}, xid.OpAll)
+		close(tiWrote)
+		<-hold
+		return nil
+	})
+	tj := initiated(t, m, func(tx *Tx) error {
+		<-tiWrote
+		if err := tx.Write(oid, []byte("tj")); err != nil {
+			return err
+		}
+		close(tjWrote)
+		<-hold
+		return nil
+	})
+	m.FormDependency(xid.DepAD, ti, tj)
+	m.Begin(ti, tj)
+	<-tjWrote
+	if err := m.Abort(ti); err != nil {
+		t.Fatal(err)
+	}
+	close(hold)
+	if m.StatusOf(tj) != xid.StatusAborted {
+		t.Fatal("AD partner not aborted")
+	}
+	got, _ := m.Cache().Read(oid)
+	if string(got) != "v0" {
+		t.Fatalf("object = %q, want v0 (ti's before image, then tj had nothing left)", got)
+	}
+}
+
+// TestCursorStabilityPermit reproduces §3.2.2: after reading a record, the
+// reader permits any transaction to write it without waiting.
+func TestCursorStabilityPermit(t *testing.T) {
+	m := newMem(t)
+	rec := seedObject(t, m, []byte("row1"))
+	readDone := make(chan struct{})
+	hold := make(chan struct{})
+	reader := initiated(t, m, func(tx *Tx) error {
+		if _, err := tx.Read(rec); err != nil {
+			return err
+		}
+		// Cursor moves on: permit(ti, record, write).
+		if err := m.Permit(tx.ID(), 0, []xid.OID{rec}, xid.OpWrite); err != nil {
+			return err
+		}
+		close(readDone)
+		<-hold // long-running reader
+		return nil
+	})
+	m.Begin(reader)
+	<-readDone
+	// A writer proceeds without waiting for the reader to commit.
+	writer := initiated(t, m, func(tx *Tx) error { return tx.Write(rec, []byte("row1'")) })
+	m.Begin(writer)
+	commitErr := make(chan error, 1)
+	go func() { commitErr <- m.Commit(writer) }()
+	select {
+	case err := <-commitErr:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer blocked despite cursor-stability permit")
+	}
+	close(hold)
+	if err := m.Commit(reader); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Cache().Read(rec)
+	if string(got) != "row1'" {
+		t.Fatalf("record = %q", got)
+	}
+}
+
+func TestPermitFromTerminatedFails(t *testing.T) {
+	m := newMem(t)
+	done := runTxn(t, m, noop)
+	live := initiated(t, m, noop)
+	if err := m.Permit(done, live, nil, 0); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("permit from committed = %v", err)
+	}
+}
+
+// TestNestedPattern is the paper's §3.1.4 trip example built directly from
+// primitives: parent permits child, waits, delegates child's work to
+// itself, and aborts the whole transaction if a child fails.
+func TestNestedPattern(t *testing.T) {
+	m := newMem(t)
+	flight := seedObject(t, m, []byte("no-flight"))
+	hotel := seedObject(t, m, []byte("no-hotel"))
+
+	trip := func(tx *Tx) error {
+		man := tx.Manager()
+		book := func(oid xid.OID, val string) error {
+			child, err := tx.Initiate(func(c *Tx) error { return c.Write(oid, []byte(val)) })
+			if err != nil {
+				return err
+			}
+			if err := man.Permit(tx.ID(), child, nil, 0); err != nil {
+				return err
+			}
+			if err := man.Begin(child); err != nil {
+				return err
+			}
+			if err := man.Wait(child); err != nil {
+				return err
+			}
+			if err := man.Delegate(child, tx.ID()); err != nil {
+				return err
+			}
+			return man.Commit(child)
+		}
+		if err := book(flight, "AA-123"); err != nil {
+			return err
+		}
+		return book(hotel, "Equator")
+	}
+	id := initiated(t, m, trip)
+	m.Begin(id)
+	if err := m.Commit(id); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := m.Cache().Read(flight)
+	h, _ := m.Cache().Read(hotel)
+	if string(f) != "AA-123" || string(h) != "Equator" {
+		t.Fatalf("flight=%q hotel=%q", f, h)
+	}
+}
+
+// TestNestedPatternChildFailure: the failing hotel child aborts the parent,
+// and the already-delegated flight update is rolled back with it.
+func TestNestedPatternChildFailure(t *testing.T) {
+	m := newMem(t)
+	flight := seedObject(t, m, []byte("no-flight"))
+
+	trip := func(tx *Tx) error {
+		man := tx.Manager()
+		child, err := tx.Initiate(func(c *Tx) error { return c.Write(flight, []byte("AA-123")) })
+		if err != nil {
+			return err
+		}
+		man.Permit(tx.ID(), child, nil, 0)
+		man.Begin(child)
+		if err := man.Wait(child); err != nil {
+			return err
+		}
+		if err := man.Delegate(child, tx.ID()); err != nil {
+			return err
+		}
+		if err := man.Commit(child); err != nil {
+			return err
+		}
+		// Hotel reservation fails: abort self (paper: abort(self())).
+		hotel, _ := tx.Initiate(func(c *Tx) error { return errors.New("sold out") })
+		man.Permit(tx.ID(), hotel, nil, 0)
+		man.Begin(hotel)
+		if err := man.Wait(hotel); err != nil {
+			return err // aborts the parent
+		}
+		return nil
+	}
+	id := initiated(t, m, trip)
+	m.Begin(id)
+	if err := m.Commit(id); !errors.Is(err, ErrAborted) {
+		t.Fatalf("commit = %v, want ErrAborted", err)
+	}
+	f, _ := m.Cache().Read(flight)
+	if string(f) != "no-flight" {
+		t.Fatalf("flight = %q, want rollback", f)
+	}
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/xid"
+)
+
+func initiated(t *testing.T, m *Manager, fn TxnFunc) xid.TID {
+	t.Helper()
+	id, err := m.Initiate(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func noop(tx *Tx) error { return nil }
+
+func TestGroupCommitAllOrNothing(t *testing.T) {
+	m := newMem(t)
+	var oids [3]xid.OID
+	var ids [3]xid.TID
+	for i := range ids {
+		i := i
+		ids[i] = initiated(t, m, func(tx *Tx) error {
+			oid, err := tx.Create([]byte{byte(i)})
+			oids[i] = oid
+			return err
+		})
+	}
+	m.FormDependency(xid.DepGC, ids[0], ids[1])
+	m.FormDependency(xid.DepGC, ids[1], ids[2])
+	if err := m.Begin(ids[0], ids[1], ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	// Committing any one member commits the whole group (paper §3.1.2).
+	if err := m.Commit(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if got := m.StatusOf(id); got != xid.StatusCommitted {
+			t.Fatalf("%v status = %v, want committed", id, got)
+		}
+		// Later commit invocations simply return success.
+		if err := m.Commit(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Cache().Len() != 3 {
+		t.Fatalf("cache len = %d, want 3", m.Cache().Len())
+	}
+	// One commit record covered the group.
+	if st := m.Stats(); st.LogForces != 1 || st.Commits != 3 {
+		t.Fatalf("forces=%d commits=%d, want 1/3", st.LogForces, st.Commits)
+	}
+}
+
+func TestGroupCommitWaitsForRunningMember(t *testing.T) {
+	m := newMem(t)
+	release := make(chan struct{})
+	a := initiated(t, m, noop)
+	b := initiated(t, m, func(tx *Tx) error { <-release; return nil })
+	m.FormDependency(xid.DepGC, a, b)
+	m.Begin(a, b)
+	res := make(chan error, 1)
+	go func() { res <- m.Commit(a) }()
+	select {
+	case err := <-res:
+		t.Fatalf("group committed (%v) while member running", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(release)
+	if err := <-res; err != nil {
+		t.Fatal(err)
+	}
+	if m.StatusOf(b) != xid.StatusCommitted {
+		t.Fatal("member b not committed")
+	}
+}
+
+func TestGroupAbortsTogether(t *testing.T) {
+	m := newMem(t)
+	oid := seedObject(t, m, []byte("base"))
+	a := initiated(t, m, func(tx *Tx) error { return tx.Write(oid, []byte("A")) })
+	b := initiated(t, m, func(tx *Tx) error { return errors.New("b fails") })
+	m.FormDependency(xid.DepGC, a, b)
+	m.Begin(a, b)
+	if err := m.Commit(a); !errors.Is(err, ErrAborted) {
+		t.Fatalf("commit = %v, want ErrAborted", err)
+	}
+	if m.StatusOf(a) != xid.StatusAborted || m.StatusOf(b) != xid.StatusAborted {
+		t.Fatal("group members not all aborted")
+	}
+	got, _ := m.Cache().Read(oid)
+	if string(got) != "base" {
+		t.Fatalf("object = %q, want base (a's write undone)", got)
+	}
+}
+
+func TestAbortDependencyPropagates(t *testing.T) {
+	m := newMem(t)
+	ti := initiated(t, m, noop)
+	tj := initiated(t, m, noop)
+	// AD: if ti aborts, tj must abort.
+	if err := m.FormDependency(xid.DepAD, ti, tj); err != nil {
+		t.Fatal(err)
+	}
+	m.Begin(ti, tj)
+	m.Wait(ti)
+	m.Wait(tj)
+	if err := m.Abort(ti); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.StatusOf(tj); got != xid.StatusAborted {
+		t.Fatalf("tj status = %v, want aborted (AD propagation)", got)
+	}
+}
+
+func TestCommitDependencyDoesNotPropagitateAbort(t *testing.T) {
+	m := newMem(t)
+	ti := initiated(t, m, noop)
+	tj := initiated(t, m, noop)
+	m.FormDependency(xid.DepCD, ti, tj)
+	m.Begin(ti, tj)
+	m.Wait(ti)
+	m.Wait(tj)
+	m.Abort(ti)
+	// CD: tj may still commit after ti aborts.
+	if err := m.Commit(tj); err != nil {
+		t.Fatalf("tj commit after ti abort = %v", err)
+	}
+}
+
+func TestCommitDependencyOrdersCommits(t *testing.T) {
+	m := newMem(t)
+	ti := initiated(t, m, noop)
+	tj := initiated(t, m, noop)
+	m.FormDependency(xid.DepCD, ti, tj) // tj cannot commit before ti terminates
+	m.Begin(ti, tj)
+	m.Wait(ti)
+	m.Wait(tj)
+	res := make(chan error, 1)
+	go func() { res <- m.Commit(tj) }()
+	select {
+	case err := <-res:
+		t.Fatalf("tj committed (%v) before ti terminated", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := m.Commit(ti); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-res; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestADBlocksCommitUntilSupporterTerminates(t *testing.T) {
+	m := newMem(t)
+	ti := initiated(t, m, noop)
+	tj := initiated(t, m, noop)
+	m.FormDependency(xid.DepAD, ti, tj)
+	m.Begin(ti, tj)
+	m.Wait(ti)
+	m.Wait(tj)
+	res := make(chan error, 1)
+	go func() { res <- m.Commit(tj) }()
+	select {
+	case err := <-res:
+		t.Fatalf("tj committed (%v) while ti active", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	// ti aborts -> tj must abort (its pending commit fails).
+	m.Abort(ti)
+	if err := <-res; !errors.Is(err, ErrAborted) {
+		t.Fatalf("tj commit = %v, want ErrAborted", err)
+	}
+}
+
+func TestDependencyCycleRejected(t *testing.T) {
+	m := newMem(t)
+	a := initiated(t, m, noop)
+	b := initiated(t, m, noop)
+	if err := m.FormDependency(xid.DepCD, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FormDependency(xid.DepCD, b, a); !errors.Is(err, ErrDependencyCycle) {
+		t.Fatalf("err = %v, want ErrDependencyCycle", err)
+	}
+}
+
+func TestFormDependencyOnAbortedSupporter(t *testing.T) {
+	m := newMem(t)
+	a := initiated(t, m, noop)
+	b := initiated(t, m, noop)
+	m.Begin(a, b)
+	m.Wait(a)
+	m.Wait(b)
+	m.Abort(a)
+	// AD on an aborted supporter immediately aborts the dependent.
+	if err := m.FormDependency(xid.DepAD, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if m.StatusOf(b) != xid.StatusAborted {
+		t.Fatal("b not aborted by AD on aborted supporter")
+	}
+}
+
+func TestFormDependencyOnCommittedSupporter(t *testing.T) {
+	m := newMem(t)
+	a := runTxn(t, m, noop)
+	b := initiated(t, m, noop)
+	m.Begin(b)
+	m.Wait(b)
+	// CD/AD on committed supporter: vacuously satisfied.
+	if err := m.FormDependency(xid.DepCD, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FormDependency(xid.DepAD, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(b); err != nil {
+		t.Fatal(err)
+	}
+	// GC with a committed member is impossible.
+	c := initiated(t, m, noop)
+	if err := m.FormDependency(xid.DepGC, a, c); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("GC on committed = %v, want ErrTerminated", err)
+	}
+}
+
+func TestBeginDependency(t *testing.T) {
+	m := newMem(t)
+	sup := initiated(t, m, noop)
+	var order []string
+	dep := initiated(t, m, func(tx *Tx) error {
+		order = append(order, "dep-ran")
+		return nil
+	})
+	m.FormDependency(xid.DepBD, sup, dep)
+	began := make(chan error, 1)
+	go func() { began <- m.Begin(dep) }()
+	select {
+	case err := <-began:
+		t.Fatalf("begin returned %v before supporter committed", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	m.Begin(sup)
+	if err := m.Commit(sup); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-began; err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(dep); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 1 {
+		t.Fatal("dependent did not run")
+	}
+}
+
+func TestBeginDependencySupporterAborts(t *testing.T) {
+	m := newMem(t)
+	sup := initiated(t, m, noop)
+	dep := initiated(t, m, noop)
+	m.FormDependency(xid.DepBD, sup, dep)
+	began := make(chan error, 1)
+	go func() { began <- m.Begin(dep) }()
+	time.Sleep(20 * time.Millisecond)
+	m.Abort(sup)
+	if err := <-began; !errors.Is(err, ErrAborted) {
+		t.Fatalf("begin = %v, want ErrAborted", err)
+	}
+	if m.StatusOf(dep) != xid.StatusAborted {
+		t.Fatal("dependent not aborted with its begin-supporter")
+	}
+}
+
+func TestLargeGroupCommit(t *testing.T) {
+	m := newMem(t)
+	const n = 16
+	ids := make([]xid.TID, n)
+	for i := range ids {
+		ids[i] = initiated(t, m, func(tx *Tx) error {
+			_, err := tx.Create([]byte("member"))
+			return err
+		})
+		if i > 0 {
+			if err := m.FormDependency(xid.DepGC, ids[i-1], ids[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := m.Begin(ids...); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(ids[n/2]); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Commits != n || st.LogForces != 1 {
+		t.Fatalf("commits=%d forces=%d, want %d/1", st.Commits, st.LogForces, n)
+	}
+}
+
+func TestConcurrentCommitOfSameGroup(t *testing.T) {
+	m := newMem(t)
+	a := initiated(t, m, noop)
+	b := initiated(t, m, noop)
+	m.FormDependency(xid.DepGC, a, b)
+	m.Begin(a, b)
+	res := make(chan error, 2)
+	go func() { res <- m.Commit(a) }()
+	go func() { res <- m.Commit(b) }()
+	if err := <-res; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-res; err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Commits != 2 {
+		t.Fatalf("commits = %d, want 2 (no double commit)", st.Commits)
+	}
+}

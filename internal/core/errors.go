@@ -1,0 +1,54 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/dep"
+	"repro/internal/lock"
+)
+
+// Sentinel errors. The paper's primitives return 0/1; this implementation
+// returns nil for 1 and one of these for 0, so callers can distinguish the
+// reasons.
+var (
+	// ErrAborted is returned by commit/wait (and by data operations) when
+	// the transaction is aborted.
+	ErrAborted = errors.New("core: transaction aborted")
+	// ErrAlreadyCommitted is returned by abort when the transaction has
+	// already committed (abort returns 0 in the paper).
+	ErrAlreadyCommitted = errors.New("core: transaction already committed")
+	// ErrNotBegun is returned by commit on an initiated transaction that
+	// was never begun.
+	ErrNotBegun = errors.New("core: transaction initiated but never begun")
+	// ErrAlreadyBegun is returned by begin on a transaction that is not in
+	// the initiated state.
+	ErrAlreadyBegun = errors.New("core: transaction already begun")
+	// ErrUnknownTxn is returned when a tid does not name a live
+	// transaction.
+	ErrUnknownTxn = errors.New("core: unknown transaction")
+	// ErrTooManyTxns is returned by initiate when the configured
+	// transaction limit is reached ("if no resources are available").
+	ErrTooManyTxns = errors.New("core: too many concurrent transactions")
+	// ErrTerminated is returned when a primitive requires a live
+	// transaction but the target has terminated.
+	ErrTerminated = errors.New("core: transaction already terminated")
+	// ErrNoObject is returned by data operations on a missing object.
+	ErrNoObject = errors.New("core: no such object")
+	// ErrObjectExists is returned by CreateAt on an existing oid.
+	ErrObjectExists = errors.New("core: object already exists")
+	// ErrClosed is returned after the manager is closed.
+	ErrClosed = errors.New("core: manager closed")
+	// ErrNotQuiescent is returned by Checkpoint while transactions are
+	// active.
+	ErrNotQuiescent = errors.New("core: checkpoint requires a quiescent manager")
+
+	// ErrDeadlock is returned to deadlock victims (re-exported from the
+	// lock manager so callers need only this package).
+	ErrDeadlock = lock.ErrDeadlock
+	// ErrLockTimeout is returned when a lock request exceeded
+	// Config.LockTimeout.
+	ErrLockTimeout = lock.ErrTimeout
+	// ErrDependencyCycle is returned by FormDependency when the dependency
+	// would deadlock the commit protocol.
+	ErrDependencyCycle = dep.ErrCycle
+)

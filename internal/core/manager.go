@@ -1,0 +1,372 @@
+// Package core implements the ASSET transaction primitives of §2 of the
+// paper — initiate, begin, commit, wait, abort, self, parent, delegate,
+// permit, and form_dependency — on top of the lock manager, dependency
+// graph, write-ahead log, and shared object cache. The package asset at the
+// module root re-exports the public surface.
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dep"
+	"repro/internal/htab"
+	"repro/internal/lock"
+	"repro/internal/storage"
+	"repro/internal/waitgraph"
+	"repro/internal/wal"
+	"repro/internal/xid"
+)
+
+// Config configures a Manager.
+type Config struct {
+	// Dir, when non-empty, makes the database durable: the write-ahead log
+	// and the page-store checkpoint backend live there, and Open performs
+	// recovery. When empty the manager is purely in-memory.
+	Dir string
+	// SyncCommits forces an fsync on every commit record (durable mode
+	// only). Off, commits are buffered and only checkpoints force.
+	SyncCommits bool
+	// BatchedCommits enables classic group commit: concurrent committers
+	// share one physical log force (the commit protocol releases the
+	// manager mutex around the force). Complements the paper's
+	// GC-dependency groups, which share a commit *record*.
+	BatchedCommits bool
+	// CommitWindow, with BatchedCommits, makes the flush leader linger to
+	// accumulate more committers into the same force (latency for
+	// throughput).
+	CommitWindow time.Duration
+	// MaxTransactions bounds concurrently live (non-terminated)
+	// transactions; initiate fails beyond it. 0 means no limit.
+	MaxTransactions int
+	// NoQueueFairness and LazyPermitClosure select lock-manager ablations.
+	NoQueueFairness   bool
+	LazyPermitClosure bool
+	// DisableDeadlockDetection leaves blocked requests waiting instead of
+	// selecting victims (ablation A4; combine with LockTimeout).
+	DisableDeadlockDetection bool
+	// LockTimeout bounds how long any lock request may block; 0 = forever.
+	// It is the deadlock resolution of last resort with detection
+	// disabled.
+	LockTimeout time.Duration
+	// ReapTerminated drops transaction descriptors as soon as they
+	// terminate, bounding memory in long runs. Status queries and waits on
+	// reaped transactions return ErrUnknownTxn, so enable it only when
+	// callers act solely on commit/abort return values (benchmarks do).
+	ReapTerminated bool
+}
+
+// truncatableLog is satisfied by logs that can drop their contents after a
+// checkpoint.
+type truncatableLog interface {
+	Truncate() error
+}
+
+// dirtyKind records what a checkpoint must do for a changed object.
+type dirtyKind uint8
+
+const (
+	dirtyUpsert dirtyKind = iota + 1
+	dirtyDelete
+)
+
+// Stats are cumulative manager counters, used by the benchmark harness.
+type Stats struct {
+	Commits   uint64 // committed transactions
+	Aborts    uint64 // aborted transactions
+	Deadlocks uint64 // deadlock victims
+	LogForces uint64 // log flushes issued by commits
+	GroupSize uint64 // sum of group sizes over group commits (avg = /Commits)
+}
+
+// Manager is the ASSET transaction manager.
+type Manager struct {
+	cfg Config
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	txns    *htab.Map[*txn] // the chained hash table of TDs (§4.1)
+	nextTID atomic.Uint64
+	live    int // non-terminated transactions, for MaxTransactions
+
+	locks *lock.Manager
+	deps  *dep.Graph
+	waits *waitgraph.Graph
+	cache *storage.Cache
+
+	log     wal.Appender
+	backend storage.Backend
+	dirty   map[xid.OID]dirtyKind // committed changes since last checkpoint
+
+	closed bool
+
+	stats struct {
+		commits, aborts, deadlocks, logForces, groupSize atomic.Uint64
+	}
+}
+
+// Open creates a Manager. With cfg.Dir set it opens (or creates) the
+// durable database there and recovers committed state from the checkpoint
+// and log; otherwise everything is in-memory.
+func Open(cfg Config) (*Manager, error) {
+	m := &Manager{
+		cfg:   cfg,
+		deps:  dep.New(),
+		waits: waitgraph.New(),
+		cache: storage.NewCache(),
+		txns:  htab.New[*txn](0),
+		dirty: make(map[xid.OID]dirtyKind),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	onVictim := func(t xid.TID) {
+		m.mu.Lock()
+		if vt, ok := m.txns.Get(uint64(t)); ok {
+			m.abortLocked(vt, fmt.Errorf("%w: chosen as deadlock victim: %w", ErrAborted, ErrDeadlock))
+		}
+		m.mu.Unlock()
+	}
+	if cfg.DisableDeadlockDetection {
+		onVictim = nil
+		// The waits-for graph is still maintained but victims are ignored:
+		// use a graph whose victims nobody acts on. Lock waits then rely on
+		// CancelWaits from explicit aborts.
+	}
+	m.locks = lock.New(m.waits, lock.Options{
+		OnVictim:        onVictim,
+		NoQueueFairness: cfg.NoQueueFairness,
+		EagerClosure:    !cfg.LazyPermitClosure,
+		WaitTimeout:     cfg.LockTimeout,
+	})
+
+	if cfg.Dir == "" {
+		m.log = wal.NewMem()
+		if cfg.BatchedCommits {
+			m.log = wal.NewCoalescer(m.log, cfg.CommitWindow)
+		}
+		m.backend = storage.NullBackend{}
+		return m, nil
+	}
+
+	ps, err := storage.OpenPageStore(filepath.Join(cfg.Dir, "pages"), storage.PageStoreOptions{})
+	if err != nil {
+		return nil, err
+	}
+	m.backend = storage.PageBackend{Store: ps}
+	var maxOID xid.OID
+	if err := m.backend.LoadAll(func(oid xid.OID, data []byte) error {
+		if !m.cache.Create(oid, data) {
+			return fmt.Errorf("core: duplicate oid %v in backend", oid)
+		}
+		if oid > maxOID {
+			maxOID = oid
+		}
+		return nil
+	}); err != nil {
+		ps.Close()
+		return nil, err
+	}
+	walPath := filepath.Join(cfg.Dir, "wal.log")
+	st, err := wal.Recover(walPath)
+	if err != nil {
+		ps.Close()
+		return nil, err
+	}
+	for oid, data := range st.Objects {
+		m.cache.Install(oid, data)
+		m.dirty[oid] = dirtyUpsert
+		if oid > maxOID {
+			maxOID = oid
+		}
+	}
+	for oid := range st.Deleted {
+		m.cache.Delete(oid)
+		m.dirty[oid] = dirtyDelete
+	}
+	for oid, d := range st.Deltas {
+		base, _ := m.cache.Read(oid) // missing base reads as zero
+		m.cache.Install(oid, wal.EncodeCounter(wal.DecodeCounter(base)+d))
+		m.dirty[oid] = dirtyUpsert
+		if oid > maxOID {
+			maxOID = oid
+		}
+	}
+	m.cache.SetNextOID(maxOID)
+	m.nextTID.Store(uint64(st.MaxTID))
+	log, err := wal.OpenFile(walPath, cfg.SyncCommits)
+	if err != nil {
+		ps.Close()
+		return nil, err
+	}
+	m.log = log
+	if cfg.BatchedCommits {
+		m.log = wal.NewCoalescer(m.log, cfg.CommitWindow)
+	}
+	return m, nil
+}
+
+// Close flushes the log and closes the backend. Live transactions are
+// abandoned; recovery treats them as losers.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	err := m.log.Flush()
+	if cerr := m.log.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := m.backend.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats returns a snapshot of the manager counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Commits:   m.stats.commits.Load(),
+		Aborts:    m.stats.aborts.Load(),
+		Deadlocks: m.stats.deadlocks.Load(),
+		LogForces: m.stats.logForces.Load(),
+		GroupSize: m.stats.groupSize.Load(),
+	}
+}
+
+// StatusOf returns the status of t, or StatusAborted for unknown (reaped)
+// transactions — a terminated descriptor may be dropped at any time.
+func (m *Manager) StatusOf(t xid.TID) xid.Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if tx, ok := m.txns.Get(uint64(t)); ok {
+		return tx.status
+	}
+	return xid.StatusAborted
+}
+
+// TxnInfo describes one live (or unreaped terminated) transaction.
+type TxnInfo struct {
+	ID     xid.TID
+	Parent xid.TID
+	Status xid.Status
+}
+
+// Transactions lists every tracked transaction in ascending tid order —
+// one of the §2.1 "primitives to query the status of transactions".
+func (m *Manager) Transactions() []TxnInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []TxnInfo
+	m.txns.Range(func(_ uint64, t *txn) bool {
+		out = append(out, TxnInfo{ID: t.id, Parent: t.parent, Status: t.status})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Active lists the transactions that have begun and not terminated.
+func (m *Manager) Active() []xid.TID {
+	var out []xid.TID
+	for _, info := range m.Transactions() {
+		if info.Status.Active() {
+			out = append(out, info.ID)
+		}
+	}
+	return out
+}
+
+// lookup returns the descriptor for t.
+func (m *Manager) lookup(t xid.TID) (*txn, error) {
+	if tx, ok := m.txns.Get(uint64(t)); ok {
+		return tx, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrUnknownTxn, t)
+}
+
+// Checkpoint persists all committed changes to the backend and truncates
+// the log. The manager must be quiescent (no live transactions); it is the
+// caller's job to arrange that.
+func (m *Manager) Checkpoint() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	if m.live != 0 {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %d live transactions", ErrNotQuiescent, m.live)
+	}
+	dirty := m.dirty
+	m.dirty = make(map[xid.OID]dirtyKind)
+	// Holding m.mu keeps the manager quiescent: initiate blocks on it.
+	defer m.mu.Unlock()
+	for oid, kind := range dirty {
+		if kind == dirtyDelete {
+			if err := m.backend.Delete(oid); err != nil {
+				return err
+			}
+			continue
+		}
+		data, ok := m.cache.Read(oid)
+		if !ok {
+			if err := m.backend.Delete(oid); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := m.backend.Put(oid, data); err != nil {
+			return err
+		}
+	}
+	if err := m.backend.Sync(); err != nil {
+		return err
+	}
+	if _, err := m.log.Append(&wal.Record{Type: wal.TCheckpoint}); err != nil {
+		return err
+	}
+	if err := m.log.Flush(); err != nil {
+		return err
+	}
+	if tl, ok := m.log.(truncatableLog); ok {
+		return tl.Truncate()
+	}
+	return nil
+}
+
+// Cache exposes the shared object cache for read-only inspection by tools
+// and tests.
+func (m *Manager) Cache() *storage.Cache { return m.cache }
+
+// LockManager exposes the lock manager for benchmarks and diagnostics.
+func (m *Manager) LockManager() *lock.Manager { return m.locks }
+
+// MemLog returns the in-memory log when the manager is non-durable, for
+// tests and flush-counting benchmarks (unwrapping a commit coalescer).
+func (m *Manager) MemLog() *wal.MemLog {
+	log := m.log
+	if c, ok := log.(*wal.Coalescer); ok {
+		log = c.Appender
+	}
+	if ml, ok := log.(*wal.MemLog); ok {
+		return ml
+	}
+	return nil
+}
+
+// PhysicalForces reports the number of physical log forces when batched
+// commits are enabled (0 otherwise); compare with Stats().LogForces, which
+// counts commit flush *requests*.
+func (m *Manager) PhysicalForces() uint64 {
+	if c, ok := m.log.(*wal.Coalescer); ok {
+		return c.Forces()
+	}
+	return 0
+}

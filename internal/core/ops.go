@@ -1,0 +1,247 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lock"
+	"repro/internal/wal"
+	"repro/internal/xid"
+)
+
+// mapLockErr converts lock-manager failures into the errors a transaction
+// body sees.
+func mapLockErr(err error) error {
+	if errors.Is(err, lock.ErrCancelled) {
+		return ErrAborted
+	}
+	return err
+}
+
+// checkRunning verifies the transaction may perform operations. Caller
+// holds m.mu.
+func (m *Manager) checkRunningLocked(t *txn) error {
+	if t.status != xid.StatusRunning {
+		if t.status == xid.StatusAborting || t.status == xid.StatusAborted {
+			return ErrAborted
+		}
+		return fmt.Errorf("core: operation in %v transaction %v", t.status, t.id)
+	}
+	return nil
+}
+
+// Lock acquires the given lock mode on oid without performing an
+// operation — the explicit form of the §4.2 read-lock/write-lock calls
+// (the analogue of SELECT ... FOR UPDATE). Locks are held until the
+// transaction terminates or delegates them.
+func (tx *Tx) Lock(oid xid.OID, ops xid.OpSet) error {
+	m, t := tx.m, tx.t
+	m.mu.Lock()
+	err := m.checkRunningLocked(t)
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return mapLockErr(m.locks.Lock(t.id, oid, ops))
+}
+
+// Read returns a copy of the object's contents after acquiring a read lock
+// (§4.2 read: read-lock, S-latch, read, unlatch).
+func (tx *Tx) Read(oid xid.OID) ([]byte, error) {
+	m, t := tx.m, tx.t
+	m.mu.Lock()
+	err := m.checkRunningLocked(t)
+	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.locks.Lock(t.id, oid, xid.OpRead); err != nil {
+		return nil, mapLockErr(err)
+	}
+	data, ok := m.cache.Read(oid)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoObject, oid)
+	}
+	return data, nil
+}
+
+// Write replaces the object's contents after acquiring a write lock. The
+// before and after images are logged before the cache is updated (§4.2
+// write: write-lock, X-latch, log before image, write, log after image,
+// unlatch — this implementation logs both images in one record under the
+// same X hold).
+func (tx *Tx) Write(oid xid.OID, data []byte) error {
+	m, t := tx.m, tx.t
+	if err := m.locks.Lock(t.id, oid, xid.OpWrite); err != nil {
+		return mapLockErr(err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkRunningLocked(t); err != nil {
+		return err
+	}
+	obj := m.cache.Object(oid)
+	if obj == nil {
+		return fmt.Errorf("%w: %v", ErrNoObject, oid)
+	}
+	obj.Lat.Lock()
+	defer obj.Lat.Unlock()
+	before := append([]byte(nil), obj.Data()...)
+	lsn, err := m.log.Append(&wal.Record{
+		Type: wal.TUpdate, TID: t.id, OID: oid, Kind: wal.KindModify,
+		Before: before, After: data,
+	})
+	if err != nil {
+		return err
+	}
+	t.undo = append(t.undo, undoRec{lsn: lsn, oid: oid, kind: wal.KindModify, before: before})
+	obj.SetData(append([]byte(nil), data...))
+	return nil
+}
+
+// Update applies fn to the object's current contents and writes the result
+// back, all under the transaction's write lock.
+func (tx *Tx) Update(oid xid.OID, fn func([]byte) []byte) error {
+	m, t := tx.m, tx.t
+	if err := m.locks.Lock(t.id, oid, xid.OpWrite); err != nil {
+		return mapLockErr(err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkRunningLocked(t); err != nil {
+		return err
+	}
+	obj := m.cache.Object(oid)
+	if obj == nil {
+		return fmt.Errorf("%w: %v", ErrNoObject, oid)
+	}
+	obj.Lat.Lock()
+	defer obj.Lat.Unlock()
+	before := append([]byte(nil), obj.Data()...)
+	after := fn(append([]byte(nil), before...))
+	lsn, err := m.log.Append(&wal.Record{
+		Type: wal.TUpdate, TID: t.id, OID: oid, Kind: wal.KindModify,
+		Before: before, After: after,
+	})
+	if err != nil {
+		return err
+	}
+	t.undo = append(t.undo, undoRec{lsn: lsn, oid: oid, kind: wal.KindModify, before: before})
+	obj.SetData(after)
+	return nil
+}
+
+// Create allocates a fresh object holding data and returns its oid. The
+// creator implicitly holds a write lock on the new object until it
+// terminates, so the object is invisible to other transactions (they block)
+// until commit.
+func (tx *Tx) Create(data []byte) (xid.OID, error) {
+	oid := tx.m.cache.AllocOID()
+	if err := tx.CreateAt(oid, data); err != nil {
+		return xid.NilOID, err
+	}
+	return oid, nil
+}
+
+// CreateAt creates an object under a caller-chosen oid. It fails with
+// ErrObjectExists if the oid is taken.
+func (tx *Tx) CreateAt(oid xid.OID, data []byte) error {
+	m, t := tx.m, tx.t
+	if oid.IsNil() {
+		return fmt.Errorf("core: CreateAt with null oid")
+	}
+	m.cache.SetNextOID(oid) // keep the allocator ahead of explicit oids
+	if err := m.locks.Lock(t.id, oid, xid.OpWrite); err != nil {
+		return mapLockErr(err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkRunningLocked(t); err != nil {
+		return err
+	}
+	if !m.cache.Create(oid, append([]byte(nil), data...)) {
+		return fmt.Errorf("%w: %v", ErrObjectExists, oid)
+	}
+	lsn, err := m.log.Append(&wal.Record{
+		Type: wal.TUpdate, TID: t.id, OID: oid, Kind: wal.KindCreate, After: data,
+	})
+	if err != nil {
+		m.cache.Delete(oid)
+		return err
+	}
+	t.undo = append(t.undo, undoRec{lsn: lsn, oid: oid, kind: wal.KindCreate})
+	return nil
+}
+
+// Add atomically adds delta (mod 2^64) to an 8-byte counter object under an
+// increment lock. Increment locks commute with each other, so concurrent
+// transactions can update the same hot counter without conflicting — the §5
+// "future work" extension of the paper (semantics-based concurrency:
+// commutative class operations). Undo is logical (the delta is subtracted),
+// so an abort does not clobber concurrent increments.
+func (tx *Tx) Add(oid xid.OID, delta uint64) error {
+	m, t := tx.m, tx.t
+	if err := m.locks.Lock(t.id, oid, xid.OpIncr); err != nil {
+		return mapLockErr(err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkRunningLocked(t); err != nil {
+		return err
+	}
+	obj := m.cache.Object(oid)
+	if obj == nil {
+		return fmt.Errorf("%w: %v", ErrNoObject, oid)
+	}
+	obj.Lat.Lock()
+	defer obj.Lat.Unlock()
+	if len(obj.Data()) != 8 {
+		return fmt.Errorf("core: Add on %v: object is %d bytes, want an 8-byte counter", oid, len(obj.Data()))
+	}
+	img := wal.EncodeCounter(delta)
+	lsn, err := m.log.Append(&wal.Record{
+		Type: wal.TUpdate, TID: t.id, OID: oid, Kind: wal.KindDelta, After: img,
+	})
+	if err != nil {
+		return err
+	}
+	t.undo = append(t.undo, undoRec{lsn: lsn, oid: oid, kind: wal.KindDelta, before: img})
+	obj.SetData(wal.EncodeCounter(wal.DecodeCounter(obj.Data()) + delta))
+	return nil
+}
+
+// ReadCounter reads an 8-byte counter object under a read lock.
+func (tx *Tx) ReadCounter(oid xid.OID) (uint64, error) {
+	b, err := tx.Read(oid)
+	if err != nil {
+		return 0, err
+	}
+	return wal.DecodeCounter(b), nil
+}
+
+// Delete removes the object after acquiring a write lock. An abort
+// reinstates it.
+func (tx *Tx) Delete(oid xid.OID) error {
+	m, t := tx.m, tx.t
+	if err := m.locks.Lock(t.id, oid, xid.OpWrite); err != nil {
+		return mapLockErr(err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkRunningLocked(t); err != nil {
+		return err
+	}
+	before, ok := m.cache.Read(oid)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNoObject, oid)
+	}
+	lsn, err := m.log.Append(&wal.Record{
+		Type: wal.TUpdate, TID: t.id, OID: oid, Kind: wal.KindDelete, Before: before,
+	})
+	if err != nil {
+		return err
+	}
+	t.undo = append(t.undo, undoRec{lsn: lsn, oid: oid, kind: wal.KindDelete, before: before})
+	m.cache.Delete(oid)
+	return nil
+}

@@ -1,0 +1,389 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/wal"
+	"repro/internal/xid"
+)
+
+// Initiate registers a new top-level transaction that will execute fn. The
+// transaction does not start executing; call Begin. On resource exhaustion
+// it returns ErrTooManyTxns with the null tid (the paper returns the null
+// tid alone).
+func (m *Manager) Initiate(fn TxnFunc) (xid.TID, error) {
+	return m.initiate(fn, xid.NilTID)
+}
+
+func (m *Manager) initiate(fn TxnFunc, parent xid.TID) (xid.TID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return xid.NilTID, ErrClosed
+	}
+	if m.cfg.MaxTransactions > 0 && m.live >= m.cfg.MaxTransactions {
+		return xid.NilTID, ErrTooManyTxns
+	}
+	id := xid.TID(m.nextTID.Add(1))
+	t := newTxn(id, parent, fn)
+	m.txns.Put(uint64(id), t)
+	m.live++
+	return id, nil
+}
+
+// Begin starts execution of the given transactions, each on its own
+// goroutine. It returns the first error encountered (a transaction that is
+// not in the initiated state, or an unsatisfiable begin dependency);
+// earlier transactions in the list still start.
+func (m *Manager) Begin(tids ...xid.TID) error {
+	for _, id := range tids {
+		if err := m.beginOne(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Manager) beginOne(id xid.TID) error {
+	m.mu.Lock()
+	t, err := m.lookup(id)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	if t.status != xid.StatusInitiated {
+		m.mu.Unlock()
+		if t.status == xid.StatusAborted || t.status == xid.StatusAborting {
+			return ErrAborted
+		}
+		return fmt.Errorf("%w: %v is %v", ErrAlreadyBegun, id, t.status)
+	}
+	// Begin dependencies (extension): a BD gate waits for the supporter's
+	// commit (its abort aborts t); a BAD gate waits for the supporter's
+	// abort (its commit aborts t, via the commit-time forced-abort scan).
+	for {
+		sup, isBAD := m.pendingBeginDepLocked(t)
+		if sup == nil {
+			break
+		}
+		term := sup.term
+		supID := sup.id
+		m.waits.Add(id, supID)
+		m.mu.Unlock()
+		<-term
+		m.waits.Remove(id, supID)
+		m.mu.Lock()
+		if !isBAD && sup.status == xid.StatusAborted {
+			m.mu.Unlock()
+			m.abortTxn(t, fmt.Errorf("%w: begin dependency on aborted %v", ErrAborted, supID))
+			return ErrAborted
+		}
+	}
+	if t.status != xid.StatusInitiated { // aborted while waiting to begin
+		m.mu.Unlock()
+		return ErrAborted
+	}
+	t.status = xid.StatusRunning
+	m.mu.Unlock()
+
+	if _, err := m.log.Append(&wal.Record{Type: wal.TBegin, TID: id}); err != nil {
+		m.abortTxn(t, err)
+		return err
+	}
+	go m.run(t)
+	return nil
+}
+
+// pendingBeginDepLocked returns a begin-gating supporter that has not yet
+// reached the state t waits for (commit for BD, abort for BAD), or nil if
+// the transaction may begin. Caller holds m.mu.
+func (m *Manager) pendingBeginDepLocked(t *txn) (sup *txn, isBAD bool) {
+	for _, e := range m.deps.Outgoing(t.id) {
+		bd, bad := e.Types.Has(xid.DepBD), e.Types.Has(xid.DepBAD)
+		if !bd && !bad {
+			continue
+		}
+		s, ok := m.txns.Get(uint64(e.Other))
+		if !ok {
+			continue
+		}
+		if bd && s.status != xid.StatusCommitted {
+			return s, false
+		}
+		if bad && s.status != xid.StatusAborted {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// run executes a transaction body on its own goroutine.
+func (m *Manager) run(t *txn) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.abortTxn(t, fmt.Errorf("%w: transaction %v panicked: %v", ErrAborted, t.id, r))
+		}
+	}()
+	err := t.fn(&Tx{m: m, t: t})
+	if err != nil {
+		m.abortTxn(t, abortReason(err))
+		return
+	}
+	m.mu.Lock()
+	if t.status == xid.StatusRunning {
+		// Completion: locks are retained and changes stay volatile until an
+		// explicit commit (§2.1).
+		t.status = xid.StatusCompleted
+	}
+	m.mu.Unlock()
+	t.closeDone()
+	m.cond.Broadcast()
+}
+
+// Wait blocks until t completes execution; it returns nil once the code has
+// completed (or the transaction already committed) and ErrAborted if t
+// aborted (the paper's wait returns 1 and 0 respectively).
+//
+// Wait is for application code outside any transaction. A transaction
+// waiting on another transaction MUST use Tx.Wait instead: that wait is a
+// real dependency (the waiter holds locks), and only Tx.Wait registers it
+// with deadlock detection.
+func (m *Manager) Wait(id xid.TID) error {
+	m.mu.Lock()
+	t, err := m.lookup(id)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	m.mu.Unlock()
+	<-t.done
+	return m.waitOutcome(t)
+}
+
+func (m *Manager) waitOutcome(t *txn) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t.status == xid.StatusAborted || t.status == xid.StatusAborting {
+		if t.abErr != nil {
+			return t.abErr
+		}
+		return ErrAborted
+	}
+	return nil
+}
+
+// Wait blocks until the target transaction completes, like Manager.Wait,
+// but registers the wait in the waits-for graph: the waiting transaction
+// holds locks, so "parent waits for child, child waits for a lock" chains
+// are real dependencies and can deadlock (e.g. two nested transactions
+// whose subtransactions need each other's parents' locks). If this
+// transaction is selected as the deadlock victim — or is aborted while
+// waiting — Wait returns the abort reason.
+func (tx *Tx) Wait(id xid.TID) error {
+	m, t := tx.m, tx.t
+	m.mu.Lock()
+	target, err := m.lookup(id)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	victim, _ := m.waits.Add(t.id, id)
+	if !victim.IsNil() {
+		if vt, ok := m.txns.Get(uint64(victim)); ok {
+			m.abortLocked(vt, fmt.Errorf("%w: wait-for deadlock victim: %w", ErrAborted, ErrDeadlock))
+		}
+	}
+	m.mu.Unlock()
+	select {
+	case <-target.done:
+	case <-t.abortCh:
+	}
+	m.waits.Remove(t.id, id)
+	m.mu.Lock()
+	if t.status == xid.StatusAborting || t.status == xid.StatusAborted {
+		err := t.abErr
+		m.mu.Unlock()
+		if err == nil {
+			err = ErrAborted
+		}
+		return err
+	}
+	m.mu.Unlock()
+	return m.waitOutcome(target)
+}
+
+// Delegate transfers from ti to tj the responsibility for ti's operations
+// on the given objects — their locks, their undo records, and any
+// permissions given by ti on them. A nil oids delegates everything ti is
+// responsible for (the delegate(ti, tj) form).
+func (m *Manager) Delegate(from, to xid.TID, oids ...xid.OID) error {
+	var oidSet []xid.OID
+	if len(oids) > 0 {
+		oidSet = oids
+	}
+	m.mu.Lock()
+	ft, err := m.lookup(from)
+	if err == nil {
+		_, err = m.lookup(to)
+	}
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	if ft.status.Terminated() || ft.status == xid.StatusCommitting {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: delegator %v is %v", ErrTerminated, from, ft.status)
+	}
+	tt, _ := m.txns.Get(uint64(to))
+	if tt.status.Terminated() || tt.status == xid.StatusCommitting {
+		// A committing delegatee has already written its commit record;
+		// work delegated now would be mis-attributed at recovery.
+		m.mu.Unlock()
+		return fmt.Errorf("%w: delegatee %v is %v", ErrTerminated, to, tt.status)
+	}
+	// The whole transfer — undo responsibility, locks with permit
+	// grantorship, and the log record — happens inside the manager's
+	// critical section, so no commit of either party can interleave:
+	// the TDelegate record is always ordered before any TCommit that
+	// covers the delegated updates, which is what recovery relies on.
+	m.moveUndoLocked(ft, tt, oidSet)
+	m.locks.Delegate(from, to, oidSet)
+	_, err = m.log.Append(&wal.Record{Type: wal.TDelegate, TID: from, TID2: to, OIDs: oidSet})
+	m.mu.Unlock()
+	return err
+}
+
+// moveUndoLocked moves matching undo records from ft to tt in LSN order.
+// Caller holds m.mu.
+func (m *Manager) moveUndoLocked(ft, tt *txn, oids []xid.OID) {
+	if ft == tt {
+		return
+	}
+	if oids == nil {
+		if len(ft.undo) == 0 {
+			return
+		}
+		tt.undo = mergeByLSN(tt.undo, ft.undo)
+		ft.undo = nil
+		return
+	}
+	want := make(map[xid.OID]bool, len(oids))
+	for _, o := range oids {
+		want[o] = true
+	}
+	var keep, move []undoRec
+	for _, u := range ft.undo {
+		if want[u.oid] {
+			move = append(move, u)
+		} else {
+			keep = append(keep, u)
+		}
+	}
+	if len(move) == 0 {
+		return
+	}
+	ft.undo = keep
+	tt.undo = mergeByLSN(tt.undo, move)
+}
+
+// mergeByLSN merges two LSN-ascending undo lists.
+func mergeByLSN(a, b []undoRec) []undoRec {
+	out := make([]undoRec, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].lsn <= b[j].lsn {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// Permit lets grantee perform the given operations on the given objects
+// despite conflicts with grantor's locks. Wildcards per §2.2: grantee
+// NilTID = any transaction; empty ops = all operations; no oids = every
+// object grantor has accessed or has permission to access.
+func (m *Manager) Permit(grantor, grantee xid.TID, oids []xid.OID, ops xid.OpSet) error {
+	m.mu.Lock()
+	gt, err := m.lookup(grantor)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	if gt.status.Terminated() {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: grantor %v", ErrTerminated, grantor)
+	}
+	if !grantee.IsNil() {
+		if _, err := m.lookup(grantee); err != nil {
+			m.mu.Unlock()
+			return err
+		}
+	}
+	// Granting under the manager mutex keeps the permit atomic with the
+	// grantor's status check (a racing commit cannot release-and-leak).
+	m.locks.Permit(grantor, grantee, oids, ops)
+	m.mu.Unlock()
+	return nil
+}
+
+// FormDependency records form_dependency(typ, ti, tj). Dependencies whose
+// outcome is already forced are resolved immediately: an AD or GC on an
+// aborted ti aborts tj; CD/AD/BD on a terminated ti are vacuously satisfied;
+// a GC with a committed ti cannot be honoured and returns ErrTerminated.
+func (m *Manager) FormDependency(typ xid.DepType, ti, tj xid.TID) error {
+	m.mu.Lock()
+	a, err := m.lookup(ti)
+	var b *txn
+	if err == nil {
+		b, err = m.lookup(tj)
+	}
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	// Terminal states of the dependent tj resolve (or reject) immediately:
+	// a transaction that is committing or has terminated cannot take on new
+	// constraints.
+	switch {
+	case b.status == xid.StatusAborted || b.status == xid.StatusAborting:
+		m.mu.Unlock()
+		if typ == xid.DepGC {
+			// Both or neither: tj already aborted, so ti must abort too.
+			m.abortTxn(a, fmt.Errorf("%w: group partner %v aborted", ErrAborted, tj))
+		}
+		return nil // every other constraint on an aborted tj is moot
+	case b.status == xid.StatusCommitted || b.status == xid.StatusCommitting:
+		m.mu.Unlock()
+		return fmt.Errorf("%w: dependent %v is already %v", ErrTerminated, tj, b.status)
+	}
+	switch {
+	case a.status == xid.StatusAborted || a.status == xid.StatusAborting:
+		m.mu.Unlock()
+		if typ == xid.DepAD || typ == xid.DepGC ||
+			(typ == xid.DepBD && b.status == xid.StatusInitiated) {
+			m.abortTxn(b, fmt.Errorf("%w: dependency on aborted %v", ErrAborted, ti))
+		}
+		return nil
+	case a.status == xid.StatusCommitting && typ == xid.DepGC:
+		m.mu.Unlock()
+		return fmt.Errorf("%w: group commit with committing %v", ErrTerminated, ti)
+	case a.status == xid.StatusCommitted:
+		m.mu.Unlock()
+		switch typ {
+		case xid.DepGC:
+			return fmt.Errorf("%w: group commit with committed %v", ErrTerminated, ti)
+		case xid.DepBAD, xid.DepEXC:
+			// The committed ti forecloses tj's outcome immediately.
+			m.abortTxn(b, fmt.Errorf("%w: excluded by committed %v", ErrAborted, ti))
+			return nil
+		}
+		return nil // CD/AD/BD on a committed supporter are satisfied
+	}
+	defer m.mu.Unlock()
+	return m.deps.Form(typ, ti, tj)
+}

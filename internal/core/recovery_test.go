@@ -1,0 +1,255 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xid"
+)
+
+func openDurable(t *testing.T, dir string) *Manager {
+	t.Helper()
+	m, err := Open(Config{Dir: dir, SyncCommits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDurableCommitSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	m := openDurable(t, dir)
+	var oid xid.OID
+	runTxn(t, m, func(tx *Tx) error {
+		var err error
+		oid, err = tx.Create([]byte("durable"))
+		return err
+	})
+	// No checkpoint, no clean close: simulate a crash by reopening.
+	m.Close()
+	m2 := openDurable(t, dir)
+	defer m2.Close()
+	got, ok := m2.Cache().Read(oid)
+	if !ok || string(got) != "durable" {
+		t.Fatalf("recovered = %q,%v", got, ok)
+	}
+}
+
+func TestUncommittedLostOnRestart(t *testing.T) {
+	dir := t.TempDir()
+	m := openDurable(t, dir)
+	base := seedObject(t, m, []byte("committed"))
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	id, _ := m.Initiate(func(tx *Tx) error {
+		if err := tx.Write(base, []byte("dirty")); err != nil {
+			return err
+		}
+		if _, err := tx.Create([]byte("orphan")); err != nil {
+			return err
+		}
+		close(started)
+		<-hold
+		return nil
+	})
+	m.Begin(id)
+	<-started
+	m.Close() // crash with the transaction in flight
+	close(hold)
+
+	m2 := openDurable(t, dir)
+	defer m2.Close()
+	got, ok := m2.Cache().Read(base)
+	if !ok || string(got) != "committed" {
+		t.Fatalf("base = %q,%v; want committed", got, ok)
+	}
+	if m2.Cache().Len() != 1 {
+		t.Fatalf("cache len = %d, want 1 (orphan must not recover)", m2.Cache().Len())
+	}
+}
+
+func TestAbortedStaysAbortedAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	m := openDurable(t, dir)
+	oid := seedObject(t, m, []byte("v0"))
+	id, _ := m.Initiate(func(tx *Tx) error { return tx.Write(oid, []byte("v1")) })
+	m.Begin(id)
+	m.Wait(id)
+	m.Abort(id)
+	m.Close()
+	m2 := openDurable(t, dir)
+	defer m2.Close()
+	got, _ := m2.Cache().Read(oid)
+	if string(got) != "v0" {
+		t.Fatalf("recovered = %q, want v0", got)
+	}
+}
+
+func TestDelegatedCommitSurvivesDelegatorAbortAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	m := openDurable(t, dir)
+	oid := seedObject(t, m, []byte("base"))
+	worker, _ := m.Initiate(func(tx *Tx) error { return tx.Write(oid, []byte("delegated")) })
+	holder, _ := m.Initiate(noop)
+	m.Begin(worker, holder)
+	m.Wait(worker)
+	m.Wait(holder)
+	m.Delegate(worker, holder)
+	m.Abort(worker)
+	if err := m.Commit(holder); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	m2 := openDurable(t, dir)
+	defer m2.Close()
+	got, _ := m2.Cache().Read(oid)
+	if string(got) != "delegated" {
+		t.Fatalf("recovered = %q, want delegated", got)
+	}
+}
+
+func TestCheckpointAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	m := openDurable(t, dir)
+	var oids []xid.OID
+	for i := 0; i < 20; i++ {
+		oids = append(oids, seedObject(t, m, []byte(fmt.Sprintf("v%d", i))))
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint work.
+	runTxn(t, m, func(tx *Tx) error { return tx.Write(oids[3], []byte("updated")) })
+	runTxn(t, m, func(tx *Tx) error { return tx.Delete(oids[7]) })
+	m.Close()
+	m2 := openDurable(t, dir)
+	defer m2.Close()
+	if got, _ := m2.Cache().Read(oids[3]); string(got) != "updated" {
+		t.Fatalf("oids[3] = %q", got)
+	}
+	if _, ok := m2.Cache().Read(oids[7]); ok {
+		t.Fatal("deleted object recovered")
+	}
+	if got, _ := m2.Cache().Read(oids[5]); string(got) != "v5" {
+		t.Fatalf("checkpointed object = %q", got)
+	}
+	if m2.Cache().Len() != 19 {
+		t.Fatalf("cache len = %d, want 19", m2.Cache().Len())
+	}
+}
+
+func TestCheckpointRequiresQuiescence(t *testing.T) {
+	m := newMem(t)
+	hold := make(chan struct{})
+	id, _ := m.Initiate(func(tx *Tx) error { <-hold; return nil })
+	m.Begin(id)
+	if err := m.Checkpoint(); err == nil {
+		t.Fatal("checkpoint succeeded with a live transaction")
+	}
+	close(hold)
+	m.Commit(id)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTIDsContinueAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	m := openDurable(t, dir)
+	last := runTxn(t, m, func(tx *Tx) error {
+		_, err := tx.Create([]byte("x"))
+		return err
+	})
+	m.Close()
+	m2 := openDurable(t, dir)
+	defer m2.Close()
+	next, err := m2.Initiate(noop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next <= last {
+		t.Fatalf("tid %v reused after restart (last was %v)", next, last)
+	}
+}
+
+// TestQuickRecoveryMatchesLiveState runs random committed/aborted
+// transactions against a durable manager, then verifies a reopened manager
+// sees exactly the live cache state.
+func TestQuickRecoveryMatchesLiveState(t *testing.T) {
+	type step struct {
+		Oid    uint8
+		Val    uint8
+		Op     uint8
+		Commit bool
+	}
+	f := func(steps []step) bool {
+		dir := t.TempDir()
+		m, err := Open(Config{Dir: dir})
+		if err != nil {
+			return false
+		}
+		for _, s := range steps {
+			oid := xid.OID(s.Oid%16 + 1)
+			val := []byte{s.Val}
+			id, err := m.Initiate(func(tx *Tx) error {
+				switch s.Op % 3 {
+				case 0:
+					if _, ok := m.Cache().Read(oid); !ok {
+						return tx.CreateAt(oid, val)
+					}
+					return tx.Write(oid, val)
+				case 1:
+					if _, ok := m.Cache().Read(oid); ok {
+						return tx.Delete(oid)
+					}
+					return nil
+				default:
+					_, err := tx.Read(oid)
+					if err != nil {
+						return nil // missing object: fine
+					}
+					return nil
+				}
+			})
+			if err != nil {
+				return false
+			}
+			m.Begin(id)
+			if s.Commit {
+				m.Commit(id)
+			} else {
+				m.Wait(id)
+				m.Abort(id)
+			}
+		}
+		// Snapshot live state.
+		want := map[xid.OID][]byte{}
+		m.Cache().ForEach(func(oid xid.OID, data []byte) bool {
+			want[oid] = data
+			return true
+		})
+		m.Close()
+		m2, err := Open(Config{Dir: dir})
+		if err != nil {
+			return false
+		}
+		defer m2.Close()
+		if m2.Cache().Len() != len(want) {
+			return false
+		}
+		ok := true
+		m2.Cache().ForEach(func(oid xid.OID, data []byte) bool {
+			if !bytes.Equal(want[oid], data) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/wal"
+	"repro/internal/xid"
+)
+
+// TxnFunc is the body of a transaction. It receives the transaction handle
+// (Go's substitute for the paper's implicit self()); returning nil marks the
+// transaction completed (locks retained until commit), returning an error —
+// or panicking — aborts it.
+type TxnFunc func(tx *Tx) error
+
+// undoRec is one entry of a transaction's undo responsibility list: enough
+// to install the before image on abort. Delegation moves these records
+// between transactions together with the locks.
+type undoRec struct {
+	lsn    uint64
+	oid    xid.OID
+	kind   wal.UpdateKind // the original operation
+	before []byte
+}
+
+// txn is the transaction descriptor (TD of §4.1): identity, parentage,
+// status, the function to execute, and the undo responsibility list. Status
+// and undo are guarded by the manager mutex.
+type txn struct {
+	id     xid.TID
+	parent xid.TID
+	fn     TxnFunc
+
+	status xid.Status
+	abErr  error // why the transaction aborted, if it did
+
+	// done closes when the function finishes or the transaction aborts
+	// (wait() unblocks on either). term closes on final termination.
+	// abortCh closes when the status turns aborting, waking the commit
+	// driver.
+	done    chan struct{}
+	term    chan struct{}
+	abortCh chan struct{}
+
+	doneOnce  sync.Once
+	termOnce  sync.Once
+	abortOnce sync.Once
+
+	undo []undoRec
+}
+
+func newTxn(id, parent xid.TID, fn TxnFunc) *txn {
+	return &txn{
+		id:      id,
+		parent:  parent,
+		fn:      fn,
+		status:  xid.StatusInitiated,
+		done:    make(chan struct{}),
+		term:    make(chan struct{}),
+		abortCh: make(chan struct{}),
+	}
+}
+
+func (t *txn) closeDone()  { t.doneOnce.Do(func() { close(t.done) }) }
+func (t *txn) closeTerm()  { t.termOnce.Do(func() { close(t.term) }) }
+func (t *txn) closeAbort() { t.abortOnce.Do(func() { close(t.abortCh) }) }
+
+// Tx is the handle a TxnFunc uses to operate on the database and to invoke
+// transaction primitives with itself as the implicit subject.
+type Tx struct {
+	m *Manager
+	t *txn
+}
+
+// ID returns the transaction identifier (the paper's self()).
+func (tx *Tx) ID() xid.TID { return tx.t.id }
+
+// Parent returns the tid of the transaction that initiated this one, or the
+// null tid for top-level transactions (the paper's parent()).
+func (tx *Tx) Parent() xid.TID { return tx.t.parent }
+
+// Manager returns the transaction manager, for invoking primitives on other
+// transactions from within a transaction body.
+func (tx *Tx) Manager() *Manager { return tx.m }
+
+// Initiate registers a new transaction whose parent is this transaction.
+func (tx *Tx) Initiate(fn TxnFunc) (xid.TID, error) {
+	return tx.m.initiate(fn, tx.t.id)
+}
+
+// Status returns the transaction's current status (one of the query
+// primitives §2.1 mentions in passing).
+func (tx *Tx) Status() xid.Status { return tx.m.StatusOf(tx.t.id) }

@@ -1,0 +1,369 @@
+// Package dep implements ASSET's transaction dependency graph (§4.1/§4.2).
+// Nodes are transactions; an edge records a dependency formed with
+// form_dependency. Internally edges point from the *dependent* transaction
+// to the transaction it depends on:
+//
+//	form_dependency(CD, ti, tj)  ⇒  edge tj → ti (tj cannot commit before ti
+//	                                terminates; if ti aborts, tj may commit)
+//	form_dependency(AD, ti, tj)  ⇒  edge tj → ti (if ti aborts, tj must
+//	                                abort; AD covers CD)
+//	form_dependency(GC, ti, tj)  ⇒  symmetric edges (both commit or neither)
+//	form_dependency(BD, ti, tj)  ⇒  edge tj → ti (extension: tj may not
+//	                                begin until ti commits)
+//
+// The paper's commit algorithm blocks on outgoing edges, so a cycle of
+// blocking (CD/AD/BD) edges would deadlock every commit on it; group-commit
+// cycles, in contrast, are the mechanism itself. Form therefore performs
+// the "check to prevent certain dependency cycles": it contracts GC
+// components into super-nodes and rejects any blocking edge (or GC merge)
+// that would close a cycle among super-nodes.
+package dep
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/xid"
+)
+
+// ErrCycle reports that forming the dependency would deadlock the commit
+// protocol.
+var ErrCycle = errors.New("dep: dependency would create a commit-blocking cycle")
+
+// Mask is a set of dependency types between one ordered pair.
+type Mask uint8
+
+// Mask bits.
+const (
+	MCD Mask = 1 << iota
+	MAD
+	MGC
+	MBD
+	MBAD
+	MEXC
+)
+
+// Has reports whether the mask contains the given dependency type.
+func (m Mask) Has(t xid.DepType) bool { return m&maskOf(t) != 0 }
+
+// Blocking reports whether the mask contains a type that makes the
+// dependent wait for the supporter's progress (everything but GC and the
+// non-waiting EXC). A cycle of blocking edges would deadlock.
+func (m Mask) Blocking() bool { return m&(MCD|MAD|MBD|MBAD) != 0 }
+
+// CommitBlocking reports whether the mask delays the dependent's *commit*
+// until the supporter terminates (BD/BAD only gate begin).
+func (m Mask) CommitBlocking() bool { return m&(MCD|MAD) != 0 }
+
+func maskOf(t xid.DepType) Mask {
+	switch t {
+	case xid.DepCD:
+		return MCD
+	case xid.DepAD:
+		return MAD
+	case xid.DepGC:
+		return MGC
+	case xid.DepBD:
+		return MBD
+	case xid.DepBAD:
+		return MBAD
+	case xid.DepEXC:
+		return MEXC
+	}
+	return 0
+}
+
+// Edge is one adjacency of a transaction in the graph.
+type Edge struct {
+	Other xid.TID
+	Types Mask
+}
+
+// Graph is the dependency graph. All methods are safe for concurrent use.
+type Graph struct {
+	mu  sync.Mutex
+	out map[xid.TID]map[xid.TID]Mask // dependent -> supporter
+	in  map[xid.TID]map[xid.TID]Mask // supporter -> dependent
+}
+
+// New returns an empty dependency graph.
+func New() *Graph {
+	return &Graph{
+		out: make(map[xid.TID]map[xid.TID]Mask),
+		in:  make(map[xid.TID]map[xid.TID]Mask),
+	}
+}
+
+// Form records form_dependency(typ, ti, tj). It returns ErrCycle if the new
+// dependency would deadlock the commit protocol, leaving the graph
+// unchanged.
+func (g *Graph) Form(typ xid.DepType, ti, tj xid.TID) error {
+	if ti == tj || ti.IsNil() || tj.IsNil() {
+		return nil // self- and null-dependencies are vacuous
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch typ {
+	case xid.DepGC:
+		if g.wouldCycleWithGC(ti, tj) {
+			return ErrCycle
+		}
+		g.addEdge(ti, tj, MGC)
+		g.addEdge(tj, ti, MGC)
+	case xid.DepEXC:
+		// Exclusion is symmetric and never blocks anyone's progress, so no
+		// cycle check is needed.
+		g.addEdge(ti, tj, MEXC)
+		g.addEdge(tj, ti, MEXC)
+	default:
+		// Dependent tj blocks on supporter ti.
+		if g.wouldCycleWithBlocking(tj, ti) {
+			return ErrCycle
+		}
+		g.addEdge(tj, ti, maskOf(typ))
+	}
+	return nil
+}
+
+func (g *Graph) addEdge(from, to xid.TID, m Mask) {
+	om := g.out[from]
+	if om == nil {
+		om = make(map[xid.TID]Mask)
+		g.out[from] = om
+	}
+	om[to] |= m
+	im := g.in[to]
+	if im == nil {
+		im = make(map[xid.TID]Mask)
+		g.in[to] = im
+	}
+	im[from] |= m
+}
+
+// Outgoing returns the dependencies t has on other transactions
+// ("dependencies emanating from t" in the commit algorithm).
+func (g *Graph) Outgoing(t xid.TID) []Edge {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return edgesOf(g.out[t])
+}
+
+// Incoming returns the dependencies other transactions have on t
+// ("dependencies incoming to t" in the abort algorithm).
+func (g *Graph) Incoming(t xid.TID) []Edge {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return edgesOf(g.in[t])
+}
+
+func edgesOf(m map[xid.TID]Mask) []Edge {
+	out := make([]Edge, 0, len(m))
+	for other, mask := range m {
+		out = append(out, Edge{Other: other, Types: mask})
+	}
+	return out
+}
+
+// GCComponent returns the transactions connected to t by GC edges,
+// including t itself.
+func (g *Graph) GCComponent(t xid.TID) []xid.TID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.gcComponentLocked(t)
+}
+
+func (g *Graph) gcComponentLocked(t xid.TID) []xid.TID {
+	seen := map[xid.TID]bool{t: true}
+	stack := []xid.TID{t}
+	comp := []xid.TID{t}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for other, mask := range g.out[cur] {
+			if mask&MGC != 0 && !seen[other] {
+				seen[other] = true
+				stack = append(stack, other)
+				comp = append(comp, other)
+			}
+		}
+	}
+	return comp
+}
+
+// RemoveNode deletes t and all its edges (commit step 5 / abort step 5).
+func (g *Graph) RemoveNode(t xid.TID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for other := range g.out[t] {
+		delete(g.in[other], t)
+		if len(g.in[other]) == 0 {
+			delete(g.in, other)
+		}
+	}
+	delete(g.out, t)
+	for other := range g.in[t] {
+		delete(g.out[other], t)
+		if len(g.out[other]) == 0 {
+			delete(g.out, other)
+		}
+	}
+	delete(g.in, t)
+}
+
+// DropEdge removes every dependency of dependent on supporter (the abort
+// algorithm removes CD edges of dependents without aborting them).
+func (g *Graph) DropEdge(dependent, supporter xid.TID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if m := g.out[dependent]; m != nil {
+		delete(m, supporter)
+		if len(m) == 0 {
+			delete(g.out, dependent)
+		}
+	}
+	if m := g.in[supporter]; m != nil {
+		delete(m, dependent)
+		if len(m) == 0 {
+			delete(g.in, supporter)
+		}
+	}
+}
+
+// --- cycle prevention -------------------------------------------------
+//
+// GC components are contracted into super-nodes; blocking (CD/AD/BD) edges
+// between distinct super-nodes form the contracted graph. A blocking edge
+// inside one GC component is satisfied by the simultaneous group commit and
+// never deadlocks, so intra-component edges are dropped.
+
+// contractedGraph builds the super-node adjacency. extraA/extraB, when
+// non-nil, are treated as already GC-merged (to test a prospective GC
+// edge). Caller holds g.mu.
+func (g *Graph) contractedGraph(extraA, extraB xid.TID) (comp map[xid.TID]int, adj map[int]map[int]bool) {
+	// Collect nodes.
+	nodes := make(map[xid.TID]bool)
+	for t, m := range g.out {
+		nodes[t] = true
+		for o := range m {
+			nodes[o] = true
+		}
+	}
+	if !extraA.IsNil() {
+		nodes[extraA] = true
+		nodes[extraB] = true
+	}
+	// Union-find over GC edges.
+	parent := make(map[xid.TID]xid.TID, len(nodes))
+	var find func(t xid.TID) xid.TID
+	find = func(t xid.TID) xid.TID {
+		p, ok := parent[t]
+		if !ok || p == t {
+			parent[t] = t
+			return t
+		}
+		r := find(p)
+		parent[t] = r
+		return r
+	}
+	union := func(a, b xid.TID) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for t, m := range g.out {
+		for o, mask := range m {
+			if mask&MGC != 0 {
+				union(t, o)
+			}
+		}
+	}
+	if !extraA.IsNil() {
+		union(extraA, extraB)
+	}
+	// Number the components and build blocking adjacency.
+	comp = make(map[xid.TID]int, len(nodes))
+	next := 0
+	id := func(t xid.TID) int {
+		r := find(t)
+		if c, ok := comp[r]; ok {
+			comp[t] = c
+			return c
+		}
+		comp[r] = next
+		comp[t] = next
+		next++
+		return comp[t]
+	}
+	adj = make(map[int]map[int]bool)
+	for t := range nodes {
+		id(t)
+	}
+	for t, m := range g.out {
+		for o, mask := range m {
+			if !mask.Blocking() {
+				continue
+			}
+			ca, cb := id(t), id(o)
+			if ca == cb {
+				continue
+			}
+			if adj[ca] == nil {
+				adj[ca] = make(map[int]bool)
+			}
+			adj[ca][cb] = true
+		}
+	}
+	return comp, adj
+}
+
+func reach(adj map[int]map[int]bool, from, to int) bool {
+	if from == to {
+		return true
+	}
+	seen := map[int]bool{from: true}
+	stack := []int{from}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for n := range adj[c] {
+			if n == to {
+				return true
+			}
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return false
+}
+
+// wouldCycleWithBlocking reports whether adding the blocking edge
+// dependent → supporter closes a cycle in the contracted graph. Caller
+// holds g.mu.
+func (g *Graph) wouldCycleWithBlocking(dependent, supporter xid.TID) bool {
+	comp, adj := g.contractedGraph(xid.NilTID, xid.NilTID)
+	cs, okS := comp[supporter]
+	cd, okD := comp[dependent]
+	if !okS || !okD {
+		return false // an isolated endpoint cannot be on a path back
+	}
+	if cd == cs {
+		return false // intra-component: satisfied by group commit
+	}
+	return reach(adj, cs, cd)
+}
+
+// wouldCycleWithGC reports whether merging a's and b's GC components would
+// put the merged super-node on a blocking cycle. Caller holds g.mu.
+func (g *Graph) wouldCycleWithGC(a, b xid.TID) bool {
+	comp, adj := g.contractedGraph(a, b)
+	merged := comp[a]
+	for n := range adj[merged] {
+		if reach(adj, n, merged) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,171 @@
+package htab
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	m := New[string](4)
+	if _, ok := m.Get(1); ok {
+		t.Fatal("Get on empty table returned ok")
+	}
+	if !m.Put(1, "a") {
+		t.Fatal("first Put reported replace")
+	}
+	if m.Put(1, "b") {
+		t.Fatal("second Put reported insert")
+	}
+	if v, ok := m.Get(1); !ok || v != "b" {
+		t.Fatalf("Get(1) = %q,%v; want b,true", v, ok)
+	}
+	if !m.Delete(1) {
+		t.Fatal("Delete of present key returned false")
+	}
+	if m.Delete(1) {
+		t.Fatal("Delete of absent key returned true")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+}
+
+func TestPutIfAbsent(t *testing.T) {
+	m := New[int](1)
+	if v, inserted := m.PutIfAbsent(7, 10); !inserted || v != 10 {
+		t.Fatalf("first PutIfAbsent = %d,%v", v, inserted)
+	}
+	if v, inserted := m.PutIfAbsent(7, 20); inserted || v != 10 {
+		t.Fatalf("second PutIfAbsent = %d,%v; want 10,false", v, inserted)
+	}
+}
+
+func TestGrowKeepsEntries(t *testing.T) {
+	m := New[uint64](1)
+	const n = 10_000
+	for i := uint64(1); i <= n; i++ {
+		m.Put(i, i*2)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := uint64(1); i <= n; i++ {
+		if v, ok := m.Get(i); !ok || v != i*2 {
+			t.Fatalf("Get(%d) = %d,%v after grow", i, v, ok)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := New[int](8)
+	want := map[uint64]int{}
+	for i := uint64(1); i <= 100; i++ {
+		m.Put(i, int(i))
+		want[i] = int(i)
+	}
+	got := map[uint64]int{}
+	m.Range(func(k uint64, v int) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range got[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+	// Early stop.
+	count := 0
+	m.Range(func(uint64, int) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("Range with early stop visited %d, want 1", count)
+	}
+}
+
+// TestQuickMatchesMap property-tests the table against the built-in map
+// under a random operation sequence.
+func TestQuickMatchesMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := New[uint64](2)
+		ref := map[uint64]uint64{}
+		for i, op := range ops {
+			key := uint64(op%64) + 1
+			switch op % 3 {
+			case 0:
+				m.Put(key, uint64(i))
+				ref[key] = uint64(i)
+			case 1:
+				delete(ref, key)
+				m.Delete(key)
+			case 2:
+				v, ok := m.Get(key)
+				rv, rok := ref[key]
+				if ok != rok || (ok && v != rv) {
+					return false
+				}
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got, ok := m.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	m := New[int](0)
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				k := uint64(rng.Intn(512) + 1)
+				switch rng.Intn(3) {
+				case 0:
+					m.Put(k, i)
+				case 1:
+					m.Get(k)
+				case 2:
+					m.Delete(k)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	// The table must still be internally consistent: every Range entry is
+	// Get-able and counted by Len.
+	n := 0
+	m.Range(func(k uint64, _ int) bool {
+		if _, ok := m.Get(k); !ok {
+			t.Errorf("Range key %d not Get-able", k)
+		}
+		n++
+		return true
+	})
+	if n != m.Len() {
+		t.Fatalf("Range saw %d entries, Len = %d", n, m.Len())
+	}
+}
+
+func TestPairKeySymmetryIsNotRequired(t *testing.T) {
+	// PairKey is an index key, not an identity; distinct pairs may collide
+	// but equal (ordered) pairs must map equally.
+	if PairKey(1, 2) != PairKey(1, 2) {
+		t.Fatal("PairKey not deterministic")
+	}
+}

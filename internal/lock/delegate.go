@@ -1,0 +1,126 @@
+package lock
+
+import (
+	"repro/internal/xid"
+)
+
+// Delegate implements the lock-manager half of the delegate primitive (§4.2):
+// for each delegated object, from's LRD moves to to's lock list, and every
+// permission *given by* from on that object becomes a permission given by
+// to. A nil oids delegates everything from is responsible for. It returns
+// the objects whose locks actually moved, so the caller can log the
+// delegation and move undo responsibility the same way.
+func (m *Manager) Delegate(from, to xid.TID, oids []xid.OID) []xid.OID {
+	if from == to {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var moved []xid.OID
+	if oids == nil {
+		for oid := range m.byTxn[from] {
+			moved = append(moved, oid)
+		}
+	} else {
+		for _, oid := range oids {
+			if _, held := m.byTxn[from][oid]; held {
+				moved = append(moved, oid)
+			}
+		}
+	}
+	for _, oid := range moved {
+		m.delegateOneLocked(from, to, oid)
+	}
+	// §4.2 delegate step (b): permissions given by from on the delegated
+	// objects (all of them for delegate-all) become permissions given by to,
+	// whether or not from also held a lock there.
+	m.reassignGrantor(from, to, oids)
+	return moved
+}
+
+// delegateOneLocked moves from's LRD on oid into to's lock list, merging
+// with any lock to already holds there. Caller holds m.mu.
+func (m *Manager) delegateOneLocked(from, to xid.TID, oid xid.OID) {
+	gl := m.byTxn[from][oid]
+	if gl == nil {
+		return
+	}
+	delete(m.byTxn[from], oid)
+	od := gl.od
+	toLocks := m.byTxn[to]
+	if toLocks == nil {
+		toLocks = make(map[xid.OID]*lockReq)
+		m.byTxn[to] = toLocks
+	}
+	if existing := toLocks[oid]; existing != nil {
+		// Merge: the union of modes; the merged lock is suspended only if
+		// both inputs were (an unsuspended hold stays usable).
+		existing.mode = existing.mode.Union(gl.mode)
+		existing.suspended = existing.suspended && gl.suspended
+		for i, g := range od.granted {
+			if g == gl {
+				od.granted = append(od.granted[:i], od.granted[i+1:]...)
+				break
+			}
+		}
+	} else {
+		gl.tid = to
+		toLocks[oid] = gl
+	}
+	// Blocked requests were waiting on `from`; their blocker is now `to`.
+	od.cond.Broadcast()
+}
+
+// reassignGrantor rewrites PDs of the form (from, tk, op) to (to, tk, op)
+// on the given objects (nil = all). Caller holds m.mu.
+func (m *Manager) reassignGrantor(from, to xid.TID, oids []xid.OID) {
+	var want map[xid.OID]bool
+	if oids != nil {
+		want = make(map[xid.OID]bool, len(oids))
+		for _, o := range oids {
+			want[o] = true
+		}
+	}
+	var kept []*permit
+	for _, p := range m.byGrantor[from] {
+		if p.dead {
+			continue
+		}
+		if want != nil && !want[p.od.oid] {
+			kept = append(kept, p)
+			continue
+		}
+		if p.grantee == to {
+			// A permission from `from` to `to` collapses on delegation:
+			// to does not need its own permission.
+			p.dead = true
+			od := p.od
+			for i, q := range od.permits {
+				if q == p {
+					od.permits = append(od.permits[:i], od.permits[i+1:]...)
+					break
+				}
+			}
+			od.cond.Broadcast()
+			continue
+		}
+		// Widen any existing PD of to, or retag this one.
+		if grew, existing := m.insertPD(p.od, to, p.grantee, p.ops); grew || existing != p {
+			// Merged into to's PD: retire the old descriptor.
+			p.dead = true
+			od := p.od
+			for i, q := range od.permits {
+				if q == p {
+					od.permits = append(od.permits[:i], od.permits[i+1:]...)
+					break
+				}
+			}
+		}
+		p.od.cond.Broadcast()
+	}
+	if kept == nil {
+		delete(m.byGrantor, from)
+	} else {
+		m.byGrantor[from] = kept
+	}
+}

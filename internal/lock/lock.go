@@ -1,0 +1,417 @@
+// Package lock implements the ASSET lock manager of §4 of the paper: object
+// descriptors (OD) holding granted and pending lock request descriptors
+// (LRD) and a list of permit descriptors (PD), the read-lock/write-lock
+// algorithm with permit-driven suspension, lock delegation, and release at
+// transaction termination.
+//
+// Two behaviours distinguish it from a classical lock manager:
+//
+//   - permit: a transaction ti can allow tj to acquire locks that conflict
+//     with ti's own. When that happens, ti's conflicting granted lock is
+//     *suspended* — it stays on the object, and ti must in turn obtain
+//     permission (or wait) before operating on the object again. Permits
+//     compose transitively: once ti has permitted tj, a permit from tj to tk
+//     implies one from ti to tk on the intersection of objects/operations.
+//
+//   - delegate: the lock (and thereby undo/commit responsibility, handled by
+//     the caller) moves from ti to tj, as used by nested, split/join and
+//     similar models.
+//
+// Blocking requests join a FIFO pending queue per object; every block
+// registers edges in the shared waits-for graph, so deadlocks — including
+// ones crossing into commit dependencies — are detected at block time.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/waitgraph"
+	"repro/internal/xid"
+)
+
+// Errors returned by Lock.
+var (
+	// ErrDeadlock is returned to a requester chosen as a deadlock victim.
+	ErrDeadlock = errors.New("lock: deadlock victim")
+	// ErrCancelled is returned when the waiter's transaction was aborted
+	// while it was blocked.
+	ErrCancelled = errors.New("lock: wait cancelled (transaction aborted)")
+	// ErrTimeout is returned when a request waited longer than the
+	// configured WaitTimeout (the fallback resolution when deadlock
+	// detection is disabled).
+	ErrTimeout = errors.New("lock: wait timed out")
+)
+
+// reqStatus is the LRD status field: granted, pending, or upgrading (a
+// pending request by a transaction that already holds a weaker lock).
+type reqStatus int8
+
+const (
+	statusGranted reqStatus = iota
+	statusPending
+	statusUpgrading
+)
+
+// lockReq is the lock request descriptor (LRD) of §4.1: one transaction's
+// granted or pending request on one object.
+type lockReq struct {
+	tid       xid.TID
+	od        *objDesc
+	mode      xid.OpSet
+	status    reqStatus
+	suspended bool // granted lock suspended by a permitted conflicting grant
+	cancelled bool // waiter was aborted; it must give up
+	victim    bool // waiter was chosen as deadlock victim
+	timedOut  bool // waiter exceeded Options.WaitTimeout
+}
+
+// objDesc is the object descriptor (OD) of Figure 1: granted and pending
+// LRD lists and the object's permit list.
+type objDesc struct {
+	oid     xid.OID
+	granted []*lockReq
+	pending []*lockReq // FIFO
+	permits []*permit
+	cond    *sync.Cond // signalled on any release/suspension change
+}
+
+// permit is the permit descriptor (PD): grantor allows grantee (NilTID =
+// any transaction) to perform ops on the object even when they conflict with
+// grantor's locks.
+type permit struct {
+	od      *objDesc
+	grantor xid.TID
+	grantee xid.TID // NilTID = any transaction
+	ops     xid.OpSet
+	dead    bool // lazily removed from secondary indexes
+}
+
+// Options configures a lock manager.
+type Options struct {
+	// OnVictim is invoked (on its own goroutine) when deadlock detection
+	// selects a transaction other than the requester as the victim; the
+	// transaction system should abort it. May be nil.
+	OnVictim func(xid.TID)
+	// NoQueueFairness disables FIFO ordering of pending requests (a request
+	// is granted as soon as it is compatible with the granted group). Used
+	// by ablation benchmarks.
+	NoQueueFairness bool
+	// EagerClosure controls permit transitivity. When true (the default
+	// used by New), implied permits are materialized at insertion. When
+	// false they are discovered by walking grantor chains at lock time
+	// (ablation A2).
+	EagerClosure bool
+	// WaitTimeout bounds how long a request may block; 0 means forever.
+	// Timeouts are the deadlock resolution of last resort when detection
+	// is disabled (and a belt-and-braces bound when it is not).
+	WaitTimeout time.Duration
+}
+
+// Manager is the lock manager. All state is guarded by one mutex; condition
+// variables per object descriptor wake blocked requests.
+type Manager struct {
+	mu   sync.Mutex
+	opts Options
+	ods  map[xid.OID]*objDesc
+	// txn LRD lists ("list of t's lock requests" in the TD).
+	byTxn map[xid.TID]map[xid.OID]*lockReq
+	// Permit secondary indexes, doubly hashed per §4.1: by grantor and by
+	// grantee.
+	byGrantor map[xid.TID][]*permit
+	byGrantee map[xid.TID][]*permit
+	wg        *waitgraph.Graph
+}
+
+// New returns a lock manager wired to the shared waits-for graph.
+func New(wg *waitgraph.Graph, opts Options) *Manager {
+	if wg == nil {
+		wg = waitgraph.New()
+	}
+	return &Manager{
+		opts:      opts,
+		ods:       make(map[xid.OID]*objDesc),
+		byTxn:     make(map[xid.TID]map[xid.OID]*lockReq),
+		byGrantor: make(map[xid.TID][]*permit),
+		byGrantee: make(map[xid.TID][]*permit),
+		wg:        wg,
+	}
+}
+
+func (m *Manager) od(oid xid.OID) *objDesc {
+	od := m.ods[oid]
+	if od == nil {
+		od = &objDesc{oid: oid}
+		od.cond = sync.NewCond(&m.mu)
+		m.ods[oid] = od
+	}
+	return od
+}
+
+// Lock acquires (or upgrades to) the given mode on oid for tid, blocking
+// until granted. It returns ErrDeadlock if the request was chosen as a
+// deadlock victim and ErrCancelled if the transaction was aborted while
+// waiting.
+func (m *Manager) Lock(tid xid.TID, oid xid.OID, mode xid.OpSet) error {
+	if mode == 0 {
+		return fmt.Errorf("lock: empty mode requested on %v", oid)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	od := m.od(oid)
+
+	own := m.byTxn[tid][oid]
+	// Fast path: own unsuspended covering lock (§4.2 step 1a).
+	if own != nil && own.status == statusGranted && !own.suspended && own.mode.Has(mode) {
+		return nil
+	}
+
+	// Enqueue a pending/upgrading request.
+	req := &lockReq{tid: tid, od: od, mode: mode, status: statusPending}
+	if own != nil && own.status == statusGranted {
+		req.status = statusUpgrading
+	}
+	od.pending = append(od.pending, req)
+	if m.opts.WaitTimeout > 0 {
+		timer := time.AfterFunc(m.opts.WaitTimeout, func() {
+			m.mu.Lock()
+			req.timedOut = true
+			od.cond.Broadcast()
+			m.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+
+	var waitedOn []xid.TID
+	clearEdges := func() {
+		for _, h := range waitedOn {
+			m.wg.Remove(tid, h)
+		}
+		waitedOn = nil
+	}
+	defer clearEdges()
+
+	for {
+		blockers, permitted := m.tryGrant(req, own)
+		if req.cancelled {
+			m.removePending(od, req)
+			return ErrCancelled
+		}
+		if req.victim {
+			m.removePending(od, req)
+			return ErrDeadlock
+		}
+		if req.timedOut && len(blockers) > 0 {
+			m.removePending(od, req)
+			return ErrTimeout
+		}
+		if len(blockers) == 0 {
+			// Grant: suspend the permitted conflicting locks, then install.
+			for _, gl := range permitted {
+				if !gl.suspended {
+					gl.suspended = true
+				}
+			}
+			m.removePending(od, req)
+			m.installGrant(tid, od, own, mode)
+			if len(permitted) > 0 {
+				od.cond.Broadcast() // suspension may unblock re-checkers
+			}
+			return nil
+		}
+		// Re-register wait edges against the current blocker set.
+		clearEdges()
+		victim, _ := m.wg.Add(tid, blockers...)
+		waitedOn = append(waitedOn, blockers...)
+		if !victim.IsNil() {
+			if victim == tid {
+				m.removePending(od, req)
+				return ErrDeadlock
+			}
+			m.killVictim(victim)
+		}
+		od.cond.Wait()
+		if own != nil { // refresh: delegation may have moved/merged our lock
+			own = m.byTxn[tid][oid]
+		}
+	}
+}
+
+// tryGrant evaluates §4.2 steps 1a/1b for req. It returns the transactions
+// that block the request (empty means grantable) and the conflicting
+// granted locks whose holders permit the requester (to be suspended on
+// grant). Caller holds m.mu.
+func (m *Manager) tryGrant(req *lockReq, own *lockReq) (blockers []xid.TID, permitted []*lockReq) {
+	od := req.od
+	for _, gl := range od.granted {
+		if gl.tid == req.tid {
+			continue // our own lock never blocks us
+		}
+		// Suspended locks conflict like granted ones: only the holder's own
+		// fast path is affected by suspension. A third party without
+		// permission must still wait (it would otherwise see uncommitted
+		// data of the suspended holder).
+		if !gl.mode.Conflicts(req.mode) {
+			continue
+		}
+		if m.permits(gl.tid, req.tid, od, req.mode) {
+			permitted = append(permitted, gl)
+			continue
+		}
+		blockers = append(blockers, gl.tid)
+	}
+	// FIFO fairness: an ordinary pending request also waits behind earlier
+	// conflicting pending requests; upgrades jump the queue.
+	if !m.opts.NoQueueFairness && req.status != statusUpgrading {
+		for _, p := range od.pending {
+			if p == req {
+				break
+			}
+			if p.tid != req.tid && p.mode.Conflicts(req.mode) && !p.victim && !p.cancelled {
+				blockers = append(blockers, p.tid)
+			}
+		}
+	}
+	if len(blockers) > 0 {
+		return blockers, nil
+	}
+	return nil, permitted
+}
+
+// installGrant merges the granted mode into the requester's LRD (creating
+// one if needed) and clears any suspension (§4.2 step 2).
+func (m *Manager) installGrant(tid xid.TID, od *objDesc, own *lockReq, mode xid.OpSet) {
+	if own != nil && own.status == statusGranted {
+		own.mode = own.mode.Union(mode)
+		own.suspended = false
+		return
+	}
+	gl := &lockReq{tid: tid, od: od, mode: mode, status: statusGranted}
+	od.granted = append(od.granted, gl)
+	byOid := m.byTxn[tid]
+	if byOid == nil {
+		byOid = make(map[xid.OID]*lockReq)
+		m.byTxn[tid] = byOid
+	}
+	byOid[od.oid] = gl
+}
+
+func (m *Manager) removePending(od *objDesc, req *lockReq) {
+	for i, p := range od.pending {
+		if p == req {
+			od.pending = append(od.pending[:i], od.pending[i+1:]...)
+			break
+		}
+	}
+	od.cond.Broadcast() // queue order changed; later waiters may proceed
+}
+
+// killVictim marks any pending requests of the victim and notifies the
+// transaction system so it aborts the victim.
+func (m *Manager) killVictim(victim xid.TID) {
+	m.markVictimLocked(victim)
+	if m.opts.OnVictim != nil {
+		go m.opts.OnVictim(victim)
+	}
+}
+
+func (m *Manager) markVictimLocked(victim xid.TID) {
+	for _, od := range m.ods {
+		changed := false
+		for _, p := range od.pending {
+			if p.tid == victim {
+				p.victim = true
+				changed = true
+			}
+		}
+		if changed {
+			od.cond.Broadcast()
+		}
+	}
+}
+
+// CancelWaits wakes every pending request of tid with ErrCancelled; the
+// abort path calls it before releasing locks.
+func (m *Manager) CancelWaits(tid xid.TID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, od := range m.ods {
+		changed := false
+		for _, p := range od.pending {
+			if p.tid == tid {
+				p.cancelled = true
+				changed = true
+			}
+		}
+		if changed {
+			od.cond.Broadcast()
+		}
+	}
+}
+
+// Holds reports whether tid currently holds an unsuspended lock covering
+// mode on oid.
+func (m *Manager) Holds(tid xid.TID, oid xid.OID, mode xid.OpSet) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gl := m.byTxn[tid][oid]
+	return gl != nil && gl.status == statusGranted && !gl.suspended && gl.mode.Has(mode)
+}
+
+// HeldObjects returns the objects tid holds locks on, in unspecified order.
+func (m *Manager) HeldObjects(tid xid.TID) []xid.OID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]xid.OID, 0, len(m.byTxn[tid]))
+	for oid := range m.byTxn[tid] {
+		out = append(out, oid)
+	}
+	return out
+}
+
+// ReleaseAll implements §4.2 commit step 6 / abort step 3: drop every lock
+// tid holds and every permission given by or to tid, then wake waiters.
+func (m *Manager) ReleaseAll(tid xid.TID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, gl := range m.byTxn[tid] {
+		od := gl.od
+		for i, g := range od.granted {
+			if g == gl {
+				od.granted = append(od.granted[:i], od.granted[i+1:]...)
+				break
+			}
+		}
+		od.cond.Broadcast()
+	}
+	delete(m.byTxn, tid)
+	m.dropPermitsOf(tid)
+	m.wg.RemoveNode(tid)
+}
+
+// dropPermitsOf removes permissions given by or given to tid. Caller holds
+// m.mu.
+func (m *Manager) dropPermitsOf(tid xid.TID) {
+	kill := func(ps []*permit) {
+		for _, p := range ps {
+			if p.dead {
+				continue
+			}
+			p.dead = true
+			od := p.od
+			for i, q := range od.permits {
+				if q == p {
+					od.permits = append(od.permits[:i], od.permits[i+1:]...)
+					break
+				}
+			}
+			od.cond.Broadcast()
+		}
+	}
+	kill(m.byGrantor[tid])
+	kill(m.byGrantee[tid])
+	delete(m.byGrantor, tid)
+	delete(m.byGrantee, tid)
+}

@@ -1,0 +1,184 @@
+package lock
+
+import (
+	"repro/internal/xid"
+)
+
+// Permit records that grantor allows grantee to perform ops on the given
+// objects despite conflicts with grantor's locks (§2.2 of the paper).
+// Wildcards follow the paper's additional forms:
+//
+//   - grantee == NilTID: any transaction may perform the operations
+//     (permit(ti, ob_set, operations));
+//   - ops == 0: all operations (permit(ti, tj));
+//   - oids == nil: every object grantor has accessed or has permission to
+//     access (permit(ti, tj, operations)), materialized per §4.2 by walking
+//     grantor's LRD list and incoming permits.
+//
+// Transitivity: with the default eager closure, inserting a permit from g
+// derives the implied permits for every transaction that had permitted g on
+// the same object (ops intersected), recursively. With lazy closure (A2
+// ablation) the derivation happens at lock time instead.
+func (m *Manager) Permit(grantor, grantee xid.TID, oids []xid.OID, ops xid.OpSet) {
+	if ops == 0 {
+		ops = xid.OpAll
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if oids == nil {
+		oids = m.accessibleLocked(grantor)
+	}
+	for _, oid := range oids {
+		m.permitOneLocked(grantor, grantee, m.od(oid), ops)
+	}
+}
+
+// accessibleLocked lists the objects grantor has accessed (its LRDs) or has
+// permission to access (permits naming it as grantee). Caller holds m.mu.
+func (m *Manager) accessibleLocked(grantor xid.TID) []xid.OID {
+	seen := make(map[xid.OID]bool)
+	var out []xid.OID
+	for oid := range m.byTxn[grantor] {
+		if !seen[oid] {
+			seen[oid] = true
+			out = append(out, oid)
+		}
+	}
+	for _, p := range m.byGrantee[grantor] {
+		if p.dead {
+			continue
+		}
+		if !seen[p.od.oid] {
+			seen[p.od.oid] = true
+			out = append(out, p.od.oid)
+		}
+	}
+	return out
+}
+
+// permitOneLocked inserts (or widens) one PD and, under eager closure,
+// materializes the implied transitive permits. Caller holds m.mu.
+func (m *Manager) permitOneLocked(grantor, grantee xid.TID, od *objDesc, ops xid.OpSet) {
+	type ins struct {
+		grantor, grantee xid.TID
+		ops              xid.OpSet
+	}
+	work := []ins{{grantor, grantee, ops}}
+	for len(work) > 0 {
+		w := work[len(work)-1]
+		work = work[:len(work)-1]
+		if w.grantor == w.grantee && !w.grantee.IsNil() {
+			continue
+		}
+		grew, _ := m.insertPD(od, w.grantor, w.grantee, w.ops)
+		if !grew || !m.opts.EagerClosure {
+			continue
+		}
+		// Anyone who permitted w.grantor on this object implicitly permits
+		// w.grantee for the intersection.
+		for _, p := range od.permits {
+			if p.dead {
+				continue
+			}
+			if (p.grantee == w.grantor || p.grantee.IsNil()) && p.grantor != w.grantor {
+				if shared := p.ops.Intersect(w.ops); shared != 0 {
+					work = append(work, ins{p.grantor, w.grantee, shared})
+				}
+			}
+		}
+	}
+	od.cond.Broadcast() // new permission may unblock waiters
+}
+
+// insertPD adds or widens the PD (grantor→grantee, ops) on od. It reports
+// whether the permission actually grew (for closure termination) and
+// returns the descriptor.
+func (m *Manager) insertPD(od *objDesc, grantor, grantee xid.TID, ops xid.OpSet) (bool, *permit) {
+	for _, p := range od.permits {
+		if p.dead || p.grantor != grantor || p.grantee != grantee {
+			continue
+		}
+		if p.ops.Has(ops) {
+			return false, p
+		}
+		p.ops = p.ops.Union(ops)
+		return true, p
+	}
+	p := &permit{od: od, grantor: grantor, grantee: grantee, ops: ops}
+	od.permits = append(od.permits, p)
+	m.byGrantor[grantor] = append(m.byGrantor[grantor], p)
+	if !grantee.IsNil() {
+		m.byGrantee[grantee] = append(m.byGrantee[grantee], p)
+	}
+	return true, p
+}
+
+// permits reports whether holder allows requester to perform ops on od,
+// either by a direct PD or — under lazy closure — through a chain of
+// permits starting at holder. Caller holds m.mu.
+func (m *Manager) permits(holder, requester xid.TID, od *objDesc, ops xid.OpSet) bool {
+	if m.opts.EagerClosure {
+		for _, p := range od.permits {
+			if p.dead || p.grantor != holder {
+				continue
+			}
+			if (p.grantee == requester || p.grantee.IsNil()) && p.ops.Has(ops) {
+				return true
+			}
+		}
+		return false
+	}
+	// Lazy closure: DFS along grantor chains, intersecting operations.
+	type node struct {
+		tid xid.TID
+		ops xid.OpSet
+	}
+	visited := make(map[xid.TID]xid.OpSet)
+	stack := []node{{holder, xid.OpAll}}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[n.tid].Has(n.ops) {
+			continue
+		}
+		visited[n.tid] = visited[n.tid].Union(n.ops)
+		for _, p := range od.permits {
+			if p.dead || p.grantor != n.tid {
+				continue
+			}
+			shared := p.ops.Intersect(n.ops)
+			if !shared.Has(ops) {
+				continue
+			}
+			if p.grantee == requester || p.grantee.IsNil() {
+				return true
+			}
+			stack = append(stack, node{p.grantee, shared})
+		}
+	}
+	return false
+}
+
+// Permitted reports whether holder currently permits requester to perform
+// ops on oid (diagnostics and tests).
+func (m *Manager) Permitted(holder, requester xid.TID, oid xid.OID, ops xid.OpSet) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	od := m.ods[oid]
+	if od == nil {
+		return false
+	}
+	return m.permits(holder, requester, od, ops)
+}
+
+// PermitCount returns the number of live permit descriptors on oid
+// (benchmark E11 scans this list).
+func (m *Manager) PermitCount(oid xid.OID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	od := m.ods[oid]
+	if od == nil {
+		return 0
+	}
+	return len(od.permits)
+}

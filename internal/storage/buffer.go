@@ -1,0 +1,225 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+)
+
+// pool is a buffer pool of fixed capacity over the store file, with clock
+// (second-chance) eviction. Page 0 of the file is the store header; data
+// pages start at 1. The pool is not internally synchronized: PageStore
+// serializes access.
+type pool struct {
+	f         *os.File
+	capacity  int
+	frames    map[uint64]*frame
+	clock     []*frame
+	hand      int
+	pageCount uint64 // pages in the file, including header page 0
+	dw        *dwJournal
+}
+
+type frame struct {
+	pageNo uint64
+	data   []byte
+	dirty  bool
+	pins   int
+	ref    bool
+}
+
+var poolCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// pageChecksum computes the stored page checksum (covering everything but
+// the checksum field itself).
+func pageChecksum(p []byte) uint32 {
+	crc := crc32.Update(0, poolCRC, p[:16])
+	return crc32.Update(crc, poolCRC, p[20:])
+}
+
+func sealPage(p []byte) {
+	binary.LittleEndian.PutUint32(p[16:20], pageChecksum(p))
+}
+
+func verifyPage(pageNo uint64, p []byte) error {
+	want := binary.LittleEndian.Uint32(p[16:20])
+	if got := pageChecksum(p); got != want {
+		if isZeroPage(p) {
+			return nil // never-written (hole) page: legitimately free
+		}
+		return fmt.Errorf("storage: page %d checksum mismatch (torn write?)", pageNo)
+	}
+	return nil
+}
+
+func isZeroPage(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func newPool(f *os.File, capacity int, dw *dwJournal) (*pool, error) {
+	if capacity < 4 {
+		capacity = 4
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size()%PageSize != 0 {
+		// A torn append: ignore the partial trailing page.
+		if err := f.Truncate(st.Size() - st.Size()%PageSize); err != nil {
+			return nil, err
+		}
+		st, err = f.Stat()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &pool{
+		f:         f,
+		capacity:  capacity,
+		frames:    make(map[uint64]*frame),
+		pageCount: uint64(st.Size() / PageSize),
+		dw:        dw,
+	}, nil
+}
+
+// get pins and returns the frame for pageNo, reading it if absent.
+func (p *pool) get(pageNo uint64) (*frame, error) {
+	if fr, ok := p.frames[pageNo]; ok {
+		fr.pins++
+		fr.ref = true
+		return fr, nil
+	}
+	fr, err := p.newFrame(pageNo)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.f.ReadAt(fr.data, int64(pageNo)*PageSize); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("storage: read page %d: %w", pageNo, err)
+	}
+	if err := verifyPage(pageNo, fr.data); err != nil {
+		return nil, err
+	}
+	return fr, nil
+}
+
+// alloc appends a zeroed page to the file and returns its pinned frame.
+func (p *pool) alloc() (*frame, uint64, error) {
+	pageNo := p.pageCount
+	p.pageCount++
+	fr, err := p.newFrame(pageNo)
+	if err != nil {
+		return nil, 0, err
+	}
+	fr.dirty = true
+	return fr, pageNo, nil
+}
+
+// newFrame makes room (evicting if needed) and installs a pinned zero frame
+// for pageNo.
+func (p *pool) newFrame(pageNo uint64) (*frame, error) {
+	if len(p.clock) >= p.capacity {
+		if err := p.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	fr := &frame{pageNo: pageNo, data: make([]byte, PageSize), pins: 1, ref: true}
+	p.frames[pageNo] = fr
+	p.clock = append(p.clock, fr)
+	return fr, nil
+}
+
+// evictOne runs the clock hand to find an unpinned frame, writing it out if
+// dirty, and removes it.
+func (p *pool) evictOne() error {
+	for sweep := 0; sweep < 2*len(p.clock)+1; sweep++ {
+		if len(p.clock) == 0 {
+			break
+		}
+		p.hand %= len(p.clock)
+		fr := p.clock[p.hand]
+		if fr.pins > 0 {
+			p.hand++
+			continue
+		}
+		if fr.ref {
+			fr.ref = false
+			p.hand++
+			continue
+		}
+		if fr.dirty {
+			if err := p.writeFrame(fr); err != nil {
+				return err
+			}
+		}
+		delete(p.frames, fr.pageNo)
+		p.clock = append(p.clock[:p.hand], p.clock[p.hand+1:]...)
+		return nil
+	}
+	return fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", len(p.clock))
+}
+
+// unpin releases a pin; dirty marks the page modified.
+func (p *pool) unpin(fr *frame, dirty bool) {
+	if fr.pins <= 0 {
+		panic("storage: unpin of unpinned frame")
+	}
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+}
+
+// writeFrame seals and writes one page in place. The double-write journal,
+// when active, has already captured the page image.
+func (p *pool) writeFrame(fr *frame) error {
+	sealPage(fr.data)
+	if _, err := p.f.WriteAt(fr.data, int64(fr.pageNo)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", fr.pageNo, err)
+	}
+	fr.dirty = false
+	return nil
+}
+
+// flushAll writes every dirty frame, using the double-write journal for
+// torn-write protection, and fsyncs the store file.
+func (p *pool) flushAll() error {
+	var dirty []*frame
+	for _, fr := range p.frames {
+		if fr.dirty {
+			dirty = append(dirty, fr)
+		}
+	}
+	if len(dirty) == 0 {
+		return p.f.Sync()
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].pageNo < dirty[j].pageNo })
+	if p.dw != nil {
+		for _, fr := range dirty {
+			sealPage(fr.data)
+		}
+		if err := p.dw.capture(dirty); err != nil {
+			return err
+		}
+	}
+	for _, fr := range dirty {
+		if err := p.writeFrame(fr); err != nil {
+			return err
+		}
+	}
+	if err := p.f.Sync(); err != nil {
+		return err
+	}
+	if p.dw != nil {
+		return p.dw.clear()
+	}
+	return nil
+}

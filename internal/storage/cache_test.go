@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/xid"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache()
+	oid := c.AllocOID()
+	if oid.IsNil() {
+		t.Fatal("AllocOID returned nil oid")
+	}
+	if !c.Create(oid, []byte("a")) {
+		t.Fatal("Create failed")
+	}
+	if c.Create(oid, []byte("b")) {
+		t.Fatal("duplicate Create succeeded")
+	}
+	got, ok := c.Read(oid)
+	if !ok || string(got) != "a" {
+		t.Fatalf("Read = %q,%v", got, ok)
+	}
+	prev, existed := c.Install(oid, []byte("c"))
+	if !existed || string(prev) != "a" {
+		t.Fatalf("Install prev = %q,%v", prev, existed)
+	}
+	data, ok := c.Delete(oid)
+	if !ok || string(data) != "c" {
+		t.Fatalf("Delete = %q,%v", data, ok)
+	}
+	if _, ok := c.Read(oid); ok {
+		t.Fatal("Read after Delete succeeded")
+	}
+}
+
+func TestCacheReadReturnsCopy(t *testing.T) {
+	c := NewCache()
+	c.Create(1, []byte("abc"))
+	got, _ := c.Read(1)
+	got[0] = 'X'
+	again, _ := c.Read(1)
+	if string(again) != "abc" {
+		t.Fatal("Read exposed the internal buffer")
+	}
+}
+
+func TestCacheObjectLatchedWrite(t *testing.T) {
+	c := NewCache()
+	c.Create(1, []byte{0})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				o := c.Object(1)
+				o.Lat.Lock()
+				d := o.Data()
+				cp := make([]byte, len(d))
+				copy(cp, d)
+				cp[0]++
+				o.SetData(cp)
+				o.Lat.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	got, _ := c.Read(1)
+	if got[0] != byte(8*1000%256) {
+		t.Fatalf("counter = %d, want %d (lost update under latch)", got[0], byte(8*1000%256))
+	}
+}
+
+func TestCacheAllocAfterSetNextOID(t *testing.T) {
+	c := NewCache()
+	c.SetNextOID(100)
+	if oid := c.AllocOID(); oid != 101 {
+		t.Fatalf("AllocOID after SetNextOID(100) = %v, want ob101", oid)
+	}
+	c.SetNextOID(50) // must not regress
+	if oid := c.AllocOID(); oid != 102 {
+		t.Fatalf("AllocOID = %v, want ob102", oid)
+	}
+}
+
+func TestCacheForEach(t *testing.T) {
+	c := NewCache()
+	for i := 1; i <= 10; i++ {
+		c.Create(xid.OID(i), []byte{byte(i)})
+	}
+	n := 0
+	c.ForEach(func(oid xid.OID, data []byte) bool {
+		if data[0] != byte(oid) {
+			t.Errorf("oid %v has data %v", oid, data)
+		}
+		n++
+		return true
+	})
+	if n != 10 {
+		t.Fatalf("ForEach visited %d, want 10", n)
+	}
+}
+
+func TestMemBackendRoundTrip(t *testing.T) {
+	b := NewMemBackend()
+	b.Put(1, []byte("x"))
+	b.Put(2, []byte("y"))
+	b.Delete(1)
+	got := map[xid.OID][]byte{}
+	b.LoadAll(func(oid xid.OID, data []byte) error {
+		got[oid] = data
+		return nil
+	})
+	if len(got) != 1 || !bytes.Equal(got[2], []byte("y")) {
+		t.Fatalf("LoadAll = %v", got)
+	}
+}
+
+func TestPageBackendImplementsBackend(t *testing.T) {
+	var _ Backend = PageBackend{}
+	var _ Backend = NullBackend{}
+	var _ Backend = (*MemBackend)(nil)
+}

@@ -1,0 +1,179 @@
+// Package storage provides ASSET's storage substrate: the shared object
+// cache that transactions operate on directly (§4 of the paper describes
+// this mode of EOS), and a persistent page-based object store used as the
+// checkpoint backend. The page store uses slotted data pages, overflow
+// chains for large objects, a buffer pool with clock eviction, per-page
+// checksums, and a double-write journal so that torn page writes cannot
+// corrupt a checkpoint.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/xid"
+)
+
+// PageSize is the unit of disk I/O and buffering.
+const PageSize = 8192
+
+// Page layout:
+//
+//	off 0:  type  u8   (0 free, 1 data, 2 blob)
+//	off 1:  pad   u8
+//	off 2:  nslots/chunkLen u16 (data: slot count; blob: chunk length)
+//	off 4:  freeOff u16 (data pages: low end of the record area)
+//	off 6:  pad   u16
+//	off 8:  next  u64  (blob chain pointer; 0 = end)
+//	off 16: crc   u32  (checksum of the rest of the page)
+//	off 20: pad   u32
+//	off 24: slot array (data pages) or chunk bytes (blob pages)
+//
+// Records grow downward from the end of data pages. Each slot is 16 bytes:
+// oid u64, off u16, len u16, flags u16, pad u16.
+const (
+	pageHeaderSize = 24
+	slotSize       = 16
+	blobChunkSize  = PageSize - pageHeaderSize
+
+	pageTypeFree = 0
+	pageTypeData = 1
+	pageTypeBlob = 2
+
+	slotLive    = 0
+	slotDead    = 1
+	slotBlobRef = 2
+
+	blobRefSize = 12 // firstPage u64 + totalLen u32
+
+	// maxInline is the largest record stored inline in a data page.
+	maxInline = PageSize - pageHeaderSize - slotSize
+)
+
+type slot struct {
+	oid   xid.OID
+	off   uint16
+	len   uint16
+	flags uint16
+}
+
+func pageType(p []byte) byte       { return p[0] }
+func setPageType(p []byte, t byte) { p[0] = t }
+
+func pageNSlots(p []byte) int        { return int(binary.LittleEndian.Uint16(p[2:4])) }
+func setPageNSlots(p []byte, n int)  { binary.LittleEndian.PutUint16(p[2:4], uint16(n)) }
+func pageFreeOff(p []byte) int       { return int(binary.LittleEndian.Uint16(p[4:6])) }
+func setPageFreeOff(p []byte, o int) { binary.LittleEndian.PutUint16(p[4:6], uint16(o)) }
+func pageNext(p []byte) uint64       { return binary.LittleEndian.Uint64(p[8:16]) }
+func setPageNext(p []byte, n uint64) { binary.LittleEndian.PutUint64(p[8:16], n) }
+
+func blobChunkLen(p []byte) int       { return int(binary.LittleEndian.Uint16(p[2:4])) }
+func setBlobChunkLen(p []byte, n int) { binary.LittleEndian.PutUint16(p[2:4], uint16(n)) }
+
+func initDataPage(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+	setPageType(p, pageTypeData)
+	setPageFreeOff(p, PageSize)
+}
+
+func initBlobPage(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+	setPageType(p, pageTypeBlob)
+}
+
+func getSlot(p []byte, i int) slot {
+	b := p[pageHeaderSize+i*slotSize:]
+	return slot{
+		oid:   xid.OID(binary.LittleEndian.Uint64(b[0:8])),
+		off:   binary.LittleEndian.Uint16(b[8:10]),
+		len:   binary.LittleEndian.Uint16(b[10:12]),
+		flags: binary.LittleEndian.Uint16(b[12:14]),
+	}
+}
+
+func putSlot(p []byte, i int, s slot) {
+	b := p[pageHeaderSize+i*slotSize:]
+	binary.LittleEndian.PutUint64(b[0:8], uint64(s.oid))
+	binary.LittleEndian.PutUint16(b[8:10], s.off)
+	binary.LittleEndian.PutUint16(b[10:12], s.len)
+	binary.LittleEndian.PutUint16(b[12:14], s.flags)
+	binary.LittleEndian.PutUint16(b[14:16], 0)
+}
+
+// pageContigFree returns the bytes available between the slot array and the
+// record area of a data page.
+func pageContigFree(p []byte) int {
+	return pageFreeOff(p) - pageHeaderSize - pageNSlots(p)*slotSize
+}
+
+// pageLiveBytes sums live record bytes and counts live slots.
+func pageLiveBytes(p []byte) (bytes, liveSlots int) {
+	n := pageNSlots(p)
+	for i := 0; i < n; i++ {
+		s := getSlot(p, i)
+		if s.flags != slotDead {
+			bytes += int(s.len)
+			liveSlots++
+		}
+	}
+	return bytes, liveSlots
+}
+
+// pageFreeAfterCompaction returns the contiguous free space a compaction
+// would yield (dead slots removed, live records packed).
+func pageFreeAfterCompaction(p []byte) int {
+	bytes, live := pageLiveBytes(p)
+	return PageSize - pageHeaderSize - live*slotSize - bytes
+}
+
+// compactPage packs live records to the end of the page and removes dead
+// slots. It returns the mapping from oid to new slot index so the caller can
+// fix its directory.
+func compactPage(p []byte) map[xid.OID]int {
+	n := pageNSlots(p)
+	type rec struct {
+		s    slot
+		data []byte
+	}
+	var recs []rec
+	for i := 0; i < n; i++ {
+		s := getSlot(p, i)
+		if s.flags == slotDead {
+			continue
+		}
+		d := make([]byte, s.len)
+		copy(d, p[s.off:int(s.off)+int(s.len)])
+		recs = append(recs, rec{s, d})
+	}
+	// Rebuild.
+	moved := make(map[xid.OID]int, len(recs))
+	freeOff := PageSize
+	for i, r := range recs {
+		freeOff -= len(r.data)
+		copy(p[freeOff:], r.data)
+		r.s.off = uint16(freeOff)
+		putSlot(p, i, r.s)
+		moved[r.s.oid] = i
+	}
+	setPageNSlots(p, len(recs))
+	setPageFreeOff(p, freeOff)
+	// Zero the gap so checksums are deterministic.
+	for i := pageHeaderSize + len(recs)*slotSize; i < freeOff; i++ {
+		p[i] = 0
+	}
+	return moved
+}
+
+func pageCheck(pageNo uint64, p []byte) error {
+	if pageType(p) == pageTypeData {
+		n := pageNSlots(p)
+		if pageHeaderSize+n*slotSize > pageFreeOff(p) || pageFreeOff(p) > PageSize {
+			return fmt.Errorf("storage: page %d: corrupt slot directory", pageNo)
+		}
+	}
+	return nil
+}

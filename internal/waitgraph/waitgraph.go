@@ -1,0 +1,168 @@
+// Package waitgraph maintains a single waits-for graph spanning every kind
+// of blocking in ASSET: transactions waiting for conflicting locks (§4.2
+// read-lock/write-lock step 1b) and transactions whose commit is delayed by
+// commit/abort dependencies (§4.2 commit steps 2a/2b). Because both kinds of
+// wait feed one graph, deadlocks that cross the two mechanisms — ti blocked
+// in commit on tj while tj is blocked on a lock ti holds — are detected,
+// not just lock-lock cycles.
+//
+// An edge waiter → holder means "waiter cannot proceed until holder changes
+// state". A cycle is a deadlock. Cycles are detected eagerly when an edge is
+// added; the victim is the youngest transaction on the cycle (the one with
+// the largest tid, since tids are assigned monotonically), which minimizes
+// lost work.
+package waitgraph
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/xid"
+)
+
+// Graph is a concurrent waits-for graph. The zero value is not usable;
+// create one with New.
+type Graph struct {
+	mu    sync.Mutex
+	edges map[xid.TID]map[xid.TID]int // waiter -> holder -> refcount
+}
+
+// New returns an empty waits-for graph.
+func New() *Graph {
+	return &Graph{edges: make(map[xid.TID]map[xid.TID]int)}
+}
+
+// Add records that waiter is blocked on each holder. If the new edges close
+// one or more cycles, Add selects the youngest transaction on the first
+// cycle found as the deadlock victim and returns it together with the cycle
+// path (victim first). When no deadlock arises, the returned victim is the
+// null tid.
+//
+// Edges are reference counted: a waiter blocked on the same holder through
+// two mechanisms must Remove twice.
+func (g *Graph) Add(waiter xid.TID, holders ...xid.TID) (victim xid.TID, cycle []xid.TID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m := g.edges[waiter]
+	if m == nil {
+		m = make(map[xid.TID]int)
+		g.edges[waiter] = m
+	}
+	for _, h := range holders {
+		if h == waiter || h.IsNil() {
+			continue
+		}
+		m[h]++
+	}
+	if len(m) == 0 {
+		delete(g.edges, waiter)
+		return xid.NilTID, nil
+	}
+	cycle = g.findCycleFrom(waiter)
+	if cycle == nil {
+		return xid.NilTID, nil
+	}
+	victim = youngest(cycle)
+	// Rotate the cycle so the victim is first, for readable diagnostics.
+	for i, t := range cycle {
+		if t == victim {
+			cycle = append(cycle[i:], cycle[:i]...)
+			break
+		}
+	}
+	return victim, cycle
+}
+
+// Remove drops one reference on the edge waiter → holder. Removing a
+// non-existent edge is a no-op.
+func (g *Graph) Remove(waiter, holder xid.TID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if m := g.edges[waiter]; m != nil {
+		if m[holder] > 1 {
+			m[holder]--
+		} else {
+			delete(m, holder)
+			if len(m) == 0 {
+				delete(g.edges, waiter)
+			}
+		}
+	}
+}
+
+// RemoveWaiter drops every outgoing edge of waiter (it stopped waiting).
+func (g *Graph) RemoveWaiter(waiter xid.TID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.edges, waiter)
+}
+
+// RemoveNode drops the transaction entirely, both as waiter and as holder,
+// when it terminates.
+func (g *Graph) RemoveNode(t xid.TID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.edges, t)
+	for w, m := range g.edges {
+		delete(m, t)
+		if len(m) == 0 {
+			delete(g.edges, w)
+		}
+	}
+}
+
+// Waiters returns the transactions currently blocked, in ascending tid
+// order. Intended for diagnostics and tests.
+func (g *Graph) Waiters() []xid.TID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]xid.TID, 0, len(g.edges))
+	for w := range g.edges {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// findCycleFrom performs a DFS from start and returns the first cycle that
+// passes through start, or nil. Caller holds g.mu.
+func (g *Graph) findCycleFrom(start xid.TID) []xid.TID {
+	var path []xid.TID
+	onPath := make(map[xid.TID]bool)
+	visited := make(map[xid.TID]bool)
+	var dfs func(t xid.TID) []xid.TID
+	dfs = func(t xid.TID) []xid.TID {
+		path = append(path, t)
+		onPath[t] = true
+		visited[t] = true
+		for h := range g.edges[t] {
+			if onPath[h] {
+				// Found a cycle: the suffix of path from h onward.
+				for i, p := range path {
+					if p == h {
+						return append([]xid.TID(nil), path[i:]...)
+					}
+				}
+			}
+			if !visited[h] {
+				if c := dfs(h); c != nil {
+					return c
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[t] = false
+		return nil
+	}
+	return dfs(start)
+}
+
+func youngest(cycle []xid.TID) xid.TID {
+	v := cycle[0]
+	for _, t := range cycle[1:] {
+		if t > v {
+			v = t
+		}
+	}
+	return v
+}

@@ -1,0 +1,142 @@
+package waitgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xid"
+)
+
+func TestNoCycleNoVictim(t *testing.T) {
+	g := New()
+	if v, _ := g.Add(1, 2); !v.IsNil() {
+		t.Fatalf("victim %v on acyclic add", v)
+	}
+	if v, _ := g.Add(2, 3); !v.IsNil() {
+		t.Fatalf("victim %v on acyclic add", v)
+	}
+	if v, _ := g.Add(1, 3); !v.IsNil() {
+		t.Fatalf("victim %v on acyclic add", v)
+	}
+}
+
+func TestTwoCycleVictimIsYoungest(t *testing.T) {
+	g := New()
+	g.Add(1, 2)
+	v, cycle := g.Add(2, 1)
+	if v != 2 {
+		t.Fatalf("victim = %v, want t2 (youngest)", v)
+	}
+	if len(cycle) != 2 || cycle[0] != 2 {
+		t.Fatalf("cycle = %v, want rotated to start at victim", cycle)
+	}
+}
+
+func TestThreeCycle(t *testing.T) {
+	g := New()
+	g.Add(3, 7)
+	g.Add(7, 5)
+	v, cycle := g.Add(5, 3)
+	if v != 7 {
+		t.Fatalf("victim = %v, want t7", v)
+	}
+	if len(cycle) != 3 {
+		t.Fatalf("cycle length = %d, want 3", len(cycle))
+	}
+}
+
+func TestSelfEdgeIgnored(t *testing.T) {
+	g := New()
+	if v, _ := g.Add(4, 4); !v.IsNil() {
+		t.Fatalf("self edge produced victim %v", v)
+	}
+	if len(g.Waiters()) != 0 {
+		t.Fatal("self edge stored")
+	}
+}
+
+func TestRefcountedRemove(t *testing.T) {
+	g := New()
+	g.Add(1, 2)
+	g.Add(1, 2) // second mechanism blocks 1 on 2
+	g.Remove(1, 2)
+	// Edge must still exist: closing the cycle should detect it.
+	if v, _ := g.Add(2, 1); v.IsNil() {
+		t.Fatal("edge dropped after single Remove of double-added edge")
+	}
+	g.Remove(2, 1)
+	g.Remove(1, 2)
+	if v, _ := g.Add(2, 1); !v.IsNil() {
+		t.Fatal("cycle detected after all edges removed")
+	}
+}
+
+func TestRemoveWaiterAndNode(t *testing.T) {
+	g := New()
+	g.Add(1, 2)
+	g.Add(2, 3)
+	g.RemoveWaiter(1)
+	if v, _ := g.Add(2, 1); !v.IsNil() {
+		t.Fatal("cycle via removed waiter")
+	}
+	g.RemoveNode(2)
+	if got := g.Waiters(); len(got) != 0 {
+		t.Fatalf("Waiters after RemoveNode = %v", got)
+	}
+}
+
+func TestMultiHolderAdd(t *testing.T) {
+	g := New()
+	g.Add(1, 2, 3, 4)
+	g.Add(4, 5)
+	v, cycle := g.Add(5, 1)
+	if v != 5 {
+		t.Fatalf("victim = %v, want t5", v)
+	}
+	if len(cycle) != 3 {
+		t.Fatalf("cycle = %v, want length 3 (1->4->5)", cycle)
+	}
+}
+
+// TestQuickAcyclicNeverVictims: inserting only forward edges (small tid
+// waits on larger tid) can never produce a cycle.
+func TestQuickAcyclicNeverVictims(t *testing.T) {
+	f := func(pairs [][2]uint8) bool {
+		g := New()
+		for _, p := range pairs {
+			a, b := xid.TID(p[0])+1, xid.TID(p[1])+1
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			if v, _ := g.Add(a, b); !v.IsNil() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCycleAlwaysDetected: adding a ring of edges must report a victim
+// on the closing edge.
+func TestQuickCycleAlwaysDetected(t *testing.T) {
+	f := func(n uint8) bool {
+		size := int(n%10) + 2
+		g := New()
+		for i := 1; i < size; i++ {
+			if v, _ := g.Add(xid.TID(i), xid.TID(i+1)); !v.IsNil() {
+				return false
+			}
+		}
+		v, cycle := g.Add(xid.TID(size), 1)
+		return v == xid.TID(size) && len(cycle) == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package wal
+
+import (
+	"sync"
+	"time"
+)
+
+// Coalescer wraps an Appender and batches Flush calls: concurrent
+// committers share one physical log force (classic group commit, as
+// opposed to the GC-dependency group commit of the paper, which shares a
+// commit *record*). A caller's Flush returns once a force that began after
+// the caller's appends has completed.
+//
+// The optional window makes the flush leader linger before forcing, giving
+// followers time to append their commit records into the same force at the
+// cost of added commit latency.
+type Coalescer struct {
+	Appender
+	window time.Duration
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	inFlight   bool
+	gated      bool   // the in-flight leader has started the physical force
+	startedGen uint64 // forces started
+	doneGen    uint64 // forces completed
+	err        error  // outcome of the last completed force
+	forces     uint64
+}
+
+// NewCoalescer wraps log. A zero window still coalesces whatever arrives
+// while a force is in flight.
+func NewCoalescer(log Appender, window time.Duration) *Coalescer {
+	c := &Coalescer{Appender: log, window: window}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Flush forces the log, sharing the force with concurrent callers.
+func (c *Coalescer) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Which force generation covers this caller's appends? If a leader is
+	// in flight and has not yet begun the physical force, its force will
+	// include our appends; otherwise we need the next one.
+	var need uint64
+	if c.inFlight && !c.gated {
+		need = c.startedGen
+	} else {
+		need = c.startedGen + 1
+	}
+	for c.doneGen < need {
+		if c.inFlight {
+			c.cond.Wait()
+			continue
+		}
+		// Become the leader for force generation startedGen+1.
+		c.inFlight = true
+		c.gated = false
+		c.startedGen++
+		mine := c.startedGen
+		if c.window > 0 {
+			c.mu.Unlock()
+			time.Sleep(c.window) // accumulate followers
+			c.mu.Lock()
+		}
+		c.gated = true // appends after this point need the next force
+		c.mu.Unlock()
+		err := c.Appender.Flush()
+		c.mu.Lock()
+		c.err = err
+		c.doneGen = mine
+		c.inFlight = false
+		c.forces++
+		c.cond.Broadcast()
+	}
+	return c.err
+}
+
+// Forces returns the number of physical forces performed (for the E6
+// batching measurements).
+func (c *Coalescer) Forces() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.forces
+}
+
+// Truncate forwards to the wrapped log when it supports truncation. The
+// caller must be quiescent (no concurrent flushes), as at a checkpoint.
+func (c *Coalescer) Truncate() error {
+	type truncatable interface{ Truncate() error }
+	if t, ok := c.Appender.(truncatable); ok {
+		return t.Truncate()
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package wal
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// slowLog counts flushes and makes each take a while, so concurrent
+// flushers overlap and coalesce.
+type slowLog struct {
+	MemLog
+	delay   time.Duration
+	flushes atomic.Int64
+}
+
+func (l *slowLog) Flush() error {
+	l.flushes.Add(1)
+	time.Sleep(l.delay)
+	return l.MemLog.Flush()
+}
+
+func TestCoalescerSingleCaller(t *testing.T) {
+	base := &slowLog{}
+	c := NewCoalescer(base, 0)
+	for i := 0; i < 3; i++ {
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := base.flushes.Load(); got != 3 {
+		t.Fatalf("flushes = %d, want 3 (no spurious coalescing when serial)", got)
+	}
+}
+
+func TestCoalescerBatchesConcurrentFlushes(t *testing.T) {
+	base := &slowLog{delay: 20 * time.Millisecond}
+	c := NewCoalescer(base, 0)
+	const callers = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := c.Flush(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	got := base.flushes.Load()
+	// All 16 arrive together: one leads, the rest coalesce into at most a
+	// couple of follow-up forces.
+	if got >= callers/2 {
+		t.Fatalf("flushes = %d for %d concurrent callers; coalescing broken", got, callers)
+	}
+	if got < 1 {
+		t.Fatal("no flush happened at all")
+	}
+}
+
+// TestCoalescerCoversLateAppends: a Flush arriving after the leader began
+// the physical force must trigger another force (its data was not covered).
+func TestCoalescerCoversLateAppends(t *testing.T) {
+	base := &slowLog{delay: 30 * time.Millisecond}
+	c := NewCoalescer(base, 0)
+	first := make(chan struct{})
+	go func() {
+		c.Flush()
+		close(first)
+	}()
+	time.Sleep(10 * time.Millisecond) // leader is now inside the force
+	// This caller's appends are NOT covered by the in-flight force.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	<-first
+	if got := base.flushes.Load(); got != 2 {
+		t.Fatalf("flushes = %d, want 2 (late arrival needs its own force)", got)
+	}
+}
+
+func TestCoalescerWindowAccumulates(t *testing.T) {
+	base := &slowLog{}
+	c := NewCoalescer(base, 30*time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * 2 * time.Millisecond) // staggered arrivals
+			c.Flush()
+		}(i)
+	}
+	wg.Wait()
+	if got := base.flushes.Load(); got > 2 {
+		t.Fatalf("flushes = %d; the window should have batched staggered arrivals", got)
+	}
+	if c.Forces() != uint64(base.flushes.Load()) {
+		t.Fatalf("Forces() = %d, want %d", c.Forces(), base.flushes.Load())
+	}
+}
+
+// errLog fails its flushes.
+type errLog struct{ MemLog }
+
+func (l *errLog) Flush() error { return errFlushBoom }
+
+var errFlushBoom = errTruncated // reuse a sentinel; identity is what matters
+
+func TestCoalescerPropagatesErrors(t *testing.T) {
+	c := NewCoalescer(&errLog{}, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Flush(); err == nil {
+				t.Error("coalesced flush swallowed the error")
+			}
+		}()
+	}
+	wg.Wait()
+}

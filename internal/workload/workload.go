@@ -1,0 +1,207 @@
+// Package workload provides access-pattern generators and latency
+// statistics for the benchmark harness: uniform and Zipfian key choices,
+// log-scale latency histograms with percentiles, and a closed-loop driver
+// that runs N workers for a fixed duration or operation count.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Generator yields object indexes in [0, n).
+type Generator interface {
+	Next() uint64
+}
+
+// Uniform picks keys uniformly at random. Not safe for concurrent use;
+// give each worker its own.
+type Uniform struct {
+	rng *rand.Rand
+	n   uint64
+}
+
+// NewUniform returns a uniform generator over [0, n).
+func NewUniform(seed int64, n uint64) *Uniform {
+	return &Uniform{rng: rand.New(rand.NewSource(seed)), n: n}
+}
+
+// Next returns the next key.
+func (u *Uniform) Next() uint64 { return u.rng.Uint64() % u.n }
+
+// Zipf picks keys with a Zipfian distribution (popular keys dominate),
+// the standard model for skewed/hot-spot workloads. Not safe for
+// concurrent use.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf returns a Zipfian generator over [0, n) with skew s (> 1;
+// higher is more skewed; 1.2 is a realistic hot-spot workload).
+func NewZipf(seed int64, n uint64, s float64) *Zipf {
+	if s <= 1 {
+		s = 1.0001
+	}
+	return &Zipf{z: rand.NewZipf(rand.New(rand.NewSource(seed)), s, 1, n-1)}
+}
+
+// Next returns the next key.
+func (z *Zipf) Next() uint64 { return z.z.Uint64() }
+
+// Hist is a lock-free log-scale latency histogram (64 power-of-two
+// buckets of nanoseconds).
+type Hist struct {
+	buckets [64]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Record adds one latency observation.
+func (h *Hist) Record(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if d < 0 {
+		ns = 0
+	}
+	b := 0
+	for v := ns; v > 1; v >>= 1 {
+		b++
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean latency.
+func (h *Hist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Percentile returns an upper-bound estimate of the p-th percentile
+// latency (p in (0,1]).
+func (h *Hist) Percentile(p float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p * float64(n)))
+	if target == 0 {
+		target = 1
+	}
+	if target > n {
+		target = n
+	}
+	var seen uint64
+	for b := 0; b < len(h.buckets); b++ {
+		seen += h.buckets[b].Load()
+		if seen >= target {
+			return time.Duration(uint64(1) << uint(b))
+		}
+	}
+	return time.Duration(1<<63 - 1)
+}
+
+// Merge folds other into h.
+func (h *Hist) Merge(other *Hist) {
+	for i := range h.buckets {
+		h.buckets[i].Add(other.buckets[i].Load())
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+}
+
+// Result summarizes a closed-loop run.
+type Result struct {
+	Ops    uint64
+	Errors uint64
+	Wall   time.Duration
+	Lat    *Hist
+}
+
+// Throughput returns operations per second.
+func (r Result) Throughput() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Wall.Seconds()
+}
+
+// String renders the result for harness tables.
+func (r Result) String() string {
+	return fmt.Sprintf("%.0f ops/s (p50 %v, p99 %v, %d errs)",
+		r.Throughput(), r.Lat.Percentile(0.50), r.Lat.Percentile(0.99), r.Errors)
+}
+
+// RunClosed runs `workers` goroutines for the given duration, each calling
+// fn in a closed loop (fn's error counts as an error, not a stop). fn
+// receives the worker index and the iteration number.
+func RunClosed(workers int, duration time.Duration, fn func(worker, iter int) error) Result {
+	var (
+		hist   Hist
+		ops    atomic.Uint64
+		errs   atomic.Uint64
+		stop   atomic.Bool
+		wgroup sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wgroup.Add(1)
+		go func(w int) {
+			defer wgroup.Done()
+			for i := 0; !stop.Load(); i++ {
+				t0 := time.Now()
+				err := fn(w, i)
+				hist.Record(time.Since(t0))
+				ops.Add(1)
+				if err != nil {
+					errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	time.Sleep(duration)
+	stop.Store(true)
+	wgroup.Wait()
+	return Result{Ops: ops.Load(), Errors: errs.Load(), Wall: time.Since(start), Lat: &hist}
+}
+
+// RunOps runs `workers` goroutines until a total of totalOps calls have
+// completed.
+func RunOps(workers int, totalOps uint64, fn func(worker, iter int) error) Result {
+	var (
+		hist Hist
+		ops  atomic.Uint64
+		errs atomic.Uint64
+		wg   sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				if ops.Add(1) > totalOps {
+					ops.Add(^uint64(0))
+					return
+				}
+				t0 := time.Now()
+				if err := fn(w, i); err != nil {
+					errs.Add(1)
+				}
+				hist.Record(time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	return Result{Ops: ops.Load(), Errors: errs.Load(), Wall: time.Since(start), Lat: &hist}
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestUniformRange(t *testing.T) {
+	g := NewUniform(1, 10)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		k := g.Next()
+		if k >= 10 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("uniform generator too narrow: %d distinct", len(seen))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewZipf(1, 1000, 1.3)
+	counts := map[uint64]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next()]++
+	}
+	// The hottest key must take a disproportionate share.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/n < 0.05 {
+		t.Fatalf("zipf not skewed: hottest key only %.2f%%", 100*float64(max)/n)
+	}
+}
+
+func TestHistPercentiles(t *testing.T) {
+	var h Hist
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Microsecond)
+	}
+	h.Record(time.Second) // outlier
+	if h.Count() != 1001 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Percentile(0.50)
+	if p50 > 10*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~1µs", p50)
+	}
+	p999 := h.Percentile(0.9999)
+	if p999 < 500*time.Millisecond {
+		t.Fatalf("p99.99 = %v, want ~1s (outlier)", p999)
+	}
+	if h.Mean() < 500*time.Microsecond {
+		t.Fatalf("mean = %v, outlier should pull it up", h.Mean())
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	a.Record(time.Millisecond)
+	b.Record(time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+}
+
+func TestRunClosedCountsOpsAndErrors(t *testing.T) {
+	res := RunClosed(4, 50*time.Millisecond, func(w, i int) error {
+		if i%10 == 0 {
+			return errors.New("planned")
+		}
+		return nil
+	})
+	if res.Ops == 0 {
+		t.Fatal("no ops recorded")
+	}
+	if res.Errors == 0 || res.Errors >= res.Ops {
+		t.Fatalf("errors = %d of %d", res.Errors, res.Ops)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+}
+
+func TestRunOpsExactCount(t *testing.T) {
+	res := RunOps(4, 1000, func(w, i int) error { return nil })
+	if res.Ops != 1000 {
+		t.Fatalf("ops = %d, want exactly 1000", res.Ops)
+	}
+}

@@ -1,0 +1,200 @@
+// Package xid defines the identifier and enumeration types shared by every
+// ASSET subsystem: transaction identifiers (TID), object identifiers (OID),
+// operation sets, transaction statuses, and dependency types.
+//
+// The types mirror the vocabulary of the paper: a TID names a transaction
+// descriptor, an OID names an object in the store, an OpSet is the
+// "operations" argument of the permit primitive, and DepType enumerates the
+// dependency kinds accepted by form_dependency.
+package xid
+
+import "fmt"
+
+// TID identifies a transaction. The zero value is the null tid returned by
+// initiate on failure and by parent() for top-level transactions.
+type TID uint64
+
+// NilTID is the null transaction identifier.
+const NilTID TID = 0
+
+// IsNil reports whether t is the null tid.
+func (t TID) IsNil() bool { return t == NilTID }
+
+// String renders a tid as "t<N>", or "t∅" for the null tid.
+func (t TID) String() string {
+	if t == NilTID {
+		return "t∅"
+	}
+	return fmt.Sprintf("t%d", uint64(t))
+}
+
+// OID identifies a persistent object. The zero value is the null oid; stores
+// never allocate it.
+type OID uint64
+
+// NilOID is the null object identifier.
+const NilOID OID = 0
+
+// IsNil reports whether o is the null oid.
+func (o OID) IsNil() bool { return o == NilOID }
+
+// String renders an oid as "ob<N>", or "ob∅" for the null oid.
+func (o OID) String() string {
+	if o == NilOID {
+		return "ob∅"
+	}
+	return fmt.Sprintf("ob%d", uint64(o))
+}
+
+// OpSet is a set of elementary operations, used both as a lock mode request
+// and as the "operations" argument of permit. OpAll is the wildcard used by
+// the permit(ti, tj) form ("any conflicting operation").
+type OpSet uint32
+
+// Elementary operations. OpIncr is the §5 "future work" extension: a
+// class-specific commutative operation (escrow-style counter increment)
+// that is compatible with itself but conflicts with reads and writes.
+const (
+	OpRead  OpSet = 1 << iota // read the object
+	OpWrite                   // update the object
+	OpIncr                    // commutative increment (semantic locking)
+
+	// OpAll is every operation; it is the permit wildcard.
+	OpAll = OpRead | OpWrite | OpIncr
+)
+
+// Has reports whether s contains every operation in ops.
+func (s OpSet) Has(ops OpSet) bool { return s&ops == ops }
+
+// Intersect returns the operations present in both sets. Permit transitivity
+// composes permissions with Intersect, per the paper's rule
+// permit(ti,tk, ob∩ob', op∩op').
+func (s OpSet) Intersect(o OpSet) OpSet { return s & o }
+
+// Union returns the operations present in either set.
+func (s OpSet) Union(o OpSet) OpSet { return s | o }
+
+// Conflicts reports whether an operation in s conflicts with an operation
+// in o on the same object. Reads are compatible with reads, increments
+// commute with increments, and every other combination conflicts.
+func (s OpSet) Conflicts(o OpSet) bool {
+	if s == 0 || o == 0 {
+		return false
+	}
+	u := s.Union(o)
+	return u != OpRead && u != OpIncr
+}
+
+// String renders the set from the letters r, w, and i, or "-" when empty.
+func (s OpSet) String() string {
+	if s == 0 {
+		return "-"
+	}
+	var b []byte
+	if s.Has(OpRead) {
+		b = append(b, 'r')
+	}
+	if s.Has(OpWrite) {
+		b = append(b, 'w')
+	}
+	if s.Has(OpIncr) {
+		b = append(b, 'i')
+	}
+	return string(b)
+}
+
+// Status is the life-cycle state of a transaction, per §2.1 of the paper:
+// initiated -> running -> completed -> {committing -> committed | aborting ->
+// aborted}. A transaction is "active" while running or completed, and
+// "terminated" once committed or aborted.
+type Status int32
+
+// Transaction statuses.
+const (
+	StatusInitiated  Status = iota // registered, not yet begun
+	StatusRunning                  // executing its function
+	StatusCompleted                // function returned, not yet terminated
+	StatusCommitting               // inside the commit protocol
+	StatusCommitted                // terminated successfully
+	StatusAborting                 // inside the abort protocol
+	StatusAborted                  // terminated by abort
+)
+
+// Active reports whether the transaction has begun executing and has not
+// terminated (it may be running or completed).
+func (s Status) Active() bool {
+	return s == StatusRunning || s == StatusCompleted || s == StatusCommitting || s == StatusAborting
+}
+
+// Terminated reports whether the transaction has committed or aborted.
+func (s Status) Terminated() bool { return s == StatusCommitted || s == StatusAborted }
+
+// String returns the lower-case status name.
+func (s Status) String() string {
+	switch s {
+	case StatusInitiated:
+		return "initiated"
+	case StatusRunning:
+		return "running"
+	case StatusCompleted:
+		return "completed"
+	case StatusCommitting:
+		return "committing"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborting:
+		return "aborting"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("status(%d)", int32(s))
+	}
+}
+
+// DepType enumerates the dependency kinds accepted by form_dependency.
+type DepType int32
+
+// Dependency types. CD, AD, and GC are the paper's §2.2 set; BD is the
+// begin-on-commit extension mentioned in DESIGN.md.
+const (
+	// DepCD is a commit dependency: if both commit, tj cannot commit before
+	// ti commits; if ti aborts, tj may still commit.
+	DepCD DepType = iota
+	// DepAD is an abort dependency: if ti aborts, tj must abort. AD covers
+	// CD.
+	DepAD
+	// DepGC is a group commit dependency: either both ti and tj commit or
+	// neither does.
+	DepGC
+	// DepBD is a begin-on-commit dependency (extension): tj may not begin
+	// until ti commits; ti's abort aborts tj.
+	DepBD
+	// DepBAD is a begin-on-abort dependency (extension, ACTA's
+	// compensation pattern): tj may begin only after ti aborts; ti's
+	// commit aborts tj.
+	DepBAD
+	// DepEXC is an exclusion dependency (extension): at most one of ti and
+	// tj commits — whichever commits first aborts the other (contingent
+	// transactions expressed declaratively).
+	DepEXC
+)
+
+// String returns the dependency type name used by the paper.
+func (d DepType) String() string {
+	switch d {
+	case DepCD:
+		return "CD"
+	case DepAD:
+		return "AD"
+	case DepGC:
+		return "GC"
+	case DepBD:
+		return "BD"
+	case DepBAD:
+		return "BAD"
+	case DepEXC:
+		return "EXC"
+	default:
+		return fmt.Sprintf("dep(%d)", int32(d))
+	}
+}

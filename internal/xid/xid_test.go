@@ -1,0 +1,135 @@
+package xid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNilIDs(t *testing.T) {
+	if !NilTID.IsNil() || !NilOID.IsNil() {
+		t.Fatal("zero values must be nil ids")
+	}
+	if TID(1).IsNil() || OID(1).IsNil() {
+		t.Fatal("non-zero ids must not be nil")
+	}
+	if NilTID.String() != "t∅" || NilOID.String() != "ob∅" {
+		t.Fatalf("nil strings: %q %q", NilTID.String(), NilOID.String())
+	}
+	if TID(7).String() != "t7" || OID(9).String() != "ob9" {
+		t.Fatalf("strings: %q %q", TID(7).String(), OID(9).String())
+	}
+}
+
+func TestOpSetAlgebra(t *testing.T) {
+	if !OpAll.Has(OpRead) || !OpAll.Has(OpWrite) || !OpAll.Has(OpIncr) {
+		t.Fatal("OpAll must contain every op")
+	}
+	if OpRead.Has(OpWrite) {
+		t.Fatal("read does not contain write")
+	}
+	if (OpRead | OpWrite).Intersect(OpWrite|OpIncr) != OpWrite {
+		t.Fatal("intersect wrong")
+	}
+	if OpRead.Union(OpWrite) != OpRead|OpWrite {
+		t.Fatal("union wrong")
+	}
+}
+
+func TestConflictMatrix(t *testing.T) {
+	cases := []struct {
+		a, b OpSet
+		want bool
+	}{
+		{OpRead, OpRead, false},
+		{OpRead, OpWrite, true},
+		{OpWrite, OpWrite, true},
+		{OpIncr, OpIncr, false},
+		{OpIncr, OpRead, true},
+		{OpIncr, OpWrite, true},
+		{OpRead | OpIncr, OpRead, true}, // incr in the mix conflicts with reads
+		{0, OpWrite, false},             // empty set conflicts with nothing
+		{OpWrite, 0, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Conflicts(c.b); got != c.want {
+			t.Errorf("Conflicts(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestConflictsSymmetric(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := OpSet(a)&OpAll, OpSet(b)&OpAll
+		return x.Conflicts(y) == y.Conflicts(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpSetString(t *testing.T) {
+	cases := map[OpSet]string{
+		0:               "-",
+		OpRead:          "r",
+		OpWrite:         "w",
+		OpIncr:          "i",
+		OpRead | OpIncr: "ri",
+		OpAll:           "rwi",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%b.String() = %q, want %q", uint32(s), got, want)
+		}
+	}
+}
+
+func TestStatusPredicates(t *testing.T) {
+	active := []Status{StatusRunning, StatusCompleted, StatusCommitting, StatusAborting}
+	for _, s := range active {
+		if !s.Active() {
+			t.Errorf("%v should be active", s)
+		}
+	}
+	for _, s := range []Status{StatusInitiated, StatusCommitted, StatusAborted} {
+		if s.Active() {
+			t.Errorf("%v should not be active", s)
+		}
+	}
+	for _, s := range []Status{StatusCommitted, StatusAborted} {
+		if !s.Terminated() {
+			t.Errorf("%v should be terminated", s)
+		}
+	}
+	if StatusRunning.Terminated() {
+		t.Error("running is not terminated")
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	names := map[Status]string{
+		StatusInitiated:  "initiated",
+		StatusRunning:    "running",
+		StatusCompleted:  "completed",
+		StatusCommitting: "committing",
+		StatusCommitted:  "committed",
+		StatusAborting:   "aborting",
+		StatusAborted:    "aborted",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if Status(99).String() == "" {
+		t.Error("unknown status must still render")
+	}
+}
+
+func TestDepTypeStrings(t *testing.T) {
+	names := map[DepType]string{DepCD: "CD", DepAD: "AD", DepGC: "GC", DepBD: "BD"}
+	for d, want := range names {
+		if d.String() != want {
+			t.Errorf("%v, want %q", d, want)
+		}
+	}
+}

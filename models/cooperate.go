@@ -1,0 +1,83 @@
+package models
+
+import (
+	asset "repro"
+)
+
+// Cooperate wires the §3.2.1 cooperating-transactions pattern between two
+// live transactions: ti permits tj to perform the given operations on the
+// shared objects, and a commit dependency keeps tj from committing before
+// ti terminates. Call it again with the roles swapped for the "ping-pong"
+// that lets both sides keep working on the shared objects:
+//
+//	form_dependency(CD, ti, tj);  permit(ti, tj, ob, op);
+func Cooperate(m *asset.Manager, ti, tj asset.TID, oids []asset.OID, ops asset.OpSet) error {
+	if err := m.FormDependency(asset.CD, ti, tj); err != nil {
+		return err
+	}
+	return m.Permit(ti, tj, oids, ops)
+}
+
+// CoupleFates adds the mutual commitment the section suggests for design
+// environments ("both commit or neither"): a group commit dependency on top
+// of mutual permits over the shared objects.
+func CoupleFates(m *asset.Manager, ti, tj asset.TID, oids []asset.OID) error {
+	if err := m.Permit(ti, tj, oids, 0); err != nil {
+		return err
+	}
+	if err := m.Permit(tj, ti, oids, 0); err != nil {
+		return err
+	}
+	return m.FormDependency(asset.GC, ti, tj)
+}
+
+// Workspace is a shared design workspace for a set of cooperating
+// transactions: every participant may perform any operation on the shared
+// objects concurrently, and the whole group commits or aborts together —
+// "changes to the (design) object being shared will be committed only if
+// the final state ... is acceptable in the eyes of the cooperating
+// designers".
+type Workspace struct {
+	m       *asset.Manager
+	oids    []asset.OID
+	members []asset.TID
+}
+
+// NewWorkspace creates a workspace over the given shared objects.
+func NewWorkspace(m *asset.Manager, oids ...asset.OID) *Workspace {
+	return &Workspace{m: m, oids: oids}
+}
+
+// Admit adds a live transaction to the workspace: mutual permits with every
+// existing member and a GC dependency binding its fate to the group's.
+func (w *Workspace) Admit(t asset.TID) error {
+	for _, other := range w.members {
+		if err := CoupleFates(w.m, other, t, w.oids); err != nil {
+			return err
+		}
+	}
+	w.members = append(w.members, t)
+	return nil
+}
+
+// Members returns the admitted transactions in admission order.
+func (w *Workspace) Members() []asset.TID {
+	return append([]asset.TID(nil), w.members...)
+}
+
+// CommitAll commits the whole workspace group (committing any member
+// commits all, per group-commit semantics).
+func (w *Workspace) CommitAll() error {
+	if len(w.members) == 0 {
+		return nil
+	}
+	return w.m.Commit(w.members[0])
+}
+
+// AbortAll aborts the whole group.
+func (w *Workspace) AbortAll() error {
+	if len(w.members) == 0 {
+		return nil
+	}
+	return w.m.Abort(w.members[0])
+}

@@ -1,0 +1,43 @@
+package models
+
+import (
+	asset "repro"
+)
+
+// CursorMode selects the degree of consistency for a scan.
+type CursorMode int
+
+// Cursor modes.
+const (
+	// RepeatableRead holds every read lock until the scanning transaction
+	// terminates (full serializability; writers wait).
+	RepeatableRead CursorMode = iota
+	// CursorStability permits writes to each record as soon as the cursor
+	// moves past it (§3.2.2): writers proceed without waiting for the
+	// scanner to commit, at the price of non-repeatable reads.
+	CursorStability
+)
+
+// Scan visits the given records in order under the chosen consistency
+// mode, calling fn with each record's contents. Under CursorStability it
+// executes the paper's translation — permit(ti, record, write) before
+// moving the cursor to the next record.
+func Scan(tx *asset.Tx, mode CursorMode, oids []asset.OID, fn func(oid asset.OID, data []byte) error) error {
+	m := tx.Manager()
+	for _, oid := range oids {
+		data, err := tx.Read(oid)
+		if err != nil {
+			return err
+		}
+		if err := fn(oid, data); err != nil {
+			return err
+		}
+		if mode == CursorStability {
+			// Done with this record: any transaction may now write it.
+			if err := m.Permit(tx.ID(), asset.NilTID, []asset.OID{oid}, asset.OpWrite); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

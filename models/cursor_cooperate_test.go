@@ -1,0 +1,203 @@
+package models
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	asset "repro"
+)
+
+func TestScanRepeatableReadBlocksWriters(t *testing.T) {
+	m := newMem(t)
+	var oids []asset.OID
+	for i := 0; i < 3; i++ {
+		oids = append(oids, seed(t, m, []byte(fmt.Sprintf("r%d", i))))
+	}
+	scanDone := make(chan struct{})
+	hold := make(chan struct{})
+	scanner, _ := m.Initiate(func(tx *asset.Tx) error {
+		var got []string
+		if err := Scan(tx, RepeatableRead, oids, func(_ asset.OID, data []byte) error {
+			got = append(got, string(data))
+			return nil
+		}); err != nil {
+			return err
+		}
+		if fmt.Sprint(got) != "[r0 r1 r2]" {
+			t.Errorf("scan saw %v", got)
+		}
+		close(scanDone)
+		<-hold
+		return nil
+	})
+	m.Begin(scanner)
+	<-scanDone
+	// Under repeatable read a writer must block until the scanner commits.
+	wDone := make(chan error, 1)
+	writer, _ := m.Initiate(func(tx *asset.Tx) error {
+		err := tx.Write(oids[0], []byte("w"))
+		wDone <- err
+		return err
+	})
+	m.Begin(writer)
+	select {
+	case err := <-wDone:
+		t.Fatalf("writer proceeded (%v) against repeatable-read scan", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(hold)
+	if err := m.Commit(scanner); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(writer); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanCursorStabilityReleasesBehindCursor(t *testing.T) {
+	m := newMem(t)
+	var oids []asset.OID
+	for i := 0; i < 2; i++ {
+		oids = append(oids, seed(t, m, []byte("x")))
+	}
+	scanDone := make(chan struct{})
+	hold := make(chan struct{})
+	scanner, _ := m.Initiate(func(tx *asset.Tx) error {
+		if err := Scan(tx, CursorStability, oids, func(asset.OID, []byte) error { return nil }); err != nil {
+			return err
+		}
+		close(scanDone)
+		<-hold
+		return nil
+	})
+	m.Begin(scanner)
+	<-scanDone
+	// The scanner is still open, but writers proceed.
+	done := make(chan error, 1)
+	go func() { done <- Atomic(m, func(tx *asset.Tx) error { return tx.Write(oids[0], []byte("w")) }) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer blocked despite cursor stability")
+	}
+	close(hold)
+	m.Commit(scanner)
+}
+
+func TestScanCallbackErrorAborts(t *testing.T) {
+	m := newMem(t)
+	oid := seed(t, m, []byte("x"))
+	err := Atomic(m, func(tx *asset.Tx) error {
+		return Scan(tx, CursorStability, []asset.OID{oid}, func(asset.OID, []byte) error {
+			return errors.New("inspection failed")
+		})
+	})
+	if !errors.Is(err, asset.ErrAborted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCooperateHelper(t *testing.T) {
+	m := newMem(t)
+	oid := seed(t, m, []byte{0})
+	tiWrote := make(chan struct{})
+	tjWrote := make(chan struct{})
+	ti, _ := m.Initiate(func(tx *asset.Tx) error {
+		if err := tx.Update(oid, func(b []byte) []byte { b[0] += 1; return b }); err != nil {
+			return err
+		}
+		close(tiWrote)
+		<-tjWrote
+		return nil
+	})
+	tj, _ := m.Initiate(func(tx *asset.Tx) error {
+		<-tiWrote
+		defer close(tjWrote)
+		return tx.Update(oid, func(b []byte) []byte { b[0] += 2; return b })
+	})
+	// Cooperate: CD + permit lets tj write concurrently but not commit
+	// before ti terminates.
+	if err := Cooperate(m, ti, tj, []asset.OID{oid}, asset.OpAll); err != nil {
+		t.Fatal(err)
+	}
+	m.Begin(ti, tj)
+	res := make(chan error, 1)
+	go func() { res <- m.Commit(tj) }()
+	select {
+	case err := <-res:
+		t.Fatalf("tj committed (%v) before ti terminated (CD violated)", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := m.Commit(ti); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-res; err != nil {
+		t.Fatal(err)
+	}
+	if got := readObj(t, m, oid); got[0] != 3 {
+		t.Fatalf("object = %d, want 3", got[0])
+	}
+}
+
+func TestWorkspaceMembers(t *testing.T) {
+	m := newMem(t)
+	oid := seed(t, m, []byte("d"))
+	ws := NewWorkspace(m, oid)
+	if len(ws.Members()) != 0 {
+		t.Fatal("fresh workspace has members")
+	}
+	a, _ := m.Initiate(func(tx *asset.Tx) error { return nil })
+	if err := ws.Admit(a); err != nil {
+		t.Fatal(err)
+	}
+	got := ws.Members()
+	if len(got) != 1 || got[0] != a {
+		t.Fatalf("members = %v", got)
+	}
+	// The returned slice is a copy.
+	got[0] = 999
+	if ws.Members()[0] != a {
+		t.Fatal("Members exposed internal state")
+	}
+	m.Begin(a)
+	if err := ws.CommitAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Empty-workspace operations are no-ops.
+	empty := NewWorkspace(m, oid)
+	if err := empty.CommitAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.AbortAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubRequiredAlias(t *testing.T) {
+	m := newMem(t)
+	oid := seed(t, m, []byte("-"))
+	err := Atomic(m, func(tx *asset.Tx) error {
+		return SubRequired(tx, func(c *asset.Tx) error { return c.Write(oid, []byte("sub")) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readObj(t, m, oid) != "sub" {
+		t.Fatal("SubRequired lost the write")
+	}
+}
+
+func TestDistributedEmptyAndContingentEmpty(t *testing.T) {
+	m := newMem(t)
+	if err := Distributed(m); err != nil {
+		t.Fatal(err)
+	}
+	if idx, err := Contingent(m); idx != -1 || err == nil {
+		t.Fatalf("empty contingent = %d, %v", idx, err)
+	}
+}

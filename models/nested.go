@@ -1,0 +1,77 @@
+package models
+
+import (
+	asset "repro"
+)
+
+// Sub executes fn as a subtransaction of the transaction running tx,
+// following the paper's §3.1.4 nested-transaction translation exactly:
+//
+//	t1 = initiate(f);  permit(self(), t1);  begin(t1);
+//	if (!wait(t1)) abort(self());
+//	delegate(t1, self());  commit(t1);
+//
+// The parent's permit lets the child access every object the parent holds
+// (and, transitively, the objects the parent was itself permitted — so a
+// nested subtransaction can reach any ancestor's objects). The delegation
+// folds the child's work into the parent: it becomes permanent only when
+// the top-level transaction commits, while the child can abort without
+// aborting the parent when the caller handles the error.
+//
+// Sub returns asset.ErrAborted if the child aborted; the caller decides
+// whether that aborts the whole transaction (return the error) or not
+// (ignore it, as contingent subtransactions do).
+func Sub(tx *asset.Tx, fn asset.TxnFunc) error {
+	m := tx.Manager()
+	child, err := tx.Initiate(fn)
+	if err != nil {
+		return err
+	}
+	// The child may use everything the parent may (no conflicts between
+	// parent and child).
+	if err := m.Permit(tx.ID(), child, nil, 0); err != nil {
+		return err
+	}
+	if err := m.Begin(child); err != nil {
+		return err
+	}
+	// tx.Wait (not Manager.Wait): the parent holds locks while it waits,
+	// so this dependency must be visible to deadlock detection.
+	if err := tx.Wait(child); err != nil {
+		return err // child aborted; caller decides whether to abort self
+	}
+	// Fold the child's effects into the parent.
+	if err := m.Delegate(child, tx.ID()); err != nil {
+		return err
+	}
+	// The child delegated everything, so committing it only terminates the
+	// descriptor (the paper notes commit-vs-abort is immaterial here).
+	return m.Commit(child)
+}
+
+// SubRequired is Sub for subtransactions whose failure must abort the whole
+// nested transaction: any child error is returned so the parent body
+// propagates it (the paper's abort(self())).
+func SubRequired(tx *asset.Tx, fn asset.TxnFunc) error {
+	return Sub(tx, fn)
+}
+
+// SubOptional runs a subtransaction whose failure is tolerated: it returns
+// true if the child committed into the parent, false if it aborted (the
+// parent continues either way). Non-abort infrastructure errors are still
+// returned.
+func SubOptional(tx *asset.Tx, fn asset.TxnFunc) (bool, error) {
+	err := Sub(tx, fn)
+	switch {
+	case err == nil:
+		return true, nil
+	case isAbort(err):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+func isAbort(err error) bool {
+	return err != nil && (errorsIs(err, asset.ErrAborted) || errorsIs(err, asset.ErrDeadlock))
+}

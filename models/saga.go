@@ -1,0 +1,172 @@
+package models
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	asset "repro"
+)
+
+// SagaStep is one component transaction of a saga with its compensating
+// transaction. Compensation may be nil for the final step (the paper notes
+// tn needs no compensation) or for steps with no external effects.
+type SagaStep struct {
+	Name       string
+	Action     asset.TxnFunc
+	Compensate asset.TxnFunc
+}
+
+// Saga is the §3.1.6 model: a sequence of component transactions that
+// commit independently (releasing their locks early), with compensating
+// transactions run in reverse order if a later component aborts. Build one
+// with NewSaga, add steps with Step, and execute with Run.
+type Saga struct {
+	m     *asset.Manager
+	steps []SagaStep
+	// CompensationRetries bounds the retry loop for a compensating
+	// transaction ("a compensating transaction must be retried until it
+	// finally commits"); 0 means the default of 100.
+	CompensationRetries int
+}
+
+// NewSaga returns an empty saga over m.
+func NewSaga(m *asset.Manager) *Saga { return &Saga{m: m} }
+
+// Step appends a component transaction with its compensation and returns
+// the saga for chaining.
+func (s *Saga) Step(name string, action, compensate asset.TxnFunc) *Saga {
+	s.steps = append(s.steps, SagaStep{Name: name, Action: action, Compensate: compensate})
+	return s
+}
+
+// SagaResult reports how a saga execution unfolded.
+type SagaResult struct {
+	// Committed lists the component steps that committed, in order.
+	Committed []string
+	// FailedStep is the step whose component transaction aborted ("" if
+	// the saga committed).
+	FailedStep string
+	// Compensated lists the compensating transactions that ran, in the
+	// order they committed (reverse order of the components).
+	Compensated []string
+}
+
+// Err returns nil if the saga committed and an error describing the
+// abort-and-compensate outcome otherwise.
+func (r *SagaResult) Err() error {
+	if r.FailedStep == "" {
+		return nil
+	}
+	return fmt.Errorf("models: saga aborted at step %q (%d steps compensated): %w",
+		r.FailedStep, len(r.Compensated), asset.ErrAborted)
+}
+
+// RunParallel executes every component transaction concurrently — the
+// generalization Garcia-Molina & Salem sketch for sagas whose components
+// are independent. If any component aborts, the components that committed
+// are compensated (reverse declaration order, each retried until commit).
+// Components must be mutually independent; components touching the same
+// objects serialize on their locks like any transactions.
+func (s *Saga) RunParallel() (*SagaResult, error) {
+	res := &SagaResult{}
+	errs := make([]error, len(s.steps))
+	var wg sync.WaitGroup
+	for i := range s.steps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = Atomic(s.m, s.steps[i].Action)
+		}(i)
+	}
+	wg.Wait()
+	failed := -1
+	for i, err := range errs {
+		if err == nil {
+			res.Committed = append(res.Committed, s.steps[i].Name)
+			continue
+		}
+		if !errors.Is(err, asset.ErrAborted) && !errors.Is(err, asset.ErrDeadlock) {
+			return res, err
+		}
+		if failed < 0 {
+			failed = i
+			res.FailedStep = s.steps[i].Name
+		}
+	}
+	if failed < 0 {
+		return res, nil
+	}
+	retries := s.CompensationRetries
+	if retries <= 0 {
+		retries = 100
+	}
+	for i := len(s.steps) - 1; i >= 0; i-- {
+		if errs[i] != nil || s.steps[i].Compensate == nil {
+			continue
+		}
+		var lastErr error
+		done := false
+		for attempt := 0; attempt < retries; attempt++ {
+			if lastErr = Atomic(s.m, s.steps[i].Compensate); lastErr == nil {
+				done = true
+				break
+			}
+		}
+		if !done {
+			return res, fmt.Errorf("models: compensation %q did not commit after %d attempts: %w",
+				s.steps[i].Name, retries, lastErr)
+		}
+		res.Compensated = append(res.Compensated, s.steps[i].Name)
+	}
+	return res, nil
+}
+
+// Run executes the saga per the paper's translation: each component runs
+// as an ordinary atomic transaction (initiate; begin; commit) and commits
+// before the next starts; if component k fails, compensations ct_{k-1}..ct_1
+// run in reverse order, each retried until it commits. The returned
+// result's Err method distinguishes commit from compensated abort.
+func (s *Saga) Run() (*SagaResult, error) {
+	res := &SagaResult{}
+	failed := -1
+	for i, step := range s.steps {
+		if err := Atomic(s.m, step.Action); err != nil {
+			if !errors.Is(err, asset.ErrAborted) && !errors.Is(err, asset.ErrDeadlock) {
+				return res, err // infrastructure error, not a component abort
+			}
+			res.FailedStep = step.Name
+			failed = i
+			break
+		}
+		res.Committed = append(res.Committed, step.Name)
+	}
+	if failed < 0 {
+		return res, nil
+	}
+	// Compensate committed components in reverse order of commitment.
+	retries := s.CompensationRetries
+	if retries <= 0 {
+		retries = 100
+	}
+	for i := failed - 1; i >= 0; i-- {
+		step := s.steps[i]
+		if step.Compensate == nil {
+			continue
+		}
+		var lastErr error
+		committed := false
+		for attempt := 0; attempt < retries; attempt++ {
+			if lastErr = Atomic(s.m, step.Compensate); lastErr == nil {
+				committed = true
+				break
+			}
+		}
+		if !committed {
+			return res, fmt.Errorf("models: compensation %q did not commit after %d attempts: %w",
+				step.Name, retries, lastErr)
+		}
+		res.Compensated = append(res.Compensated, step.Name)
+	}
+	return res, nil
+}

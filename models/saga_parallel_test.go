@@ -1,0 +1,94 @@
+package models
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	asset "repro"
+)
+
+func TestParallelSagaAllCommit(t *testing.T) {
+	m := newMem(t)
+	var oids [4]asset.OID
+	for i := range oids {
+		oids[i] = seed(t, m, []byte("-"))
+	}
+	s := NewSaga(m)
+	for i := range oids {
+		oid := oids[i]
+		name := string(rune('a' + i))
+		s.Step(name, func(tx *asset.Tx) error { return tx.Write(oid, []byte(name)) }, nil)
+	}
+	res, err := s.RunParallel()
+	if err != nil || res.Err() != nil {
+		t.Fatalf("err=%v resErr=%v", err, res.Err())
+	}
+	if len(res.Committed) != 4 {
+		t.Fatalf("committed = %v", res.Committed)
+	}
+	for i, oid := range oids {
+		if got := readObj(t, m, oid); got != string(rune('a'+i)) {
+			t.Fatalf("oid %d = %q", i, got)
+		}
+	}
+}
+
+func TestParallelSagaCompensatesCommittedOnFailure(t *testing.T) {
+	m := newMem(t)
+	a := seed(t, m, []byte("a0"))
+	b := seed(t, m, []byte("b0"))
+	var compensated atomic.Int32
+	s := NewSaga(m).
+		Step("a", func(tx *asset.Tx) error { return tx.Write(a, []byte("a1")) },
+			func(tx *asset.Tx) error { compensated.Add(1); return tx.Write(a, []byte("a0")) }).
+		Step("b", func(tx *asset.Tx) error { return tx.Write(b, []byte("b1")) },
+			func(tx *asset.Tx) error { compensated.Add(1); return tx.Write(b, []byte("b0")) }).
+		Step("boom", func(tx *asset.Tx) error { return errors.New("fail") }, nil)
+	res, err := s.RunParallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err() == nil || res.FailedStep != "boom" {
+		t.Fatalf("res = %+v", res)
+	}
+	if compensated.Load() != 2 {
+		t.Fatalf("compensations = %d, want 2", compensated.Load())
+	}
+	if readObj(t, m, a) != "a0" || readObj(t, m, b) != "b0" {
+		t.Fatal("state not restored")
+	}
+	// Compensations run in reverse declaration order.
+	want := []string{"b", "a"}
+	if len(res.Compensated) != 2 || res.Compensated[0] != want[0] || res.Compensated[1] != want[1] {
+		t.Fatalf("compensated order = %v, want %v", res.Compensated, want)
+	}
+}
+
+func TestParallelSagaIndependentStepsActuallyOverlap(t *testing.T) {
+	m := newMem(t)
+	gateA := make(chan struct{})
+	gateB := make(chan struct{})
+	// Each step unblocks the other: only concurrent execution completes.
+	s := NewSaga(m).
+		Step("a", func(tx *asset.Tx) error {
+			close(gateA)
+			<-gateB
+			return nil
+		}, nil).
+		Step("b", func(tx *asset.Tx) error {
+			close(gateB)
+			<-gateA
+			return nil
+		}, nil)
+	res, err := s.RunParallel()
+	if err != nil || res.Err() != nil {
+		t.Fatalf("parallel steps deadlocked or failed: %v %v", err, res.Err())
+	}
+	got := append([]string(nil), res.Committed...)
+	sort.Strings(got)
+	if len(got) != 2 {
+		t.Fatalf("committed = %v", got)
+	}
+}

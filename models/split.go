@@ -1,0 +1,48 @@
+package models
+
+import (
+	"errors"
+
+	asset "repro"
+)
+
+func errorsIs(err, target error) bool { return errors.Is(err, target) }
+
+// Split splits a new transaction s off the transaction running tx (§3.1.5):
+// the operations tx has performed on the objects in oids (all of them when
+// oids is empty) are delegated to s, which then begins executing fn. The
+// two transactions commit or abort independently afterwards. It follows the
+// paper's translation:
+//
+//	s = initiate(f);  delegate(parent(s), s, X);  begin(s);
+//
+// The caller receives s's tid for a later Join, commit, or abort.
+func Split(tx *asset.Tx, fn asset.TxnFunc, oids ...asset.OID) (asset.TID, error) {
+	m := tx.Manager()
+	s, err := tx.Initiate(fn)
+	if err != nil {
+		return asset.NilTID, err
+	}
+	if err := m.Delegate(tx.ID(), s, oids...); err != nil {
+		m.Abort(s)
+		return asset.NilTID, err
+	}
+	if err := m.Begin(s); err != nil {
+		return asset.NilTID, err
+	}
+	return s, nil
+}
+
+// Join joins transaction s into transaction t (§3.1.5): it waits for s to
+// complete, delegates everything s is responsible for to t, and terminates
+// s (which, having delegated all its work, commits vacuously). After Join,
+// s's operations commit or abort with t.
+func Join(m *asset.Manager, s, t asset.TID) error {
+	if err := m.Wait(s); err != nil {
+		return err // s aborted; nothing to join
+	}
+	if err := m.Delegate(s, t); err != nil {
+		return err
+	}
+	return m.Commit(s)
+}

@@ -1,0 +1,362 @@
+package odb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	asset "repro"
+)
+
+// BTree is a persistent B+tree index from string keys to oids. Every node
+// is an ordinary object, so tree operations inherit transaction locking
+// (readers share nodes, writers exclude along their path) and abort rolls
+// back structural changes. Leaves are chained for range scans.
+//
+// Deletion is lazy (keys are removed; underfull nodes are not rebalanced),
+// the strategy several production B-trees use: the tree stays correct and
+// ordered, and space is reclaimed when emptied leaves are reused by later
+// splits of their neighbours' key space.
+type BTree struct {
+	db   *Database
+	name string
+	head asset.OID // header object: {Root, Order}
+}
+
+const defaultBTreeOrder = 32
+
+type btreeHeader struct {
+	Root  asset.OID
+	Order int
+}
+
+type btreeNode struct {
+	Leaf     bool
+	Keys     []string
+	Vals     []asset.OID // leaf: values; parallel to Keys
+	Children []asset.OID // internal: len(Keys)+1 children
+	Next     asset.OID   // leaf chain
+}
+
+func encodeNode(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("odb: encode btree node: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func decodeHeader(b []byte) (btreeHeader, error) {
+	var h btreeHeader
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&h)
+	return h, err
+}
+
+func decodeNode(b []byte) (*btreeNode, error) {
+	var n btreeNode
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&n); err != nil {
+		return nil, fmt.Errorf("odb: corrupt btree node: %w", err)
+	}
+	return &n, nil
+}
+
+// BTree returns the named sorted index, creating it (with the given order,
+// ≥ 4; 0 selects the default) if needed.
+func (db *Database) BTree(tx *asset.Tx, name string, order int) (*BTree, error) {
+	if order == 0 {
+		order = defaultBTreeOrder
+	}
+	if order < 4 {
+		order = 4
+	}
+	head, err := db.registryLookup(tx, "b:"+name, true, func() []byte {
+		return encodeNode(btreeHeader{Order: order})
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &BTree{db: db, name: name, head: head}
+	// Create the root leaf on first use.
+	h, err := t.header(tx)
+	if err != nil {
+		return nil, err
+	}
+	if h.Root.IsNil() {
+		root, err := tx.Create(encodeNode(btreeNode{Leaf: true}))
+		if err != nil {
+			return nil, err
+		}
+		h.Root = root
+		if err := tx.Write(t.head, encodeNode(h)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func (t *BTree) header(tx *asset.Tx) (btreeHeader, error) {
+	raw, err := tx.Read(t.head)
+	if err != nil {
+		return btreeHeader{}, err
+	}
+	return decodeHeader(raw)
+}
+
+func (t *BTree) node(tx *asset.Tx, oid asset.OID) (*btreeNode, error) {
+	raw, err := tx.Read(oid)
+	if err != nil {
+		return nil, err
+	}
+	return decodeNode(raw)
+}
+
+func (t *BTree) writeNode(tx *asset.Tx, oid asset.OID, n *btreeNode) error {
+	return tx.Write(oid, encodeNode(n))
+}
+
+// lowerBound returns the first index i with keys[i] >= key.
+func lowerBound(keys []string, key string) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns which child of an internal node covers key.
+func childIndex(keys []string, key string) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if key < keys[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Get returns the oid stored under key.
+func (t *BTree) Get(tx *asset.Tx, key string) (asset.OID, error) {
+	h, err := t.header(tx)
+	if err != nil {
+		return asset.NilOID, err
+	}
+	cur := h.Root
+	for {
+		n, err := t.node(tx, cur)
+		if err != nil {
+			return asset.NilOID, err
+		}
+		if n.Leaf {
+			i := lowerBound(n.Keys, key)
+			if i < len(n.Keys) && n.Keys[i] == key {
+				return n.Vals[i], nil
+			}
+			return asset.NilOID, fmt.Errorf("%w: key %q", ErrNotFound, key)
+		}
+		cur = n.Children[childIndex(n.Keys, key)]
+	}
+}
+
+// Set maps key to oid, replacing any existing mapping.
+func (t *BTree) Set(tx *asset.Tx, key string, oid asset.OID) error {
+	h, err := t.header(tx)
+	if err != nil {
+		return err
+	}
+	promotedKey, newChild, err := t.insert(tx, h.Root, key, oid, h.Order)
+	if err != nil {
+		return err
+	}
+	if newChild.IsNil() {
+		return nil
+	}
+	// Root split: grow the tree by one level.
+	newRoot, err := tx.Create(encodeNode(btreeNode{
+		Keys:     []string{promotedKey},
+		Children: []asset.OID{h.Root, newChild},
+	}))
+	if err != nil {
+		return err
+	}
+	h.Root = newRoot
+	return tx.Write(t.head, encodeNode(h))
+}
+
+// insert adds key→oid under node `cur`. If cur splits, it returns the
+// promoted separator key and the new right sibling's oid.
+func (t *BTree) insert(tx *asset.Tx, cur asset.OID, key string, oid asset.OID, order int) (string, asset.OID, error) {
+	n, err := t.node(tx, cur)
+	if err != nil {
+		return "", asset.NilOID, err
+	}
+	if n.Leaf {
+		i := lowerBound(n.Keys, key)
+		if i < len(n.Keys) && n.Keys[i] == key {
+			n.Vals[i] = oid // overwrite
+			return "", asset.NilOID, t.writeNode(tx, cur, n)
+		}
+		n.Keys = append(n.Keys, "")
+		copy(n.Keys[i+1:], n.Keys[i:])
+		n.Keys[i] = key
+		n.Vals = append(n.Vals, 0)
+		copy(n.Vals[i+1:], n.Vals[i:])
+		n.Vals[i] = oid
+		if len(n.Keys) < order {
+			return "", asset.NilOID, t.writeNode(tx, cur, n)
+		}
+		// Split the leaf: right half moves to a new node chained after cur.
+		mid := len(n.Keys) / 2
+		right := &btreeNode{
+			Leaf: true,
+			Keys: append([]string(nil), n.Keys[mid:]...),
+			Vals: append([]asset.OID(nil), n.Vals[mid:]...),
+			Next: n.Next,
+		}
+		rightOID, err := tx.Create(encodeNode(right))
+		if err != nil {
+			return "", asset.NilOID, err
+		}
+		sep := n.Keys[mid]
+		n.Keys = n.Keys[:mid]
+		n.Vals = n.Vals[:mid]
+		n.Next = rightOID
+		if err := t.writeNode(tx, cur, n); err != nil {
+			return "", asset.NilOID, err
+		}
+		return sep, rightOID, nil
+	}
+	// Internal node: descend, then absorb a child split if one happened.
+	ci := childIndex(n.Keys, key)
+	promoted, newChild, err := t.insert(tx, n.Children[ci], key, oid, order)
+	if err != nil || newChild.IsNil() {
+		return "", asset.NilOID, err
+	}
+	n.Keys = append(n.Keys, "")
+	copy(n.Keys[ci+1:], n.Keys[ci:])
+	n.Keys[ci] = promoted
+	n.Children = append(n.Children, 0)
+	copy(n.Children[ci+2:], n.Children[ci+1:])
+	n.Children[ci+1] = newChild
+	if len(n.Keys) < order {
+		return "", asset.NilOID, t.writeNode(tx, cur, n)
+	}
+	// Split the internal node; the middle key moves up (B-tree style).
+	mid := len(n.Keys) / 2
+	sep := n.Keys[mid]
+	right := &btreeNode{
+		Keys:     append([]string(nil), n.Keys[mid+1:]...),
+		Children: append([]asset.OID(nil), n.Children[mid+1:]...),
+	}
+	rightOID, err := tx.Create(encodeNode(right))
+	if err != nil {
+		return "", asset.NilOID, err
+	}
+	n.Keys = n.Keys[:mid]
+	n.Children = n.Children[:mid+1]
+	if err := t.writeNode(tx, cur, n); err != nil {
+		return "", asset.NilOID, err
+	}
+	return sep, rightOID, nil
+}
+
+// Delete removes key's mapping; deleting an absent key is an error.
+func (t *BTree) Delete(tx *asset.Tx, key string) error {
+	h, err := t.header(tx)
+	if err != nil {
+		return err
+	}
+	cur := h.Root
+	for {
+		n, err := t.node(tx, cur)
+		if err != nil {
+			return err
+		}
+		if n.Leaf {
+			i := lowerBound(n.Keys, key)
+			if i >= len(n.Keys) || n.Keys[i] != key {
+				return fmt.Errorf("%w: key %q", ErrNotFound, key)
+			}
+			n.Keys = append(n.Keys[:i], n.Keys[i+1:]...)
+			n.Vals = append(n.Vals[:i], n.Vals[i+1:]...)
+			return t.writeNode(tx, cur, n)
+		}
+		cur = n.Children[childIndex(n.Keys, key)]
+	}
+}
+
+// Range calls fn for every key in [from, to) in ascending order; an empty
+// `to` means "to the end". fn returning false stops the scan.
+func (t *BTree) Range(tx *asset.Tx, from, to string, fn func(key string, oid asset.OID) bool) error {
+	h, err := t.header(tx)
+	if err != nil {
+		return err
+	}
+	// Descend to the leaf covering `from`.
+	cur := h.Root
+	for {
+		n, err := t.node(tx, cur)
+		if err != nil {
+			return err
+		}
+		if n.Leaf {
+			break
+		}
+		cur = n.Children[childIndex(n.Keys, from)]
+	}
+	// Walk the leaf chain.
+	for !cur.IsNil() {
+		n, err := t.node(tx, cur)
+		if err != nil {
+			return err
+		}
+		for i, k := range n.Keys {
+			if k < from {
+				continue
+			}
+			if to != "" && k >= to {
+				return nil
+			}
+			if !fn(k, n.Vals[i]) {
+				return nil
+			}
+		}
+		cur = n.Next
+	}
+	return nil
+}
+
+// Len counts the stored keys (a full leaf-chain walk).
+func (t *BTree) Len(tx *asset.Tx) (int, error) {
+	count := 0
+	err := t.Range(tx, "", "", func(string, asset.OID) bool {
+		count++
+		return true
+	})
+	return count, err
+}
+
+// Min returns the smallest key and its oid.
+func (t *BTree) Min(tx *asset.Tx) (string, asset.OID, error) {
+	var key string
+	var oid asset.OID
+	found := false
+	err := t.Range(tx, "", "", func(k string, o asset.OID) bool {
+		key, oid, found = k, o, true
+		return false
+	})
+	if err != nil {
+		return "", asset.NilOID, err
+	}
+	if !found {
+		return "", asset.NilOID, fmt.Errorf("%w: empty tree", ErrNotFound)
+	}
+	return key, oid, nil
+}

@@ -1,0 +1,317 @@
+package odb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	asset "repro"
+	"repro/models"
+)
+
+func TestBTreeSetGetDelete(t *testing.T) {
+	db := newDB(t)
+	m := db.Manager()
+	err := models.Atomic(m, func(tx *asset.Tx) error {
+		bt, err := db.BTree(tx, "idx", 4) // tiny order forces splits early
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 200; i++ {
+			if err := bt.Set(tx, fmt.Sprintf("key-%04d", i), asset.OID(i+1)); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < 200; i++ {
+			oid, err := bt.Get(tx, fmt.Sprintf("key-%04d", i))
+			if err != nil {
+				return err
+			}
+			if oid != asset.OID(i+1) {
+				return fmt.Errorf("key-%04d -> %v", i, oid)
+			}
+		}
+		if _, err := bt.Get(tx, "absent"); !errors.Is(err, ErrNotFound) {
+			return fmt.Errorf("get absent = %v", err)
+		}
+		if err := bt.Delete(tx, "key-0100"); err != nil {
+			return err
+		}
+		if _, err := bt.Get(tx, "key-0100"); !errors.Is(err, ErrNotFound) {
+			return fmt.Errorf("deleted key still present: %v", err)
+		}
+		if err := bt.Delete(tx, "key-0100"); !errors.Is(err, ErrNotFound) {
+			return fmt.Errorf("double delete = %v", err)
+		}
+		// Overwrite keeps a single entry.
+		if err := bt.Set(tx, "key-0000", 999); err != nil {
+			return err
+		}
+		oid, err := bt.Get(tx, "key-0000")
+		if err != nil || oid != 999 {
+			return fmt.Errorf("overwrite: %v %v", oid, err)
+		}
+		n, err := bt.Len(tx)
+		if err != nil || n != 199 {
+			return fmt.Errorf("len = %d, %v", n, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeRangeOrdered(t *testing.T) {
+	db := newDB(t)
+	m := db.Manager()
+	keys := []string{"delta", "alpha", "echo", "bravo", "charlie", "foxtrot"}
+	err := models.Atomic(m, func(tx *asset.Tx) error {
+		bt, err := db.BTree(tx, "r", 4)
+		if err != nil {
+			return err
+		}
+		for i, k := range keys {
+			if err := bt.Set(tx, k, asset.OID(i+1)); err != nil {
+				return err
+			}
+		}
+		var got []string
+		if err := bt.Range(tx, "", "", func(k string, _ asset.OID) bool {
+			got = append(got, k)
+			return true
+		}); err != nil {
+			return err
+		}
+		want := append([]string(nil), keys...)
+		sort.Strings(want)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			return fmt.Errorf("full scan %v, want %v", got, want)
+		}
+		// Half-open [bravo, echo).
+		got = nil
+		if err := bt.Range(tx, "bravo", "echo", func(k string, _ asset.OID) bool {
+			got = append(got, k)
+			return true
+		}); err != nil {
+			return err
+		}
+		if fmt.Sprint(got) != "[bravo charlie delta]" {
+			return fmt.Errorf("range scan %v", got)
+		}
+		// Early stop.
+		count := 0
+		bt.Range(tx, "", "", func(string, asset.OID) bool { count++; return false })
+		if count != 1 {
+			return fmt.Errorf("early stop visited %d", count)
+		}
+		k, _, err := bt.Min(tx)
+		if err != nil || k != "alpha" {
+			return fmt.Errorf("min = %q, %v", k, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBTreeQuickMatchesMap property-tests the tree against a map with a
+// random operation sequence and verifies sorted iteration.
+func TestBTreeQuickMatchesMap(t *testing.T) {
+	db := newDB(t)
+	m := db.Manager()
+	ref := map[string]asset.OID{}
+	step := 0
+	f := func(key8, op uint8, val uint16) bool {
+		step++
+		key := fmt.Sprintf("k%03d", key8)
+		ok := true
+		err := models.Atomic(m, func(tx *asset.Tx) error {
+			bt, err := db.BTree(tx, "q", 4)
+			if err != nil {
+				return err
+			}
+			switch op % 3 {
+			case 0:
+				if err := bt.Set(tx, key, asset.OID(val)+1); err != nil {
+					return err
+				}
+				ref[key] = asset.OID(val) + 1
+			case 1:
+				err := bt.Delete(tx, key)
+				_, inRef := ref[key]
+				if inRef != (err == nil) {
+					ok = false
+				}
+				delete(ref, key)
+			case 2:
+				oid, err := bt.Get(tx, key)
+				want, inRef := ref[key]
+				if inRef != (err == nil) || (inRef && oid != want) {
+					ok = false
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		if step%25 != 0 {
+			return ok
+		}
+		// Periodically: full scan equals the sorted reference.
+		var gotKeys []string
+		models.Atomic(m, func(tx *asset.Tx) error {
+			bt, _ := db.BTree(tx, "q", 4)
+			return bt.Range(tx, "", "", func(k string, o asset.OID) bool {
+				gotKeys = append(gotKeys, k)
+				if ref[k] != o {
+					ok = false
+				}
+				return true
+			})
+		})
+		if len(gotKeys) != len(ref) {
+			return false
+		}
+		if !sort.StringsAreSorted(gotKeys) {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeAbortRollsBackSplits(t *testing.T) {
+	db := newDB(t)
+	m := db.Manager()
+	// Commit a few keys.
+	models.Atomic(m, func(tx *asset.Tx) error {
+		bt, err := db.BTree(tx, "s", 4)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 3; i++ {
+			if err := bt.Set(tx, fmt.Sprintf("base-%d", i), asset.OID(i+1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	// A big aborted insert burst (forcing splits and root growth).
+	err := models.Atomic(m, func(tx *asset.Tx) error {
+		bt, err := db.BTree(tx, "s", 4)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 100; i++ {
+			if err := bt.Set(tx, fmt.Sprintf("doomed-%03d", i), asset.OID(1000+i)); err != nil {
+				return err
+			}
+		}
+		return errors.New("abort the burst")
+	})
+	if !errors.Is(err, asset.ErrAborted) {
+		t.Fatalf("err = %v", err)
+	}
+	// The tree is structurally intact with only the committed keys.
+	err = models.Atomic(m, func(tx *asset.Tx) error {
+		bt, err := db.BTree(tx, "s", 4)
+		if err != nil {
+			return err
+		}
+		n, err := bt.Len(tx)
+		if err != nil {
+			return err
+		}
+		if n != 3 {
+			return fmt.Errorf("len = %d after aborted burst", n)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := bt.Get(tx, fmt.Sprintf("base-%d", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeDurableAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	m, err := asset.Open(asset.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Init(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	want := map[string]asset.OID{}
+	err = models.Atomic(m, func(tx *asset.Tx) error {
+		bt, err := db.BTree(tx, "d", 6)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("k%05d", rng.Intn(10000))
+			v := asset.OID(i + 1)
+			if err := bt.Set(tx, k, v); err != nil {
+				return err
+			}
+			want[k] = v
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	m2, err := asset.Open(asset.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	db2, err := Init(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = models.Atomic(m2, func(tx *asset.Tx) error {
+		bt, err := db2.BTree(tx, "d", 6)
+		if err != nil {
+			return err
+		}
+		n := 0
+		prev := ""
+		if err := bt.Range(tx, "", "", func(k string, o asset.OID) bool {
+			if k <= prev && prev != "" {
+				t.Errorf("order violated: %q after %q", k, prev)
+			}
+			if want[k] != o {
+				t.Errorf("recovered %q -> %v, want %v", k, o, want[k])
+			}
+			prev = k
+			n++
+			return true
+		}); err != nil {
+			return err
+		}
+		if n != len(want) {
+			return fmt.Errorf("recovered %d keys, want %d", n, len(want))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package odb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	asset "repro"
+)
+
+// Marshal encodes a Go value into an object image with encoding/gob. It is
+// the typed-record convenience the Ode layer offers over raw byte objects.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("odb: marshal %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes an object image produced by Marshal into out (a
+// pointer).
+func Unmarshal(data []byte, out any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(out); err != nil {
+		return fmt.Errorf("odb: unmarshal %T: %w", out, err)
+	}
+	return nil
+}
+
+// Put stores v (gob-encoded) as a new object and returns its oid.
+func Put[T any](tx *asset.Tx, v T) (asset.OID, error) {
+	data, err := Marshal(v)
+	if err != nil {
+		return asset.NilOID, err
+	}
+	return tx.Create(data)
+}
+
+// Get reads the object at oid and decodes it into a T.
+func Get[T any](tx *asset.Tx, oid asset.OID) (T, error) {
+	var out T
+	data, err := tx.Read(oid)
+	if err != nil {
+		return out, err
+	}
+	err = Unmarshal(data, &out)
+	return out, err
+}
+
+// Set overwrites the object at oid with v (gob-encoded).
+func Set[T any](tx *asset.Tx, oid asset.OID, v T) error {
+	data, err := Marshal(v)
+	if err != nil {
+		return err
+	}
+	return tx.Write(oid, data)
+}
+
+// Modify reads the T at oid, applies fn, and writes the result back, all
+// under the transaction's write lock.
+func Modify[T any](tx *asset.Tx, oid asset.OID, fn func(*T) error) error {
+	// Take the write lock first so the read-modify-write is stable.
+	if err := tx.Lock(oid, asset.OpWrite); err != nil {
+		return err
+	}
+	v, err := Get[T](tx, oid)
+	if err != nil {
+		return err
+	}
+	if err := fn(&v); err != nil {
+		return err
+	}
+	return Set(tx, oid, v)
+}

@@ -1,0 +1,411 @@
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	asset "repro"
+	"repro/models"
+)
+
+func newMem(t *testing.T) *asset.Manager {
+	t.Helper()
+	m, err := asset.Open(asset.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func seed(t *testing.T, m *asset.Manager, data []byte) asset.OID {
+	t.Helper()
+	var oid asset.OID
+	if err := models.Atomic(m, func(tx *asset.Tx) error {
+		var err error
+		oid, err = tx.Create(data)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return oid
+}
+
+func readObj(t *testing.T, m *asset.Manager, oid asset.OID) string {
+	t.Helper()
+	b, ok := m.Cache().Read(oid)
+	if !ok {
+		return "<missing>"
+	}
+	return string(b)
+}
+
+func set(oid asset.OID, val string) asset.TxnFunc {
+	return func(tx *asset.Tx) error { return tx.Write(oid, []byte(val)) }
+}
+
+func fail(msg string) asset.TxnFunc {
+	return func(tx *asset.Tx) error { return errors.New(msg) }
+}
+
+func TestLinearWorkflowCommits(t *testing.T) {
+	m := newMem(t)
+	a := seed(t, m, []byte("-"))
+	b := seed(t, m, []byte("-"))
+	res, err := New("two-steps").
+		Step(Task{Name: "first", Action: set(a, "A")}).
+		Step(Task{Name: "second", Action: set(b, "B")}).
+		Run(m)
+	if err != nil || res.Err() != nil {
+		t.Fatalf("err=%v resErr=%v", err, res.Err())
+	}
+	if readObj(t, m, a) != "A" || readObj(t, m, b) != "B" {
+		t.Fatal("step effects missing")
+	}
+}
+
+func TestRequiredFailureCompensatesInReverse(t *testing.T) {
+	m := newMem(t)
+	var events []string
+	mk := func(name string) Task {
+		return Task{
+			Name:       name,
+			Action:     func(tx *asset.Tx) error { events = append(events, name); return nil },
+			Compensate: func(tx *asset.Tx) error { events = append(events, "undo-"+name); return nil },
+		}
+	}
+	res, err := New("failing").
+		Step(mk("s1")).
+		Step(mk("s2")).
+		Step(Task{Name: "s3", Action: fail("nope")}).
+		Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.Err(), ErrFailed) || res.FailedStep != "s3" {
+		t.Fatalf("res = %+v", res)
+	}
+	want := "[s1 s2 undo-s2 undo-s1]"
+	if fmt.Sprint(events) != want {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+}
+
+func TestAlternativesPreferenceOrder(t *testing.T) {
+	m := newMem(t)
+	oid := seed(t, m, []byte("-"))
+	res, err := New("flight").
+		Alternatives("book-flight",
+			Task{Name: "Delta", Action: fail("full")},
+			Task{Name: "United", Action: set(oid, "United")},
+			Task{Name: "American", Action: set(oid, "American")},
+		).Run(m)
+	if err != nil || res.Err() != nil {
+		t.Fatalf("err=%v resErr=%v", err, res.Err())
+	}
+	if res.Steps[0].Chosen != "United" {
+		t.Fatalf("chosen = %q, want United (preference order)", res.Steps[0].Chosen)
+	}
+	if readObj(t, m, oid) != "United" {
+		t.Fatal("wrong alternative committed")
+	}
+}
+
+func TestOptionalStepFailureTolerated(t *testing.T) {
+	m := newMem(t)
+	a := seed(t, m, []byte("-"))
+	res, err := New("optional").
+		Step(Task{Name: "required", Action: set(a, "done")}).
+		Step(Task{Name: "car", Action: fail("no cars")}).Optional().
+		Run(m)
+	if err != nil || res.Err() != nil {
+		t.Fatalf("err=%v resErr=%v", err, res.Err())
+	}
+	if len(res.Compensated) != 0 {
+		t.Fatal("optional failure triggered compensation")
+	}
+	if readObj(t, m, a) != "done" {
+		t.Fatal("required step lost")
+	}
+}
+
+func TestRaceFirstCompletionWins(t *testing.T) {
+	m := newMem(t)
+	oid := seed(t, m, []byte("-"))
+	slowRelease := make(chan struct{})
+	defer close(slowRelease)
+	res, err := New("race").
+		Race("car",
+			Task{Name: "slow", Action: func(tx *asset.Tx) error {
+				<-slowRelease
+				return tx.Write(oid, []byte("slow"))
+			}},
+			Task{Name: "fast", Action: set(oid, "fast")},
+		).Run(m)
+	if err != nil || res.Err() != nil {
+		t.Fatalf("err=%v resErr=%v", err, res.Err())
+	}
+	if res.Steps[0].Chosen != "fast" {
+		t.Fatalf("winner = %q, want fast", res.Steps[0].Chosen)
+	}
+	if readObj(t, m, oid) != "fast" {
+		t.Fatalf("object = %q (loser committed?)", readObj(t, m, oid))
+	}
+}
+
+func TestRaceAllFail(t *testing.T) {
+	m := newMem(t)
+	res, err := New("race").
+		Race("car", Task{Name: "a", Action: fail("x")}, Task{Name: "b", Action: fail("y")}).
+		Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err() == nil {
+		t.Fatal("race with no finisher succeeded")
+	}
+}
+
+func TestCompensationRetriesUntilCommit(t *testing.T) {
+	m := newMem(t)
+	var attempts atomic.Int32
+	res, err := New("retry").
+		Step(Task{
+			Name:   "s1",
+			Action: func(tx *asset.Tx) error { return nil },
+			Compensate: func(tx *asset.Tx) error {
+				if attempts.Add(1) < 4 {
+					return errors.New("transient")
+				}
+				return nil
+			},
+		}).
+		Step(Task{Name: "s2", Action: fail("down")}).
+		Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts.Load() != 4 || len(res.Compensated) != 1 {
+		t.Fatalf("attempts=%d compensated=%v", attempts.Load(), res.Compensated)
+	}
+}
+
+// TestConferenceWorkflow reproduces the appendix's X_conference program
+// end to end (experiment E13): preference-ordered flights, a required
+// hotel with flight compensation on failure, and an optional car-rental
+// race.
+func TestConferenceWorkflow(t *testing.T) {
+	type fixture struct {
+		m                        *asset.Manager
+		flight, hotel, car       asset.OID
+		deltaFull, unitedFull    bool
+		americanFull, hotelFull  bool
+		nationalFail, avisFail   bool
+		nationalSlow, avisSlowCh chan struct{}
+	}
+	build := func(t *testing.T, f *fixture) *Workflow {
+		m := f.m
+		book := func(name string, full *bool, oid asset.OID, val string) Task {
+			return Task{
+				Name: name,
+				Action: func(tx *asset.Tx) error {
+					if *full {
+						return fmt.Errorf("%s: sold out", name)
+					}
+					return tx.Write(oid, []byte(val))
+				},
+				Compensate: func(tx *asset.Tx) error { return tx.Write(oid, []byte("-")) },
+			}
+		}
+		_ = m
+		car := func(name string, failFlag *bool, gate chan struct{}) Task {
+			return Task{
+				Name: name,
+				Action: func(tx *asset.Tx) error {
+					if gate != nil {
+						<-gate
+					}
+					if *failFlag {
+						return fmt.Errorf("%s: no cars", name)
+					}
+					return tx.Write(f.car, []byte(name))
+				},
+			}
+		}
+		return New("X_conference").
+			Alternatives("flight",
+				book("Delta", &f.deltaFull, f.flight, "Delta 6/11-6/14"),
+				book("United", &f.unitedFull, f.flight, "United 6/11-6/14"),
+				book("American", &f.americanFull, f.flight, "American 6/11-6/14"),
+			).
+			Step(book("Equator", &f.hotelFull, f.hotel, "Equator 6/11-6/14")).
+			Race("car-rental",
+				car("National", &f.nationalFail, f.nationalSlow),
+				car("Avis", &f.avisFail, f.avisSlowCh),
+			).Optional()
+	}
+	newFixture := func(t *testing.T) *fixture {
+		m := newMem(t)
+		return &fixture{
+			m:      m,
+			flight: seed(t, m, []byte("-")),
+			hotel:  seed(t, m, []byte("-")),
+			car:    seed(t, m, []byte("-")),
+		}
+	}
+
+	t.Run("all-preferred-available", func(t *testing.T) {
+		f := newFixture(t)
+		res, err := build(t, f).Run(f.m)
+		if err != nil || res.Err() != nil {
+			t.Fatalf("err=%v resErr=%v", err, res.Err())
+		}
+		if got := readObj(t, f.m, f.flight); got != "Delta 6/11-6/14" {
+			t.Fatalf("flight = %q", got)
+		}
+		if got := readObj(t, f.m, f.hotel); got != "Equator 6/11-6/14" {
+			t.Fatalf("hotel = %q", got)
+		}
+		if got := readObj(t, f.m, f.car); got != "National" && got != "Avis" {
+			t.Fatalf("car = %q", got)
+		}
+	})
+
+	t.Run("falls-back-to-american", func(t *testing.T) {
+		f := newFixture(t)
+		f.deltaFull, f.unitedFull = true, true
+		res, err := build(t, f).Run(f.m)
+		if err != nil || res.Err() != nil {
+			t.Fatalf("err=%v resErr=%v", err, res.Err())
+		}
+		if got := readObj(t, f.m, f.flight); got != "American 6/11-6/14" {
+			t.Fatalf("flight = %q, want American", got)
+		}
+	})
+
+	t.Run("no-flight-cancels-trip", func(t *testing.T) {
+		f := newFixture(t)
+		f.deltaFull, f.unitedFull, f.americanFull = true, true, true
+		res, err := build(t, f).Run(f.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err() == nil || res.FailedStep != "flight" {
+			t.Fatalf("res = %+v", res)
+		}
+	})
+
+	t.Run("hotel-failure-compensates-flight", func(t *testing.T) {
+		f := newFixture(t)
+		f.hotelFull = true
+		res, err := build(t, f).Run(f.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err() == nil || res.FailedStep != "Equator" {
+			t.Fatalf("res = %+v", res)
+		}
+		if got := readObj(t, f.m, f.flight); got != "-" {
+			t.Fatalf("flight = %q, want compensated (-)", got)
+		}
+		if len(res.Compensated) != 1 {
+			t.Fatalf("compensated = %v", res.Compensated)
+		}
+	})
+
+	t.Run("no-car-trip-proceeds", func(t *testing.T) {
+		f := newFixture(t)
+		f.nationalFail, f.avisFail = true, true
+		res, err := build(t, f).Run(f.m)
+		if err != nil || res.Err() != nil {
+			t.Fatalf("err=%v resErr=%v", err, res.Err())
+		}
+		if got := readObj(t, f.m, f.car); got != "-" {
+			t.Fatalf("car = %q, want none", got)
+		}
+		if got := readObj(t, f.m, f.hotel); got != "Equator 6/11-6/14" {
+			t.Fatal("trip did not proceed without a car")
+		}
+	})
+
+	t.Run("avis-wins-when-national-slow", func(t *testing.T) {
+		f := newFixture(t)
+		f.nationalSlow = make(chan struct{})
+		defer close(f.nationalSlow)
+		res, err := build(t, f).Run(f.m)
+		if err != nil || res.Err() != nil {
+			t.Fatalf("err=%v resErr=%v", err, res.Err())
+		}
+		if got := readObj(t, f.m, f.car); got != "Avis" {
+			t.Fatalf("car = %q, want Avis (first to complete wins)", got)
+		}
+	})
+}
+
+func TestParallelAllGroupCommits(t *testing.T) {
+	m := newMem(t)
+	a := seed(t, m, []byte("-"))
+	b := seed(t, m, []byte("-"))
+	res, err := New("par").
+		ParallelAll("both-sites",
+			Task{Name: "siteA", Action: set(a, "A"),
+				Compensate: set(a, "-")},
+			Task{Name: "siteB", Action: set(b, "B"),
+				Compensate: set(b, "-")},
+		).Run(m)
+	if err != nil || res.Err() != nil {
+		t.Fatalf("err=%v resErr=%v", err, res.Err())
+	}
+	if readObj(t, m, a) != "A" || readObj(t, m, b) != "B" {
+		t.Fatal("parallel group effects missing")
+	}
+	if res.Steps[0].Chosen != "all(2)" {
+		t.Fatalf("label = %q", res.Steps[0].Chosen)
+	}
+}
+
+func TestParallelAllAtomicFailure(t *testing.T) {
+	m := newMem(t)
+	a := seed(t, m, []byte("-"))
+	res, err := New("par").
+		ParallelAll("both",
+			Task{Name: "good", Action: set(a, "A")},
+			Task{Name: "bad", Action: fail("site down")},
+		).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err() == nil {
+		t.Fatal("group with a failing member succeeded")
+	}
+	if readObj(t, m, a) != "-" {
+		t.Fatal("group abort not atomic")
+	}
+}
+
+func TestParallelAllCompensatedByLaterFailure(t *testing.T) {
+	m := newMem(t)
+	a := seed(t, m, []byte("-"))
+	b := seed(t, m, []byte("-"))
+	res, err := New("par").
+		ParallelAll("group",
+			Task{Name: "siteA", Action: set(a, "A"), Compensate: set(a, "-")},
+			Task{Name: "siteB", Action: set(b, "B"), Compensate: set(b, "-")},
+		).
+		Step(Task{Name: "later", Action: fail("boom")}).
+		Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err() == nil || res.FailedStep != "later" {
+		t.Fatalf("res = %+v", res)
+	}
+	if len(res.Compensated) != 2 {
+		t.Fatalf("compensated = %v, want both group members", res.Compensated)
+	}
+	if readObj(t, m, a) != "-" || readObj(t, m, b) != "-" {
+		t.Fatal("group members not compensated")
+	}
+}
