@@ -88,10 +88,13 @@ func (m *Manager) Commit(id xid.TID) error {
 			continue
 		}
 
-		// No obstacles: commit the group atomically.
+		// No obstacles: commit the group atomically. The outcome is read
+		// from the transaction status on the next loop pass rather than
+		// assumed: a failed commit-record append or log force aborts the
+		// group, and the caller must see that failure — returning nil here
+		// would acknowledge a commit whose record may never have reached
+		// the disk.
 		m.commitGroupLocked(group)
-		m.mu.Unlock()
-		return nil
 	}
 }
 

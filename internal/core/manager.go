@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/dep"
+	"repro/internal/faultfs"
 	"repro/internal/htab"
 	"repro/internal/lock"
 	"repro/internal/storage"
@@ -58,6 +59,10 @@ type Config struct {
 	// reaped transactions return ErrUnknownTxn, so enable it only when
 	// callers act solely on commit/abort return values (benchmarks do).
 	ReapTerminated bool
+	// FS, when non-nil, replaces the OS filesystem for every durable file
+	// (WAL, page store, double-write journal). Used by the fault-injection
+	// and crash-simulation tests; nil means the real filesystem.
+	FS faultfs.FS
 }
 
 // truncatableLog is satisfied by logs that can drop their contents after a
@@ -131,16 +136,17 @@ func Open(cfg Config) (*Manager, error) {
 		m.mu.Unlock()
 	}
 	if cfg.DisableDeadlockDetection {
+		// The waits-for graph is still maintained for diagnostics, but no
+		// victims are selected: blocked requests wait until granted,
+		// cancelled by an explicit abort, or timed out by LockTimeout.
 		onVictim = nil
-		// The waits-for graph is still maintained but victims are ignored:
-		// use a graph whose victims nobody acts on. Lock waits then rely on
-		// CancelWaits from explicit aborts.
 	}
 	m.locks = lock.New(m.waits, lock.Options{
 		OnVictim:        onVictim,
 		NoQueueFairness: cfg.NoQueueFairness,
 		EagerClosure:    !cfg.LazyPermitClosure,
 		WaitTimeout:     cfg.LockTimeout,
+		NoDetection:     cfg.DisableDeadlockDetection,
 	})
 
 	if cfg.Dir == "" {
@@ -152,7 +158,11 @@ func Open(cfg Config) (*Manager, error) {
 		return m, nil
 	}
 
-	ps, err := storage.OpenPageStore(filepath.Join(cfg.Dir, "pages"), storage.PageStoreOptions{})
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	ps, err := storage.OpenPageStore(filepath.Join(cfg.Dir, "pages"), storage.PageStoreOptions{FS: fsys})
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +181,7 @@ func Open(cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	walPath := filepath.Join(cfg.Dir, "wal.log")
-	st, err := wal.Recover(walPath)
+	st, err := wal.RecoverFS(fsys, walPath)
 	if err != nil {
 		ps.Close()
 		return nil, err
@@ -197,7 +207,7 @@ func Open(cfg Config) (*Manager, error) {
 	}
 	m.cache.SetNextOID(maxOID)
 	m.nextTID.Store(uint64(st.MaxTID))
-	log, err := wal.OpenFile(walPath, cfg.SyncCommits)
+	log, err := wal.OpenFileFS(fsys, walPath, cfg.SyncCommits)
 	if err != nil {
 		ps.Close()
 		return nil, err

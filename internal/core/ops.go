@@ -30,6 +30,19 @@ func (m *Manager) checkRunningLocked(t *txn) error {
 	return nil
 }
 
+// dropStrayLocksLocked releases lock grants won by a transaction after its
+// abort already ran. Lock acquisition happens outside m.mu, so a body
+// goroutine can be granted a lock after abortLocked cancelled the
+// transaction's waits and released its locks; nothing would ever release
+// such a grant, and every later requester of the object would block
+// forever. Every operation that re-checks status after acquiring a lock
+// calls this on the re-check's failure path. Caller holds m.mu.
+func (m *Manager) dropStrayLocksLocked(t *txn) {
+	if t.status == xid.StatusAborting || t.status == xid.StatusAborted {
+		m.locks.ReleaseAll(t.id)
+	}
+}
+
 // Lock acquires the given lock mode on oid without performing an
 // operation — the explicit form of the §4.2 read-lock/write-lock calls
 // (the analogue of SELECT ... FOR UPDATE). Locks are held until the
@@ -42,7 +55,16 @@ func (tx *Tx) Lock(oid xid.OID, ops xid.OpSet) error {
 	if err != nil {
 		return err
 	}
-	return mapLockErr(m.locks.Lock(t.id, oid, ops))
+	if err := m.locks.Lock(t.id, oid, ops); err != nil {
+		return mapLockErr(err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkRunningLocked(t); err != nil {
+		m.dropStrayLocksLocked(t)
+		return err
+	}
+	return nil
 }
 
 // Read returns a copy of the object's contents after acquiring a read lock
@@ -58,6 +80,13 @@ func (tx *Tx) Read(oid xid.OID) ([]byte, error) {
 	if err := m.locks.Lock(t.id, oid, xid.OpRead); err != nil {
 		return nil, mapLockErr(err)
 	}
+	m.mu.Lock()
+	if err := m.checkRunningLocked(t); err != nil {
+		m.dropStrayLocksLocked(t)
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.mu.Unlock()
 	data, ok := m.cache.Read(oid)
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrNoObject, oid)
@@ -78,6 +107,7 @@ func (tx *Tx) Write(oid xid.OID, data []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if err := m.checkRunningLocked(t); err != nil {
+		m.dropStrayLocksLocked(t)
 		return err
 	}
 	obj := m.cache.Object(oid)
@@ -109,6 +139,7 @@ func (tx *Tx) Update(oid xid.OID, fn func([]byte) []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if err := m.checkRunningLocked(t); err != nil {
+		m.dropStrayLocksLocked(t)
 		return err
 	}
 	obj := m.cache.Object(oid)
@@ -157,6 +188,7 @@ func (tx *Tx) CreateAt(oid xid.OID, data []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if err := m.checkRunningLocked(t); err != nil {
+		m.dropStrayLocksLocked(t)
 		return err
 	}
 	if !m.cache.Create(oid, append([]byte(nil), data...)) {
@@ -187,6 +219,7 @@ func (tx *Tx) Add(oid xid.OID, delta uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if err := m.checkRunningLocked(t); err != nil {
+		m.dropStrayLocksLocked(t)
 		return err
 	}
 	obj := m.cache.Object(oid)
@@ -229,6 +262,7 @@ func (tx *Tx) Delete(oid xid.OID) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if err := m.checkRunningLocked(t); err != nil {
+		m.dropStrayLocksLocked(t)
 		return err
 	}
 	before, ok := m.cache.Read(oid)

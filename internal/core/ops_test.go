@@ -265,3 +265,51 @@ func TestWriteMissingObject(t *testing.T) {
 	m.Begin(id)
 	m.Wait(id)
 }
+
+// TestAbortRacingOperationDoesNotLeakLocks pins the fix for a lock leak
+// the -race bench sweep exposed: lock acquisition happens outside m.mu,
+// so a body goroutine could win a grant *after* its transaction's abort
+// had already cancelled its waits and released its locks. Nothing ever
+// released that stray grant, and every later writer of the object hung
+// forever. Here the body is held at a gate until the abort fully
+// completes, then issues operations; each must fail with ErrAborted and
+// must leave the object lockable.
+func TestAbortRacingOperationDoesNotLeakLocks(t *testing.T) {
+	m := newMem(t)
+	runTxn(t, m, func(tx *Tx) error { return tx.CreateAt(1, []byte("v")) })
+
+	ops := map[string]func(*Tx) error{
+		"write":  func(tx *Tx) error { return tx.Write(1, []byte("zombie")) },
+		"lock":   func(tx *Tx) error { return tx.Lock(1, xid.OpWrite) },
+		"read":   func(tx *Tx) error { _, err := tx.Read(1); return err },
+		"delete": func(tx *Tx) error { return tx.Delete(1) },
+	}
+	for name, op := range ops {
+		t.Run(name, func(t *testing.T) {
+			running := make(chan struct{})
+			aborted := make(chan struct{})
+			opErr := make(chan error, 1)
+			id, _ := m.Initiate(func(tx *Tx) error {
+				close(running)
+				<-aborted // the abort has fully run: waits cancelled, locks released
+				err := op(tx)
+				opErr <- err
+				return err
+			})
+			if err := m.Begin(id); err != nil {
+				t.Fatal(err)
+			}
+			<-running
+			if err := m.Abort(id); err != nil {
+				t.Fatal(err)
+			}
+			close(aborted)
+			if err := <-opErr; !errors.Is(err, ErrAborted) {
+				t.Fatalf("%s after abort = %v, want ErrAborted", name, err)
+			}
+			// The stray grant must have been dropped: a fresh writer of the
+			// same object must not block behind a dead transaction.
+			runTxn(t, m, func(tx *Tx) error { return tx.Write(1, []byte("after-"+name)) })
+		})
+	}
+}

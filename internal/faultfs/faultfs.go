@@ -1,0 +1,66 @@
+// Package faultfs is the pluggable file abstraction beneath the durable
+// layers (the write-ahead log and the page store), plus a deterministic
+// fault-injection implementation of it.
+//
+// Production code runs on OS, a zero-cost passthrough to the real
+// filesystem. Tests run on MemFS, an in-memory filesystem that models
+// durability the way a disk does: every write lands in a volatile
+// "page cache" immediately but only becomes crash-durable when the file
+// is fsynced. A Script injects faults at exact operation counts — fail
+// the Nth write, short-write k bytes, tear a write so only a prefix
+// survives a crash, fail an fsync, or crash the whole filesystem — and
+// MemFS.CrashImage reconstructs what a machine would find on disk after
+// the crash, so recovery can be exercised at every I/O boundary.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// File is the handle surface the WAL and page store need. *os.File
+// satisfies it directly.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.WriterAt
+	io.Seeker
+	io.Closer
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+}
+
+// FS opens files. Implementations must return errors satisfying
+// os.IsNotExist for missing files opened without O_CREATE.
+type FS interface {
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	MkdirAll(path string, perm os.FileMode) error
+	Remove(path string) error
+}
+
+// Errors returned by injected faults.
+var (
+	// ErrInjected is the default error produced by ActError and
+	// ActShortWrite rules.
+	ErrInjected = errors.New("faultfs: injected fault")
+	// ErrCrashed is returned by every operation once the filesystem has
+	// crashed (an ActCrash rule fired).
+	ErrCrashed = errors.New("faultfs: filesystem crashed")
+)
+
+// OS is the passthrough filesystem over the real one.
+type OS struct{}
+
+// OpenFile opens path on the host filesystem.
+func (OS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+// MkdirAll creates the directory path on the host filesystem.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Remove deletes path from the host filesystem.
+func (OS) Remove(path string) error { return os.Remove(path) }

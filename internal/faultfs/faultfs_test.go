@@ -1,0 +1,271 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"testing"
+)
+
+func mustOpen(t *testing.T, fsys FS, path string) File {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestMemFSBasicIO(t *testing.T) {
+	m := NewMem()
+	f := mustOpen(t, m, "/db/a")
+	if n, err := f.Write([]byte("hello ")); n != 6 || err != nil {
+		t.Fatalf("write = %d,%v", n, err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("read = %q,%v", got, err)
+	}
+	var at [5]byte
+	if n, err := f.ReadAt(at[:], 6); n != 5 || err != nil || string(at[:]) != "world" {
+		t.Fatalf("readat = %q,%d,%v", at[:], n, err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Stat()
+	if err != nil || st.Size() != 5 {
+		t.Fatalf("stat = %v,%v", st, err)
+	}
+	// WriteAt past EOF zero-fills the gap.
+	if _, err := f.WriteAt([]byte("x"), 8); err != nil {
+		t.Fatal(err)
+	}
+	img, _ := m.ReadImage("/db/a")
+	if !bytes.Equal(img, []byte("hello\x00\x00\x00x")) {
+		t.Fatalf("image = %q", img)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("y")); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("write after close = %v", err)
+	}
+}
+
+func TestMemFSNotExist(t *testing.T) {
+	m := NewMem()
+	_, err := m.OpenFile("/missing", os.O_RDONLY, 0)
+	if !os.IsNotExist(err) {
+		t.Fatalf("want not-exist, got %v", err)
+	}
+}
+
+func TestCrashImageModes(t *testing.T) {
+	m := NewMem()
+	f := mustOpen(t, m, "/a")
+	f.Write([]byte("durable."))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("pending."))
+
+	if img, _ := m.CrashImage(DropUnsynced).ReadImage("/a"); string(img) != "durable." {
+		t.Fatalf("drop-unsynced image = %q", img)
+	}
+	if img, _ := m.CrashImage(KeepAll).ReadImage("/a"); string(img) != "durable.pending." {
+		t.Fatalf("keep-all image = %q", img)
+	}
+}
+
+func TestFailedSyncLosesWritesForever(t *testing.T) {
+	m := NewMem()
+	m.SetScript(NewScript(Rule{Op: OpSync, Nth: 1, Action: ActError}))
+	f := mustOpen(t, m, "/a")
+	f.Write([]byte("doomed."))
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync = %v", err)
+	}
+	// Reads (the page cache) still see the write...
+	if img, _ := m.ReadImage("/a"); string(img) != "doomed." {
+		t.Fatalf("cache image = %q", img)
+	}
+	f.Write([]byte("later."))
+	// ...and a later successful sync persists only post-failure writes:
+	// the lost bytes leave a zero hole, as on a real fsync-gate kernel.
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	img, _ := m.CrashImage(DropUnsynced).ReadImage("/a")
+	want := append(make([]byte, 7), []byte("later.")...)
+	if !bytes.Equal(img, want) {
+		t.Fatalf("durable image = %q, want %q", img, want)
+	}
+}
+
+func TestShortAndTornWrites(t *testing.T) {
+	m := NewMem()
+	m.SetScript(NewScript(
+		Rule{Op: OpWrite, Nth: 1, Action: ActShortWrite, Keep: 3},
+		Rule{Op: OpWrite, Nth: 2, Action: ActTorn, Keep: 2},
+	))
+	f := mustOpen(t, m, "/a")
+	if n, err := f.Write([]byte("abcdef")); n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write = %d,%v", n, err)
+	}
+	// The torn write reads back whole before the crash...
+	if n, err := f.Write([]byte("XY")); n != 2 || err != nil {
+		t.Fatalf("torn write = %d,%v", n, err)
+	}
+	if img, _ := m.ReadImage("/a"); string(img) != "abcXY" {
+		t.Fatalf("cache image = %q", img)
+	}
+	// ...but only its Keep prefix survives a crash (here all 2 bytes; a
+	// Keep shorter than the write leaves the tail at its old content).
+	if img, _ := m.CrashImage(KeepAll).ReadImage("/a"); string(img) != "abcXY" {
+		t.Fatalf("crash image = %q", img)
+	}
+}
+
+func TestTornWritePrefixSurvival(t *testing.T) {
+	m := NewMem()
+	m.SetScript(NewScript(Rule{Op: OpWrite, Nth: 2, Action: ActTorn, Keep: 2}))
+	f := mustOpen(t, m, "/a")
+	f.Write([]byte("aaaa"))
+	f.WriteAt([]byte("ZZZZ"), 0) // torn: only "ZZ" survives a crash
+	if img, _ := m.CrashImage(KeepAll).ReadImage("/a"); string(img) != "ZZaa" {
+		t.Fatalf("crash image = %q", img)
+	}
+}
+
+func TestCrashFreezesFilesystem(t *testing.T) {
+	m := NewMem()
+	m.SetScript(NewScript(Rule{Op: OpAny, Nth: 3, Action: ActCrash}))
+	f := mustOpen(t, m, "/a")
+	f.Write([]byte("one."))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("two.")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashing write = %v", err)
+	}
+	if !m.Crashed() {
+		t.Fatal("fs not crashed")
+	}
+	if _, err := f.Write([]byte("three.")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync = %v", err)
+	}
+	if _, err := m.OpenFile("/b", os.O_CREATE|os.O_RDWR, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open = %v", err)
+	}
+	// The crashing write never took effect.
+	if img, _ := m.CrashImage(KeepAll).ReadImage("/a"); string(img) != "one." {
+		t.Fatalf("crash image = %q", img)
+	}
+}
+
+func TestCrashWithTornBoundaryWrite(t *testing.T) {
+	m := NewMem()
+	m.SetScript(NewScript(Rule{Op: OpWrite, Nth: 2, Action: ActCrash, Keep: 1}))
+	f := mustOpen(t, m, "/a")
+	f.Write([]byte("base"))
+	if _, err := f.Write([]byte("XY")); !errors.Is(err, ErrCrashed) {
+		t.Fatal(err)
+	}
+	if img, _ := m.CrashImage(KeepAll).ReadImage("/a"); string(img) != "baseX" {
+		t.Fatalf("crash image = %q", img)
+	}
+	// DropUnsynced drops the boundary write along with everything else.
+	if img, _ := m.CrashImage(DropUnsynced).ReadImage("/a"); len(img) != 0 {
+		t.Fatalf("drop-unsynced image = %q", img)
+	}
+}
+
+func TestScriptDeterminismAndPathFilter(t *testing.T) {
+	run := func() (int, error) {
+		m := NewMem()
+		m.SetScript(NewScript(Rule{Op: OpWrite, Path: "target", Nth: 2, Action: ActError}))
+		a := mustOpen(t, m, "/other")
+		b := mustOpen(t, m, "/target")
+		var err error
+		writes := 0
+		for i := 0; i < 4 && err == nil; i++ {
+			if _, err = a.Write([]byte("x")); err != nil {
+				break
+			}
+			writes++
+			if _, err = b.Write([]byte("y")); err != nil {
+				break
+			}
+			writes++
+		}
+		return writes, err
+	}
+	n1, err1 := run()
+	n2, err2 := run()
+	if n1 != n2 || !errors.Is(err1, ErrInjected) || !errors.Is(err2, ErrInjected) {
+		t.Fatalf("non-deterministic: (%d,%v) vs (%d,%v)", n1, err1, n2, err2)
+	}
+	if n1 != 3 { // other, target, other succeed; 2nd target write fails
+		t.Fatalf("fault fired after %d writes, want 3", n1)
+	}
+}
+
+func TestRandomScriptIsDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a, b := RandomScript(seed, 50), RandomScript(seed, 50)
+		if len(a.rules) != 1 || a.rules[0] != b.rules[0] {
+			t.Fatalf("seed %d: %+v vs %+v", seed, a.rules, b.rules)
+		}
+	}
+}
+
+func TestOpsCounterAndReadExclusion(t *testing.T) {
+	m := NewMem()
+	f := mustOpen(t, m, "/a")
+	f.Write([]byte("abc"))
+	f.Sync()
+	f.Truncate(1)
+	var p [1]byte
+	f.ReadAt(p[:], 0)
+	if m.Ops() != 3 {
+		t.Fatalf("ops = %d, want 3 (reads excluded)", m.Ops())
+	}
+}
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	var fsys FS = OS{}
+	if err := fsys.MkdirAll(dir+"/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.OpenFile(dir+"/sub/f", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.OpenFile(dir+"/nope", os.O_RDONLY, 0); !os.IsNotExist(err) {
+		t.Fatalf("want not-exist, got %v", err)
+	}
+	if err := fsys.Remove(dir + "/sub/f"); err != nil {
+		t.Fatal(err)
+	}
+}

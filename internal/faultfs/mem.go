@@ -1,0 +1,477 @@
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// CrashMode selects which unsynced writes survive in a crash image. Real
+// crashes land anywhere between the two extremes; recovery must be
+// correct at both corners (plus torn boundary writes, which Rule.Keep
+// and ActTorn model).
+type CrashMode int
+
+const (
+	// KeepAll assumes the OS wrote every issued write through to disk
+	// before dying: all non-lost unsynced writes survive, the crashing
+	// write itself torn to its Keep prefix.
+	KeepAll CrashMode = iota
+	// DropUnsynced assumes nothing left the OS cache: only explicitly
+	// fsynced state survives.
+	DropUnsynced
+)
+
+func (m CrashMode) String() string {
+	if m == DropUnsynced {
+		return "drop-unsynced"
+	}
+	return "keep-all"
+}
+
+type opKind uint8
+
+const (
+	opWrite opKind = iota
+	opTrunc
+)
+
+// pendingOp is one unsynced mutation of a file.
+type pendingOp struct {
+	seq  int
+	kind opKind
+	off  int64  // opWrite
+	data []byte // opWrite
+	size int64  // opTrunc
+	keep int    // torn write: surviving prefix at crash; -1 = all
+	lost bool   // dropped by a failed fsync; will never become durable
+}
+
+// memNode is the shared state of one file.
+type memNode struct {
+	name    string
+	data    []byte // current content: what reads (the "page cache") see
+	durable []byte // content as of the last successful sync
+	pending []pendingOp
+}
+
+// MemFS is an in-memory filesystem with an explicit durability model and
+// optional fault injection. All methods are safe for concurrent use.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memNode
+	dirs    map[string]bool
+	script  *Script
+	ops     int // durability-relevant ops issued (writes, truncates, syncs)
+	crashed bool
+}
+
+// NewMem returns an empty in-memory filesystem.
+func NewMem() *MemFS {
+	return &MemFS{files: make(map[string]*memNode), dirs: make(map[string]bool)}
+}
+
+// SetScript installs the fault script (nil disables injection).
+func (m *MemFS) SetScript(s *Script) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.script = s
+}
+
+// Ops reports how many durability-relevant operations (writes,
+// truncates, syncs) have been issued — the sweep domain for a crash
+// matrix.
+func (m *MemFS) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// Crashed reports whether an ActCrash rule has fired.
+func (m *MemFS) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// OpenFile opens or creates the file at path.
+func (m *MemFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	path = filepath.Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, &os.PathError{Op: "open", Path: path, Err: ErrCrashed}
+	}
+	n, ok := m.files[path]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &os.PathError{Op: "open", Path: path, Err: fs.ErrNotExist}
+		}
+		n = &memNode{name: path}
+		m.files[path] = n
+	}
+	h := &memHandle{fs: m, node: n}
+	if flag&os.O_TRUNC != 0 && len(n.data) > 0 {
+		m.mu.Unlock()
+		err := h.Truncate(0)
+		m.mu.Lock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// MkdirAll records the directory; MemFS does not enforce parent
+// existence.
+func (m *MemFS) MkdirAll(path string, perm os.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	m.dirs[filepath.Clean(path)] = true
+	return nil
+}
+
+// Remove deletes the file at path.
+func (m *MemFS) Remove(path string) error {
+	path = filepath.Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	if _, ok := m.files[path]; !ok {
+		return &os.PathError{Op: "remove", Path: path, Err: fs.ErrNotExist}
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// ReadImage returns a copy of the file's current ("page cache") content.
+func (m *MemFS) ReadImage(path string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.files[filepath.Clean(path)]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), n.data...), true
+}
+
+// CrashImage reconstructs the filesystem a rebooted machine would find:
+// each file's last-synced image, plus — in KeepAll mode — its unsynced
+// writes (except those dropped by a failed fsync), with torn writes cut
+// to their surviving prefix. The result is a fresh fault-free MemFS
+// suitable for reopening the database.
+func (m *MemFS) CrashImage(mode CrashMode) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMem()
+	for path, n := range m.files {
+		img := append([]byte(nil), n.durable...)
+		if mode == KeepAll {
+			for _, op := range n.pending {
+				if op.lost {
+					continue
+				}
+				img = applyImage(img, op, true)
+			}
+		}
+		out.files[path] = &memNode{name: path, data: img, durable: append([]byte(nil), img...)}
+	}
+	for d := range m.dirs {
+		out.dirs[d] = true
+	}
+	return out
+}
+
+// applyImage applies one mutation to an image. atCrash honors torn-write
+// prefixes; folding at sync applies writes in full.
+func applyImage(img []byte, op pendingOp, atCrash bool) []byte {
+	switch op.kind {
+	case opTrunc:
+		if int64(len(img)) > op.size {
+			return img[:op.size]
+		}
+		return append(img, make([]byte, op.size-int64(len(img)))...)
+	default:
+		n := len(op.data)
+		if atCrash && op.keep >= 0 && op.keep < n {
+			n = op.keep
+		}
+		end := op.off + int64(n)
+		if int64(len(img)) < end {
+			img = append(img, make([]byte, end-int64(len(img)))...)
+		}
+		copy(img[op.off:end], op.data[:n])
+		return img
+	}
+}
+
+// write runs one write through the script and records it.
+func (m *MemFS) write(n *memNode, off int64, p []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return 0, ErrCrashed
+	}
+	m.ops++
+	op := pendingOp{seq: m.ops, kind: opWrite, off: off, data: append([]byte(nil), p...), keep: -1}
+	rule, ok := m.script.decide(OpWrite, n.name)
+	if ok {
+		switch rule.Action {
+		case ActError:
+			return 0, rule.error()
+		case ActShortWrite:
+			k := rule.Keep
+			if k < 0 {
+				k = 0
+			}
+			if k > len(p) {
+				k = len(p)
+			}
+			op.data = op.data[:k]
+			n.record(op)
+			return k, rule.error()
+		case ActTorn:
+			op.keep = rule.Keep
+			n.record(op)
+			return len(p), nil
+		case ActCrash:
+			m.crashed = true
+			if rule.Keep >= 0 {
+				op.keep = rule.Keep
+				n.record(op)
+			}
+			return 0, ErrCrashed
+		}
+	}
+	n.record(op)
+	return len(p), nil
+}
+
+// truncate runs one truncation through the script and records it.
+func (m *MemFS) truncate(n *memNode, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	if size < 0 {
+		return &os.PathError{Op: "truncate", Path: n.name, Err: os.ErrInvalid}
+	}
+	m.ops++
+	rule, ok := m.script.decide(OpTruncate, n.name)
+	if ok {
+		switch rule.Action {
+		case ActError:
+			return rule.error()
+		case ActCrash:
+			m.crashed = true
+			return ErrCrashed
+		}
+	}
+	n.record(pendingOp{seq: m.ops, kind: opTrunc, size: size, keep: -1})
+	return nil
+}
+
+// sync folds the file's pending mutations into its durable image. A
+// failed sync models the fsync-gate: the kernel reported the error and
+// marked the dirty pages clean, so those writes are permanently lost to
+// durability even though reads still see them.
+func (m *MemFS) sync(n *memNode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	m.ops++
+	rule, ok := m.script.decide(OpSync, n.name)
+	if ok {
+		switch rule.Action {
+		case ActError:
+			for i := range n.pending {
+				n.pending[i].lost = true
+			}
+			return rule.error()
+		case ActCrash:
+			m.crashed = true
+			return ErrCrashed
+		}
+	}
+	for _, op := range n.pending {
+		if !op.lost {
+			n.durable = applyImage(n.durable, op, false)
+		}
+	}
+	n.pending = nil
+	return nil
+}
+
+// record applies op to the current content and queues it as unsynced.
+func (n *memNode) record(op pendingOp) {
+	n.data = applyImage(n.data, op, false)
+	n.pending = append(n.pending, op)
+}
+
+// read serves Read/ReadAt through the script.
+func (m *MemFS) read(n *memNode, off int64, p []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return 0, ErrCrashed
+	}
+	if rule, ok := m.script.decide(OpRead, n.name); ok && rule.Action == ActError {
+		return 0, rule.error()
+	}
+	if off >= int64(len(n.data)) {
+		return 0, io.EOF
+	}
+	cnt := copy(p, n.data[off:])
+	if cnt < len(p) {
+		return cnt, io.EOF
+	}
+	return cnt, nil
+}
+
+// memHandle is one open handle on a node; handles share node state but
+// keep their own offset.
+type memHandle struct {
+	fs   *MemFS
+	node *memNode
+
+	mu     sync.Mutex
+	off    int64
+	closed bool
+}
+
+func (h *memHandle) checkOpen() error {
+	if h.closed {
+		return os.ErrClosed
+	}
+	return nil
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.checkOpen(); err != nil {
+		return 0, err
+	}
+	n, err := h.fs.read(h.node, h.off, p)
+	h.off += int64(n)
+	return n, err
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.checkOpen(); err != nil {
+		return 0, err
+	}
+	return h.fs.read(h.node, off, p)
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.checkOpen(); err != nil {
+		return 0, err
+	}
+	n, err := h.fs.write(h.node, h.off, p)
+	h.off += int64(n)
+	return n, err
+}
+
+func (h *memHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.checkOpen(); err != nil {
+		return 0, err
+	}
+	return h.fs.write(h.node, off, p)
+}
+
+func (h *memHandle) Seek(offset int64, whence int) (int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.checkOpen(); err != nil {
+		return 0, err
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = h.off
+	case io.SeekEnd:
+		h.fs.mu.Lock()
+		base = int64(len(h.node.data))
+		h.fs.mu.Unlock()
+	default:
+		return 0, os.ErrInvalid
+	}
+	if base+offset < 0 {
+		return 0, os.ErrInvalid
+	}
+	h.off = base + offset
+	return h.off, nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.checkOpen(); err != nil {
+		return err
+	}
+	return h.fs.truncate(h.node, size)
+}
+
+func (h *memHandle) Sync() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.checkOpen(); err != nil {
+		return err
+	}
+	return h.fs.sync(h.node)
+}
+
+func (h *memHandle) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+func (h *memHandle) Stat() (os.FileInfo, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.checkOpen(); err != nil {
+		return nil, err
+	}
+	h.fs.mu.Lock()
+	size := int64(len(h.node.data))
+	h.fs.mu.Unlock()
+	return memInfo{name: filepath.Base(h.node.name), size: size}, nil
+}
+
+// memInfo is a deterministic os.FileInfo for in-memory files.
+type memInfo struct {
+	name string
+	size int64
+}
+
+func (i memInfo) Name() string       { return i.name }
+func (i memInfo) Size() int64        { return i.size }
+func (i memInfo) Mode() os.FileMode  { return 0o644 }
+func (i memInfo) ModTime() time.Time { return time.Time{} }
+func (i memInfo) IsDir() bool        { return false }
+func (i memInfo) Sys() any           { return nil }

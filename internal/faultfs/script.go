@@ -1,0 +1,183 @@
+package faultfs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+)
+
+// OpKind classifies the filesystem operations a Rule can target.
+type OpKind uint8
+
+const (
+	// OpWrite matches Write/WriteAt calls.
+	OpWrite OpKind = iota
+	// OpTruncate matches Truncate calls.
+	OpTruncate
+	// OpSync matches Sync calls.
+	OpSync
+	// OpAny matches every durability-relevant operation (writes,
+	// truncates, and syncs — the crash-sweep domain). Reads are never
+	// matched by OpAny; target them with OpRead explicitly.
+	OpAny
+	// OpRead matches Read/ReadAt calls.
+	OpRead
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpTruncate:
+		return "truncate"
+	case OpSync:
+		return "sync"
+	case OpAny:
+		return "any"
+	case OpRead:
+		return "read"
+	}
+	return fmt.Sprintf("opkind(%d)", k)
+}
+
+// Action is what a fired Rule does to its operation.
+type Action uint8
+
+const (
+	// ActError fails the operation with Rule.Err; it has no effect on the
+	// file.
+	ActError Action = iota + 1
+	// ActShortWrite applies only the first Keep bytes of a write, then
+	// returns Rule.Err (the os.File contract: n < len(p) with err != nil).
+	ActShortWrite
+	// ActTorn lets the write succeed, but marks it torn: if the write is
+	// still unsynced when the filesystem crashes, only its first Keep
+	// bytes survive in the crash image.
+	ActTorn
+	// ActCrash freezes the filesystem: the operation fails with
+	// ErrCrashed, as does everything after it. For a crashing write,
+	// Keep >= 0 lets that prefix of it reach the crash image (a tear at
+	// the moment of death); Keep < 0 drops the write entirely.
+	ActCrash
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActError:
+		return "error"
+	case ActShortWrite:
+		return "short-write"
+	case ActTorn:
+		return "torn"
+	case ActCrash:
+		return "crash"
+	}
+	return fmt.Sprintf("action(%d)", a)
+}
+
+// Rule injects one fault: on the Nth operation matching (Op, Path), do
+// Action. Each rule fires at most once.
+type Rule struct {
+	// Op selects which operations count toward Nth.
+	Op OpKind
+	// Path, when non-empty, restricts matches to files whose path
+	// contains it as a substring.
+	Path string
+	// Nth is the 1-based index of the matching operation to fault.
+	Nth int
+	// Action is the fault to inject.
+	Action Action
+	// Keep is the surviving byte-prefix length for ActShortWrite,
+	// ActTorn, and ActCrash. Negative means "nothing survives" for
+	// ActCrash and is invalid for the others.
+	Keep int
+	// Err overrides ErrInjected for ActError and ActShortWrite.
+	Err error
+}
+
+func (r Rule) error() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// Script is a deterministic fault plan: an ordered set of Rules with
+// per-rule match counters. The same script applied to the same operation
+// sequence always fires at the same points.
+type Script struct {
+	mu    sync.Mutex
+	rules []Rule
+	count []int
+	fired []bool
+}
+
+// NewScript builds a script from rules.
+func NewScript(rules ...Rule) *Script {
+	return &Script{
+		rules: rules,
+		count: make([]int, len(rules)),
+		fired: make([]bool, len(rules)),
+	}
+}
+
+// decide is called by the filesystem for each operation; it returns the
+// first not-yet-fired rule whose counter reaches Nth, if any.
+func (s *Script) decide(kind OpKind, path string) (Rule, bool) {
+	if s == nil {
+		return Rule{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var hit Rule
+	var ok bool
+	for i, r := range s.rules {
+		if !matchKind(r.Op, kind) {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		s.count[i]++
+		if !ok && !s.fired[i] && s.count[i] == r.Nth {
+			s.fired[i] = true
+			hit, ok = r, true
+		}
+	}
+	return hit, ok
+}
+
+func matchKind(want, got OpKind) bool {
+	if want == got {
+		return true
+	}
+	return want == OpAny && got != OpRead
+}
+
+// RandomScript derives a single-fault script from seed alone: the fault
+// position (within totalOps operations), kind, and tear length are pure
+// functions of the seed, so a failing seed replays exactly.
+func RandomScript(seed int64, totalOps int) *Script {
+	rng := rand.New(rand.NewSource(seed))
+	if totalOps < 1 {
+		totalOps = 1
+	}
+	r := Rule{Nth: 1 + rng.Intn(totalOps), Keep: -1}
+	switch rng.Intn(5) {
+	case 0:
+		r.Op, r.Action = OpWrite, ActError
+	case 1:
+		r.Op, r.Action = OpSync, ActError
+	case 2:
+		r.Op, r.Action, r.Keep = OpWrite, ActShortWrite, rng.Intn(512)
+	case 3:
+		r.Op, r.Action, r.Keep = OpWrite, ActTorn, rng.Intn(4096)
+	case 4:
+		r.Op, r.Action = OpAny, ActCrash
+		if rng.Intn(2) == 0 {
+			r.Keep = rng.Intn(1024)
+		}
+	}
+	return NewScript(r)
+}

@@ -108,6 +108,11 @@ type Options struct {
 	// Timeouts are the deadlock resolution of last resort when detection
 	// is disabled (and a belt-and-braces bound when it is not).
 	WaitTimeout time.Duration
+	// NoDetection disables deadlock victim selection entirely (ablation
+	// A4): wait-for edges are still recorded for diagnostics, but cycles
+	// go unnoticed and blocked requests wait until granted, cancelled, or
+	// timed out. Combine with WaitTimeout, or deadlocks wait forever.
+	NoDetection bool
 }
 
 // Manager is the lock manager. All state is guarded by one mutex; condition
@@ -225,7 +230,7 @@ func (m *Manager) Lock(tid xid.TID, oid xid.OID, mode xid.OpSet) error {
 		clearEdges()
 		victim, _ := m.wg.Add(tid, blockers...)
 		waitedOn = append(waitedOn, blockers...)
-		if !victim.IsNil() {
+		if !m.opts.NoDetection && !victim.IsNil() {
 			if victim == tid {
 				m.removePending(od, req)
 				return ErrDeadlock

@@ -2,25 +2,45 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"sort"
+
+	"repro/internal/faultfs"
 )
+
+// ErrPoisoned marks a store whose backing file is in an indeterminate
+// state after a failed write or fsync (on Linux a failed fsync may mark
+// dirty pages clean, so retrying can "succeed" without persisting
+// anything). A poisoned store refuses all further I/O rather than let a
+// later checkpoint silently claim durability.
+var ErrPoisoned = errors.New("storage: store poisoned by an earlier write/sync failure")
 
 // pool is a buffer pool of fixed capacity over the store file, with clock
 // (second-chance) eviction. Page 0 of the file is the store header; data
 // pages start at 1. The pool is not internally synchronized: PageStore
 // serializes access.
 type pool struct {
-	f         *os.File
+	f         faultfs.File
 	capacity  int
 	frames    map[uint64]*frame
 	clock     []*frame
 	hand      int
 	pageCount uint64 // pages in the file, including header page 0
 	dw        *dwJournal
+	err       error // sticky ErrPoisoned state
+}
+
+// poison records an I/O failure that leaves the on-disk state
+// indeterminate; every later pool operation fails with ErrPoisoned. The
+// failing call itself returns the original cause.
+func (p *pool) poison(cause error) error {
+	if p.err == nil {
+		p.err = fmt.Errorf("%w: %w", ErrPoisoned, cause)
+	}
+	return cause
 }
 
 type frame struct {
@@ -64,7 +84,7 @@ func isZeroPage(p []byte) bool {
 	return true
 }
 
-func newPool(f *os.File, capacity int, dw *dwJournal) (*pool, error) {
+func newPool(f faultfs.File, capacity int, dw *dwJournal) (*pool, error) {
 	if capacity < 4 {
 		capacity = 4
 	}
@@ -93,6 +113,9 @@ func newPool(f *os.File, capacity int, dw *dwJournal) (*pool, error) {
 
 // get pins and returns the frame for pageNo, reading it if absent.
 func (p *pool) get(pageNo uint64) (*frame, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
 	if fr, ok := p.frames[pageNo]; ok {
 		fr.pins++
 		fr.ref = true
@@ -113,6 +136,9 @@ func (p *pool) get(pageNo uint64) (*frame, error) {
 
 // alloc appends a zeroed page to the file and returns its pinned frame.
 func (p *pool) alloc() (*frame, uint64, error) {
+	if p.err != nil {
+		return nil, 0, p.err
+	}
 	pageNo := p.pageCount
 	p.pageCount++
 	fr, err := p.newFrame(pageNo)
@@ -179,19 +205,26 @@ func (p *pool) unpin(fr *frame, dirty bool) {
 }
 
 // writeFrame seals and writes one page in place. The double-write journal,
-// when active, has already captured the page image.
+// when active, has already captured the page image. A failed in-place
+// write poisons the pool: the page may be half-written on disk.
 func (p *pool) writeFrame(fr *frame) error {
 	sealPage(fr.data)
 	if _, err := p.f.WriteAt(fr.data, int64(fr.pageNo)*PageSize); err != nil {
-		return fmt.Errorf("storage: write page %d: %w", fr.pageNo, err)
+		return p.poison(fmt.Errorf("storage: write page %d: %w", fr.pageNo, err))
 	}
 	fr.dirty = false
 	return nil
 }
 
 // flushAll writes every dirty frame, using the double-write journal for
-// torn-write protection, and fsyncs the store file.
+// torn-write protection, and fsyncs the store file. Any failure poisons
+// the pool: writeFrame has already marked flushed frames clean, so
+// without the sticky error a retry would find nothing dirty and
+// "succeed" even though the failed fsync persisted nothing.
 func (p *pool) flushAll() error {
+	if p.err != nil {
+		return p.err
+	}
 	var dirty []*frame
 	for _, fr := range p.frames {
 		if fr.dirty {
@@ -199,7 +232,10 @@ func (p *pool) flushAll() error {
 		}
 	}
 	if len(dirty) == 0 {
-		return p.f.Sync()
+		if err := p.f.Sync(); err != nil {
+			return p.poison(err)
+		}
+		return nil
 	}
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i].pageNo < dirty[j].pageNo })
 	if p.dw != nil {
@@ -207,7 +243,7 @@ func (p *pool) flushAll() error {
 			sealPage(fr.data)
 		}
 		if err := p.dw.capture(dirty); err != nil {
-			return err
+			return p.poison(err)
 		}
 	}
 	for _, fr := range dirty {
@@ -216,10 +252,12 @@ func (p *pool) flushAll() error {
 		}
 	}
 	if err := p.f.Sync(); err != nil {
-		return err
+		return p.poison(err)
 	}
 	if p.dw != nil {
-		return p.dw.clear()
+		if err := p.dw.clear(); err != nil {
+			return p.poison(err)
+		}
 	}
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/faultfs"
 )
 
 // dwJournal is a double-write journal: before dirty pages are written in
@@ -17,13 +19,13 @@ import (
 // commit marker [^uint64(0)][count u64]. Without a valid trailing marker the
 // journal is ignored.
 type dwJournal struct {
-	f *os.File
+	f faultfs.File
 }
 
 const dwMarker = ^uint64(0)
 
-func openDWJournal(path string) (*dwJournal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+func openDWJournal(fsys faultfs.FS, path string) (*dwJournal, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open double-write journal: %w", err)
 	}
@@ -69,7 +71,7 @@ func (j *dwJournal) clear() error {
 
 // replay applies a complete journal (if any) to the store file and clears
 // it. Called at open, before anything reads the store.
-func (j *dwJournal) replay(store *os.File) error {
+func (j *dwJournal) replay(store faultfs.File) error {
 	st, err := j.f.Stat()
 	if err != nil {
 		return err

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/faultfs"
 	"repro/internal/xid"
 )
 
@@ -16,7 +17,7 @@ import (
 // checkpoint backend, not the concurrency hot path — the shared cache is).
 type PageStore struct {
 	mu        sync.Mutex
-	f         *os.File
+	f         faultfs.File
 	pool      *pool
 	dw        *dwJournal
 	dir       map[xid.OID]dirEntry
@@ -37,6 +38,9 @@ type PageStoreOptions struct {
 	PoolPages int
 	// NoDoubleWrite disables the torn-write journal (benchmarks only).
 	NoDoubleWrite bool
+	// FS, when non-nil, replaces the OS filesystem (fault injection and
+	// crash simulation).
+	FS faultfs.FS
 }
 
 var storeMagic = []byte("ASSETPG1")
@@ -44,17 +48,21 @@ var storeMagic = []byte("ASSETPG1")
 // OpenPageStore opens or creates the store rooted at dir, replaying any
 // pending double-write journal first.
 func OpenPageStore(dir string, opts PageStoreOptions) (*PageStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	path := filepath.Join(dir, "store.dat")
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
 	}
 	var dw *dwJournal
 	if !opts.NoDoubleWrite {
-		dw, err = openDWJournal(filepath.Join(dir, "store.dw"))
+		dw, err = openDWJournal(fsys, filepath.Join(dir, "store.dw"))
 		if err != nil {
 			f.Close()
 			return nil, err

@@ -42,6 +42,64 @@ func FuzzRecordRoundTrip(f *testing.F) {
 	})
 }
 
+// realisticLog renders a multi-transaction log — begins, updates, a
+// delegate, an undo, commits, an abort, a checkpoint — to raw bytes, the
+// base for the corrupted-tail corpus.
+func realisticLog(tb testing.TB) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	path := filepath.Join(dir, "seed.log")
+	l, err := OpenFile(path, false)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, r := range []*Record{
+		{Type: TBegin, TID: 1},
+		{Type: TUpdate, TID: 1, OID: 10, Kind: KindCreate, After: []byte("one")},
+		{Type: TCommit, TIDs: []xid.TID{1}},
+		{Type: TBegin, TID: 2},
+		{Type: TBegin, TID: 3},
+		{Type: TUpdate, TID: 2, OID: 11, Kind: KindModify, Before: []byte("one"), After: []byte("two")},
+		{Type: TDelegate, TID: 2, TID2: 3, OIDs: []xid.OID{11}},
+		{Type: TUndo, TID: 3, OID: 11, Kind: KindModify, After: []byte("one")},
+		{Type: TAbort, TID: 3},
+		{Type: TCommit, TIDs: []xid.TID{2}},
+		{Type: TCheckpoint},
+	} {
+		if _, err := l.Append(r); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// corruptTail derives the realistic torn-tail shapes a crash leaves:
+// a record truncated mid-payload, a checksum flipped in the last record,
+// and a garbage (absurd) length prefix on the final frame.
+func corruptTail(good []byte) (truncated, badCRC, badLen []byte) {
+	truncated = append([]byte{}, good[:len(good)-3]...)
+	badCRC = append([]byte{}, good...)
+	badCRC[len(badCRC)-1] ^= 0xff
+	badLen = append([]byte{}, good...)
+	// The last frame is the 12-byte TCheckpoint: stamp its length prefix
+	// (frameHeader bytes before the payload end) with garbage.
+	if len(badLen) >= frameHeader {
+		off := len(badLen) - frameHeader
+		badLen[off] = 0xff
+		badLen[off+1] = 0xff
+		badLen[off+2] = 0xff
+		badLen[off+3] = 0x7f
+	}
+	return truncated, badCRC, badLen
+}
+
 // FuzzScanRobustness: scanning arbitrary bytes as a log file must never
 // panic and must stop cleanly.
 func FuzzScanRobustness(f *testing.F) {
@@ -60,6 +118,23 @@ func FuzzScanRobustness(f *testing.F) {
 	f.Add(append(append([]byte{}, good...), 0xde, 0xad, 0xbe, 0xef))
 	f.Add([]byte{})
 	f.Add([]byte{0x01, 0x02, 0x03})
+	// Corrupted-tail corpus: the torn shapes recover.go must survive.
+	multi := realisticLog(f)
+	f.Add(multi)
+	truncated, badCRC, badLen := corruptTail(multi)
+	f.Add(truncated)
+	f.Add(badCRC)
+	f.Add(badLen)
+	// A tail torn mid-header and one torn exactly at a frame boundary.
+	f.Add(multi[:len(multi)-frameHeader+2])
+	f.Add(multi[:len(multi)-frameHeader])
+	// A hole: an all-zero frame splicing the middle of the log (lost
+	// write under a later durable one).
+	hole := append([]byte{}, multi...)
+	for i := len(hole) / 2; i < len(hole)/2+frameHeader && i < len(hole); i++ {
+		hole[i] = 0
+	}
+	f.Add(hole)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p := filepath.Join(t.TempDir(), "fuzz.log")
@@ -84,4 +159,58 @@ func FuzzScanRobustness(f *testing.F) {
 		}
 		l.Close()
 	})
+}
+
+// TestRecoverCorruptedTails pins down the exact semantics the fuzz
+// corpus shapes exercise: every torn-tail class stops the scan at the
+// last intact record, and recovery of the intact prefix is unaffected.
+func TestRecoverCorruptedTails(t *testing.T) {
+	good := realisticLog(t)
+	truncated, badCRC, badLen := corruptTail(good)
+	intact := 0
+	mustWrite := func(data []byte) string {
+		p := filepath.Join(t.TempDir(), "log")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if err := ScanFile(mustWrite(good), func(*Record) error { intact++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if intact != 11 {
+		t.Fatalf("intact log has %d records, want 11", intact)
+	}
+	for name, data := range map[string][]byte{
+		"truncated-record":  truncated,
+		"bad-checksum":      badCRC,
+		"garbage-length":    badLen,
+		"torn-frame-header": good[:len(good)-frameHeader+2],
+	} {
+		t.Run(name, func(t *testing.T) {
+			p := mustWrite(data)
+			n := 0
+			if err := ScanFile(p, func(*Record) error { n++; return nil }); err != nil {
+				t.Fatal(err)
+			}
+			// Every corruption hits the final frame (the checkpoint):
+			// exactly one record is lost, never more.
+			if n != intact-1 {
+				t.Fatalf("scanned %d records, want %d", n, intact-1)
+			}
+			// The committed state of the intact prefix is unaffected:
+			// T1 created oid 10, T2's modify of oid 11 committed after
+			// T3's undo installed the old image.
+			st, err := Recover(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(st.Objects[10]) != "one" {
+				t.Fatalf("oid 10 = %q", st.Objects[10])
+			}
+			if len(st.Committed) != 2 {
+				t.Fatalf("committed = %v", st.Committed)
+			}
+		})
+	}
 }

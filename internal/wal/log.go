@@ -9,6 +9,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"repro/internal/faultfs"
 )
 
 // Appender is the write side of a log. Append assigns LSNs in strictly
@@ -27,14 +29,23 @@ const frameHeader = 4 + 4 + 8
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// ErrPoisoned marks a log handle on which a write, buffer drain, or
+// fsync has failed. The on-disk suffix of such a log is indeterminate —
+// on Linux a failed fsync may mark dirty pages clean, so a retried sync
+// can "succeed" without persisting anything — so the handle refuses all
+// further appends and flushes rather than let a later commit silently
+// claim durability over a hole.
+var ErrPoisoned = errors.New("wal: log poisoned by an earlier write/sync failure")
+
 // FileLog is a durable log backed by a single append-only file.
 type FileLog struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       faultfs.File
 	w       *bufio.Writer
 	nextLSN uint64
 	sync    bool // fsync on Flush
 	dirty   bool
+	err     error // sticky ErrPoisoned state
 }
 
 // OpenFile opens (creating if needed) the log at path and positions appends
@@ -42,7 +53,13 @@ type FileLog struct {
 // fsync, making commits crash-durable; when false, Flush only drains
 // buffers (fast mode for benchmarks).
 func OpenFile(path string, syncOnFlush bool) (*FileLog, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFileFS(faultfs.OS{}, path, syncOnFlush)
+}
+
+// OpenFileFS is OpenFile over an injected filesystem (fault injection
+// and crash simulation use it; production code uses OpenFile).
+func OpenFileFS(fsys faultfs.FS, path string, syncOnFlush bool) (*FileLog, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
@@ -75,6 +92,9 @@ func (l *FileLog) Append(r *Record) (uint64, error) {
 	if l.f == nil {
 		return 0, errors.New("wal: append to closed log")
 	}
+	if l.err != nil {
+		return 0, l.err
+	}
 	r.LSN = l.nextLSN
 	l.nextLSN++
 	payload := r.marshal()
@@ -85,13 +105,23 @@ func (l *FileLog) Append(r *Record) (uint64, error) {
 	crc = crc32.Update(crc, crcTable, payload)
 	binary.LittleEndian.PutUint32(hdr[4:8], crc)
 	if _, err := l.w.Write(hdr[:]); err != nil {
-		return 0, err
+		return 0, l.poison(err)
 	}
 	if _, err := l.w.Write(payload); err != nil {
-		return 0, err
+		return 0, l.poison(err)
 	}
 	l.dirty = true
 	return r.LSN, nil
+}
+
+// poison records a write/sync failure, making every later Append, Flush,
+// and Truncate fail with ErrPoisoned. The failing call itself returns
+// the original cause. Caller holds l.mu.
+func (l *FileLog) poison(cause error) error {
+	if l.err == nil {
+		l.err = fmt.Errorf("%w: %w", ErrPoisoned, cause)
+	}
+	return cause
 }
 
 // Flush drains the buffer and, if the log was opened with syncOnFlush,
@@ -103,15 +133,18 @@ func (l *FileLog) Flush() error {
 }
 
 func (l *FileLog) flushLocked() error {
+	if l.err != nil {
+		return l.err
+	}
 	if l.f == nil || !l.dirty {
 		return nil
 	}
 	if err := l.w.Flush(); err != nil {
-		return err
+		return l.poison(err)
 	}
 	if l.sync {
 		if err := l.f.Sync(); err != nil {
-			return err
+			return l.poison(err)
 		}
 	}
 	l.dirty = false
@@ -127,10 +160,10 @@ func (l *FileLog) Truncate() error {
 		return err
 	}
 	if err := l.f.Truncate(0); err != nil {
-		return err
+		return l.poison(err)
 	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return err
+		return l.poison(err)
 	}
 	l.w.Reset(l.f)
 	return nil
@@ -212,7 +245,12 @@ func (l *MemLog) Close() error { return l.Truncate() }
 // ScanFile reads every intact record of the log at path in order, invoking
 // fn for each. It stops cleanly at a torn tail. fn errors abort the scan.
 func ScanFile(path string, fn func(*Record) error) error {
-	f, err := os.Open(path)
+	return ScanFileFS(faultfs.OS{}, path, fn)
+}
+
+// ScanFileFS is ScanFile over an injected filesystem.
+func ScanFileFS(fsys faultfs.FS, path string, fn func(*Record) error) error {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil

@@ -3,6 +3,7 @@ package wal
 import (
 	"encoding/binary"
 
+	"repro/internal/faultfs"
 	"repro/internal/xid"
 )
 
@@ -50,9 +51,14 @@ type replayer struct {
 // before the last checkpoint are skipped (the checkpointed store already
 // reflects them); a checkpoint is only ever written at a quiescent point.
 func Recover(path string) (*State, error) {
+	return RecoverFS(faultfs.OS{}, path)
+}
+
+// RecoverFS is Recover over an injected filesystem.
+func RecoverFS(fsys faultfs.FS, path string) (*State, error) {
 	// First pass: find the LSN of the last checkpoint.
 	var lastCkpt uint64
-	err := ScanFile(path, func(r *Record) error {
+	err := ScanFileFS(fsys, path, func(r *Record) error {
 		if r.Type == TCheckpoint {
 			lastCkpt = r.LSN
 		}
@@ -62,7 +68,7 @@ func Recover(path string) (*State, error) {
 		return nil, err
 	}
 	rp := newReplayer()
-	err = ScanFile(path, func(r *Record) error {
+	err = ScanFileFS(fsys, path, func(r *Record) error {
 		if r.LSN <= lastCkpt {
 			rp.note(r) // keep NextLSN/MaxTID monotone across the skipped prefix
 			return nil
