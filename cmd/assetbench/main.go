@@ -1,28 +1,71 @@
 // Command assetbench regenerates the experiment tables listed in DESIGN.md
-// (E1–E14 and ablations A1–A4).
+// (E1–E14, the LOCK contention sweep, and ablations A1–A4).
 //
 // Usage:
 //
 //	assetbench -run all            # every experiment, full parameters
 //	assetbench -run E5,E9 -quick   # selected experiments, small parameters
+//	assetbench -run lock           # the sharded lock-table contention sweep
+//	assetbench -baseline FILE      # write the contention sweep as JSON
 //	assetbench -list               # show the experiment index
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
 )
 
+// baselineFile is the JSON document -baseline writes: the lock-contention
+// sweep plus enough host metadata to judge whether two baselines are
+// comparable.
+type baselineFile struct {
+	Bench     string            `json:"bench"`
+	Generated string            `json:"generated"`
+	GoVersion string            `json:"go_version"`
+	NumCPU    int               `json:"num_cpu"`
+	Quick     bool              `json:"quick"`
+	Points    []bench.LockPoint `json:"points"`
+}
+
+func writeBaseline(path string, quick bool) error {
+	doc := baselineFile{
+		Bench:     "lock-contention",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Quick:     quick,
+		Points:    bench.LockContention(quick),
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	runFlag := flag.String("run", "", "comma-separated experiment IDs, or 'all'")
 	quick := flag.Bool("quick", false, "small parameters (seconds instead of minutes)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	baseline := flag.String("baseline", "", "write the lock-contention sweep as JSON to this file")
 	flag.Parse()
+
+	if *baseline != "" {
+		start := time.Now()
+		if err := writeBaseline(*baseline, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "assetbench: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s in %v\n", *baseline, time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	if *list || *runFlag == "" {
 		fmt.Println("Experiments:")

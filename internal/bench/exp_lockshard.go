@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/waitgraph"
+	"repro/internal/workload"
+	"repro/internal/xid"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "LOCK",
+		Title:  "Sharded lock-table contention (shards × workers × GOMAXPROCS × distribution)",
+		Anchor: "§4.1 OD-chain latching",
+		Run:    runLockShard,
+	})
+}
+
+// LockPoint is one measured cell of the lock-contention sweep; the slice of
+// points is what assetbench -baseline serializes into BENCH_baseline.json.
+type LockPoint struct {
+	Dist        string  `json:"dist"`    // "disjoint" (worker-private keys) | "hotspot" (8 shared keys)
+	Shards      int     `json:"shards"`  // 1 = the single-latch (pre-sharding) table
+	Workers     int     `json:"workers"` // concurrent closed-loop workers
+	Procs       int     `json:"gomaxprocs"`
+	LocksPerSec float64 `json:"locks_per_sec"`
+	P99Micros   float64 `json:"p99_us"`
+}
+
+// LockContention runs the multi-worker contention sweep over shard counts,
+// worker counts, GOMAXPROCS settings, and two key distributions:
+//
+//   - disjoint: every worker locks (write mode) keys private to it, so no
+//     two requests ever conflict logically — throughput is bounded purely
+//     by lock-table infrastructure, which is exactly what sharding targets.
+//     With Shards=1 every grant serializes on one latch; with many shards
+//     workers proceed independently.
+//   - hotspot: every worker read-locks the same 8 keys. Read locks are
+//     mutually compatible, so again no logical blocking — but all traffic
+//     lands on 8 ODs, bounding the gain sharding can deliver (at most 8
+//     shards' worth of spread).
+//
+// Transactions release in batches of 16 grants so the (deliberately
+// global) waits-for-graph teardown in ReleaseAll does not dominate the
+// measurement.
+func LockContention(quick bool) []LockPoint {
+	dur := pick(quick, 30*time.Millisecond, 250*time.Millisecond)
+	shardCounts := pick(quick, []int{1, 64}, []int{1, 4, 16, 64})
+	workerCounts := pick(quick, []int{1, 8}, []int{1, 2, 4, 8, 16})
+	procsList := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		if n > 2 {
+			procsList = append(procsList, n/2)
+		}
+		procsList = append(procsList, n)
+	} else {
+		// Single-core host: still exercise an oversubscribed scheduler so
+		// latch backoff paths are measured, even without real parallelism.
+		procsList = append(procsList, 2)
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var out []LockPoint
+	for _, procs := range procsList {
+		runtime.GOMAXPROCS(procs)
+		for _, dist := range []string{"disjoint", "hotspot"} {
+			for _, shards := range shardCounts {
+				for _, workers := range workerCounts {
+					lm := lock.New(waitgraph.New(), lock.Options{EagerClosure: true, Shards: shards})
+					res := workload.RunClosed(workers, dur, func(w, i int) error {
+						tid := xid.TID(uint64(w)*1e9 + uint64(i/16) + 1)
+						var oid xid.OID
+						var mode xid.OpSet
+						if dist == "disjoint" {
+							oid = xid.OID(uint64(w)*1_000_000 + uint64(i%512) + 1)
+							mode = xid.OpWrite
+						} else {
+							oid = xid.OID(uint64(i+w)%8 + 1)
+							mode = xid.OpRead
+						}
+						err := lm.Lock(tid, oid, mode)
+						if i%16 == 15 {
+							lm.ReleaseAll(tid)
+						}
+						return err
+					})
+					out = append(out, LockPoint{
+						Dist:        dist,
+						Shards:      lm.NumShards(),
+						Workers:     workers,
+						Procs:       procs,
+						LocksPerSec: res.Throughput(),
+						P99Micros:   float64(res.Lat.Percentile(0.99)) / float64(time.Microsecond),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func runLockShard(w io.Writer, quick bool) error {
+	points := LockContention(quick)
+	var t Table
+	t.Headers = []string{"procs", "dist", "shards", "workers", "locks/s", "p99", "vs 1-shard"}
+	// Index single-shard throughput for the speedup column.
+	base := make(map[[3]any]float64)
+	for _, p := range points {
+		if p.Shards == 1 {
+			base[[3]any{p.Procs, p.Dist, p.Workers}] = p.LocksPerSec
+		}
+	}
+	for _, p := range points {
+		speedup := "-"
+		if b := base[[3]any{p.Procs, p.Dist, p.Workers}]; b > 0 && p.Shards > 1 {
+			speedup = fmt.Sprintf("%.2fx", p.LocksPerSec/b)
+		}
+		t.Add(p.Procs, p.Dist, p.Shards, p.Workers,
+			fmt.Sprintf("%.0f", p.LocksPerSec),
+			time.Duration(p.P99Micros*float64(time.Microsecond)).Round(time.Microsecond/10),
+			speedup)
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "  (disjoint: worker-private write locks, pure infrastructure scaling; hotspot: 8 shared read-locked keys)")
+	return nil
+}

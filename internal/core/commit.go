@@ -25,7 +25,7 @@ func (m *Manager) Commit(id xid.TID) error {
 		return err
 	}
 	for {
-		switch t.status {
+		switch t.st() {
 		case xid.StatusCommitted:
 			m.mu.Unlock()
 			return nil
@@ -121,7 +121,7 @@ func (m *Manager) examineGroupLocked(t *txn) ([]*txn, *obstacle) {
 	}
 	// An aborted member dooms the group.
 	for _, member := range group {
-		if member.status == xid.StatusAborting || member.status == xid.StatusAborted {
+		if member.st() == xid.StatusAborting || member.st() == xid.StatusAborted {
 			for _, other := range group {
 				m.abortLocked(other, fmt.Errorf("%w: group member %v aborted", ErrAborted, member.id))
 			}
@@ -135,7 +135,7 @@ func (m *Manager) examineGroupLocked(t *txn) ([]*txn, *obstacle) {
 	// commits the driver may be off the mutex forcing the log — so this
 	// driver waits for that outcome instead of double-committing.
 	for _, member := range group {
-		switch member.status {
+		switch member.st() {
 		case xid.StatusInitiated, xid.StatusRunning:
 			return group, &obstacle{id: member.id, waitCh: member.done}
 		case xid.StatusCommitting:
@@ -158,7 +158,7 @@ func (m *Manager) examineGroupLocked(t *txn) ([]*txn, *obstacle) {
 				continue
 			}
 			if p, ok := m.txns.Get(uint64(e.Other)); ok &&
-				(p.status == xid.StatusCommitting || p.status == xid.StatusCommitted) {
+				(p.st() == xid.StatusCommitting || p.st() == xid.StatusCommitted) {
 				for _, other := range group {
 					m.abortLocked(other, fmt.Errorf("%w: excluded by committing partner %v", ErrAborted, p.id))
 				}
@@ -174,7 +174,7 @@ func (m *Manager) examineGroupLocked(t *txn) ([]*txn, *obstacle) {
 				continue
 			}
 			sup, ok := m.txns.Get(uint64(e.Other))
-			if !ok || sup.status.Terminated() {
+			if !ok || sup.st().Terminated() {
 				// Terminated supporters leave no edges (RemoveNode), but be
 				// defensive: a committed supporter satisfies everything; an
 				// aborted one with an AD would have aborted us already.
@@ -193,7 +193,7 @@ func (m *Manager) commitGroupLocked(group []*txn) {
 	tids := make([]xid.TID, len(group))
 	for i, member := range group {
 		tids[i] = member.id
-		member.status = xid.StatusCommitting
+		member.setSt(xid.StatusCommitting)
 	}
 	// Commit record for the whole group; one log force covers all members
 	// (this is what experiment E6 measures).
@@ -249,11 +249,11 @@ func (m *Manager) commitGroupLocked(group []*txn) {
 			}
 		}
 		member.undo = nil
-		member.status = xid.StatusCommitted
+		member.setSt(xid.StatusCommitted)
 		m.deps.RemoveNode(member.id)
 		m.locks.ReleaseAll(member.id)
 		m.waits.RemoveNode(member.id)
-		m.live--
+		m.live.Add(-1)
 		m.stats.commits.Add(1)
 		member.closeDone()
 		member.closeTerm()
@@ -280,7 +280,7 @@ func (m *Manager) Abort(id xid.TID) error {
 	if err != nil {
 		return err
 	}
-	for t.status == xid.StatusCommitting {
+	for t.st() == xid.StatusCommitting {
 		// The transaction is past its commit record (a batched-commit
 		// driver may be forcing the log); wait for the outcome rather than
 		// yanking a half-committed group.
@@ -289,7 +289,7 @@ func (m *Manager) Abort(id xid.TID) error {
 		<-term
 		m.mu.Lock()
 	}
-	switch t.status {
+	switch t.st() {
 	case xid.StatusCommitted:
 		return ErrAlreadyCommitted
 	case xid.StatusAborted:
@@ -339,7 +339,7 @@ func (m *Manager) abortLocked(t *txn, reason error) {
 	// Deadlock accounting happens here so every victim path — lock-wait
 	// victims, commit-wait victims, and the OnVictim callback — is counted
 	// exactly once (per cascade root).
-	if !t.status.Terminated() && t.status != xid.StatusAborting && errors.Is(reason, ErrDeadlock) {
+	if !t.st().Terminated() && t.st() != xid.StatusAborting && errors.Is(reason, ErrDeadlock) {
 		m.stats.deadlocks.Add(1)
 	}
 	// Phase 1: close the cascade set over AD/GC/BD incoming edges.
@@ -348,11 +348,13 @@ func (m *Manager) abortLocked(t *txn, reason error) {
 	for len(work) > 0 {
 		u := work[len(work)-1]
 		work = work[:len(work)-1]
-		if u.status.Terminated() || u.status == xid.StatusAborting {
+		if u.st().Terminated() || u.st() == xid.StatusAborting {
 			continue
 		}
-		u.status = xid.StatusAborting
+		// abErr strictly before the status store: lock-free readers that
+		// observe the aborting status must also observe the reason.
 		u.abErr = reason
+		u.setSt(xid.StatusAborting)
 		u.closeAbort()
 		m.locks.CancelWaits(u.id)
 		set = append(set, u)
@@ -419,8 +421,8 @@ func (m *Manager) abortLocked(t *txn, reason error) {
 		m.deps.RemoveNode(u.id)
 		m.locks.ReleaseAll(u.id)
 		m.waits.RemoveNode(u.id)
-		u.status = xid.StatusAborted
-		m.live--
+		u.setSt(xid.StatusAborted)
+		m.live.Add(-1)
 		m.stats.aborts.Add(1)
 		u.closeDone()
 		u.closeTerm()

@@ -44,6 +44,10 @@ type Config struct {
 	// MaxTransactions bounds concurrently live (non-terminated)
 	// transactions; initiate fails beyond it. 0 means no limit.
 	MaxTransactions int
+	// LockShards sets the number of lock-table shards (rounded up to a
+	// power of two). 0 picks the default (64); 1 degenerates to a single
+	// global lock-table latch, the pre-sharding behaviour.
+	LockShards int
 	// NoQueueFairness and LazyPermitClosure select lock-manager ablations.
 	NoQueueFairness   bool
 	LazyPermitClosure bool
@@ -97,7 +101,7 @@ type Manager struct {
 
 	txns    *htab.Map[*txn] // the chained hash table of TDs (§4.1)
 	nextTID atomic.Uint64
-	live    int // non-terminated transactions, for MaxTransactions
+	live    atomic.Int64 // non-terminated transactions, for MaxTransactions
 
 	locks *lock.Manager
 	deps  *dep.Graph
@@ -108,7 +112,7 @@ type Manager struct {
 	backend storage.Backend
 	dirty   map[xid.OID]dirtyKind // committed changes since last checkpoint
 
-	closed bool
+	closed atomic.Bool
 
 	stats struct {
 		commits, aborts, deadlocks, logForces, groupSize atomic.Uint64
@@ -143,6 +147,7 @@ func Open(cfg Config) (*Manager, error) {
 	}
 	m.locks = lock.New(m.waits, lock.Options{
 		OnVictim:        onVictim,
+		Shards:          cfg.LockShards,
 		NoQueueFairness: cfg.NoQueueFairness,
 		EagerClosure:    !cfg.LazyPermitClosure,
 		WaitTimeout:     cfg.LockTimeout,
@@ -222,13 +227,9 @@ func Open(cfg Config) (*Manager, error) {
 // Close flushes the log and closes the backend. Live transactions are
 // abandoned; recovery treats them as losers.
 func (m *Manager) Close() error {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Swap(true) {
 		return nil
 	}
-	m.closed = true
-	m.mu.Unlock()
 	err := m.log.Flush()
 	if cerr := m.log.Close(); err == nil {
 		err = cerr
@@ -252,11 +253,11 @@ func (m *Manager) Stats() Stats {
 
 // StatusOf returns the status of t, or StatusAborted for unknown (reaped)
 // transactions — a terminated descriptor may be dropped at any time.
+// Mutex-free: the descriptor table is a concurrent hash table and status is
+// an atomic field.
 func (m *Manager) StatusOf(t xid.TID) xid.Status {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if tx, ok := m.txns.Get(uint64(t)); ok {
-		return tx.status
+		return tx.st()
 	}
 	return xid.StatusAborted
 }
@@ -269,13 +270,14 @@ type TxnInfo struct {
 }
 
 // Transactions lists every tracked transaction in ascending tid order —
-// one of the §2.1 "primitives to query the status of transactions".
+// one of the §2.1 "primitives to query the status of transactions". The
+// listing is a moment-in-time snapshot, not a consistent cut: it takes no
+// manager-wide lock, so transactions that begin or terminate concurrently
+// may or may not appear.
 func (m *Manager) Transactions() []TxnInfo {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var out []TxnInfo
 	m.txns.Range(func(_ uint64, t *txn) bool {
-		out = append(out, TxnInfo{ID: t.id, Parent: t.parent, Status: t.status})
+		out = append(out, TxnInfo{ID: t.id, Parent: t.parent, Status: t.st()})
 		return true
 	})
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -306,17 +308,19 @@ func (m *Manager) lookup(t xid.TID) (*txn, error) {
 // caller's job to arrange that.
 func (m *Manager) Checkpoint() error {
 	m.mu.Lock()
-	if m.closed {
+	if m.closed.Load() {
 		m.mu.Unlock()
 		return ErrClosed
 	}
-	if m.live != 0 {
+	if n := m.live.Load(); n != 0 {
 		m.mu.Unlock()
-		return fmt.Errorf("%w: %d live transactions", ErrNotQuiescent, m.live)
+		return fmt.Errorf("%w: %d live transactions", ErrNotQuiescent, n)
 	}
 	dirty := m.dirty
 	m.dirty = make(map[xid.OID]dirtyKind)
-	// Holding m.mu keeps the manager quiescent: initiate blocks on it.
+	// Holding m.mu keeps the manager quiescent: initiate is mutex-free, but
+	// a freshly initiated transaction cannot touch any object until Begin,
+	// and beginOne blocks on m.mu.
 	defer m.mu.Unlock()
 	for oid, kind := range dirty {
 		if kind == dirtyDelete {

@@ -18,75 +18,68 @@ func mapLockErr(err error) error {
 	return err
 }
 
-// checkRunning verifies the transaction may perform operations. Caller
-// holds m.mu.
-func (m *Manager) checkRunningLocked(t *txn) error {
-	if t.status != xid.StatusRunning {
-		if t.status == xid.StatusAborting || t.status == xid.StatusAborted {
-			return ErrAborted
-		}
-		return fmt.Errorf("core: operation in %v transaction %v", t.status, t.id)
-	}
-	return nil
-}
-
 // dropStrayLocksLocked releases lock grants won by a transaction after its
 // abort already ran. Lock acquisition happens outside m.mu, so a body
 // goroutine can be granted a lock after abortLocked cancelled the
 // transaction's waits and released its locks; nothing would ever release
 // such a grant, and every later requester of the object would block
 // forever. Every operation that re-checks status after acquiring a lock
-// calls this on the re-check's failure path. Caller holds m.mu.
+// calls this on the re-check's failure path. Caller holds m.mu — the mutex
+// serializes the release against an in-flight abort cascade, whose undo
+// pass must complete before any of the transaction's locks become free.
 func (m *Manager) dropStrayLocksLocked(t *txn) {
-	if t.status == xid.StatusAborting || t.status == xid.StatusAborted {
+	if t.st() == xid.StatusAborting || t.st() == xid.StatusAborted {
 		m.locks.ReleaseAll(t.id)
 	}
+}
+
+// dropStrayLocks is the entry point for code paths that do not already
+// hold m.mu (the lock-free Lock/Read operations).
+func (m *Manager) dropStrayLocks(t *txn) {
+	m.mu.Lock()
+	m.dropStrayLocksLocked(t)
+	m.mu.Unlock()
 }
 
 // Lock acquires the given lock mode on oid without performing an
 // operation — the explicit form of the §4.2 read-lock/write-lock calls
 // (the analogue of SELECT ... FOR UPDATE). Locks are held until the
 // transaction terminates or delegates them.
+//
+// Lock and Read never touch the manager mutex on their fast path: the
+// status checks are atomic reads and the lock table is sharded, so
+// lock/read traffic of unrelated transactions shares nothing but its
+// object shards. The mutex appears only on the failure path, to serialize
+// stray-grant release with an in-flight abort.
 func (tx *Tx) Lock(oid xid.OID, ops xid.OpSet) error {
 	m, t := tx.m, tx.t
-	m.mu.Lock()
-	err := m.checkRunningLocked(t)
-	m.mu.Unlock()
-	if err != nil {
+	if err := t.checkRunning(); err != nil {
 		return err
 	}
 	if err := m.locks.Lock(t.id, oid, ops); err != nil {
 		return mapLockErr(err)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err := m.checkRunningLocked(t); err != nil {
-		m.dropStrayLocksLocked(t)
+	if err := t.checkRunning(); err != nil {
+		m.dropStrayLocks(t)
 		return err
 	}
 	return nil
 }
 
 // Read returns a copy of the object's contents after acquiring a read lock
-// (§4.2 read: read-lock, S-latch, read, unlatch).
+// (§4.2 read: read-lock, S-latch, read, unlatch). Mutex-free like Lock.
 func (tx *Tx) Read(oid xid.OID) ([]byte, error) {
 	m, t := tx.m, tx.t
-	m.mu.Lock()
-	err := m.checkRunningLocked(t)
-	m.mu.Unlock()
-	if err != nil {
+	if err := t.checkRunning(); err != nil {
 		return nil, err
 	}
 	if err := m.locks.Lock(t.id, oid, xid.OpRead); err != nil {
 		return nil, mapLockErr(err)
 	}
-	m.mu.Lock()
-	if err := m.checkRunningLocked(t); err != nil {
-		m.dropStrayLocksLocked(t)
-		m.mu.Unlock()
+	if err := t.checkRunning(); err != nil {
+		m.dropStrayLocks(t)
 		return nil, err
 	}
-	m.mu.Unlock()
 	data, ok := m.cache.Read(oid)
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrNoObject, oid)
@@ -106,7 +99,7 @@ func (tx *Tx) Write(oid xid.OID, data []byte) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if err := m.checkRunningLocked(t); err != nil {
+	if err := t.checkRunning(); err != nil {
 		m.dropStrayLocksLocked(t)
 		return err
 	}
@@ -138,7 +131,7 @@ func (tx *Tx) Update(oid xid.OID, fn func([]byte) []byte) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if err := m.checkRunningLocked(t); err != nil {
+	if err := t.checkRunning(); err != nil {
 		m.dropStrayLocksLocked(t)
 		return err
 	}
@@ -187,7 +180,7 @@ func (tx *Tx) CreateAt(oid xid.OID, data []byte) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if err := m.checkRunningLocked(t); err != nil {
+	if err := t.checkRunning(); err != nil {
 		m.dropStrayLocksLocked(t)
 		return err
 	}
@@ -218,7 +211,7 @@ func (tx *Tx) Add(oid xid.OID, delta uint64) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if err := m.checkRunningLocked(t); err != nil {
+	if err := t.checkRunning(); err != nil {
 		m.dropStrayLocksLocked(t)
 		return err
 	}
@@ -261,7 +254,7 @@ func (tx *Tx) Delete(oid xid.OID) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if err := m.checkRunningLocked(t); err != nil {
+	if err := t.checkRunning(); err != nil {
 		m.dropStrayLocksLocked(t)
 		return err
 	}

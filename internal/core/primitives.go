@@ -15,19 +15,25 @@ func (m *Manager) Initiate(fn TxnFunc) (xid.TID, error) {
 	return m.initiate(fn, xid.NilTID)
 }
 
+// initiate is mutex-free: the tid counter, live count, closed flag, and
+// descriptor table are all safe for concurrent use, so registering a
+// transaction never contends with commits, aborts, or other initiates.
 func (m *Manager) initiate(fn TxnFunc, parent xid.TID) (xid.TID, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
+	if m.closed.Load() {
 		return xid.NilTID, ErrClosed
 	}
-	if m.cfg.MaxTransactions > 0 && m.live >= m.cfg.MaxTransactions {
-		return xid.NilTID, ErrTooManyTxns
+	for {
+		n := m.live.Load()
+		if m.cfg.MaxTransactions > 0 && n >= int64(m.cfg.MaxTransactions) {
+			return xid.NilTID, ErrTooManyTxns
+		}
+		if m.live.CompareAndSwap(n, n+1) {
+			break
+		}
 	}
 	id := xid.TID(m.nextTID.Add(1))
 	t := newTxn(id, parent, fn)
 	m.txns.Put(uint64(id), t)
-	m.live++
 	return id, nil
 }
 
@@ -51,12 +57,12 @@ func (m *Manager) beginOne(id xid.TID) error {
 		m.mu.Unlock()
 		return err
 	}
-	if t.status != xid.StatusInitiated {
+	if t.st() != xid.StatusInitiated {
 		m.mu.Unlock()
-		if t.status == xid.StatusAborted || t.status == xid.StatusAborting {
+		if t.st() == xid.StatusAborted || t.st() == xid.StatusAborting {
 			return ErrAborted
 		}
-		return fmt.Errorf("%w: %v is %v", ErrAlreadyBegun, id, t.status)
+		return fmt.Errorf("%w: %v is %v", ErrAlreadyBegun, id, t.st())
 	}
 	// Begin dependencies (extension): a BD gate waits for the supporter's
 	// commit (its abort aborts t); a BAD gate waits for the supporter's
@@ -73,17 +79,17 @@ func (m *Manager) beginOne(id xid.TID) error {
 		<-term
 		m.waits.Remove(id, supID)
 		m.mu.Lock()
-		if !isBAD && sup.status == xid.StatusAborted {
+		if !isBAD && sup.st() == xid.StatusAborted {
 			m.mu.Unlock()
 			m.abortTxn(t, fmt.Errorf("%w: begin dependency on aborted %v", ErrAborted, supID))
 			return ErrAborted
 		}
 	}
-	if t.status != xid.StatusInitiated { // aborted while waiting to begin
+	if t.st() != xid.StatusInitiated { // aborted while waiting to begin
 		m.mu.Unlock()
 		return ErrAborted
 	}
-	t.status = xid.StatusRunning
+	t.setSt(xid.StatusRunning)
 	m.mu.Unlock()
 
 	if _, err := m.log.Append(&wal.Record{Type: wal.TBegin, TID: id}); err != nil {
@@ -107,10 +113,10 @@ func (m *Manager) pendingBeginDepLocked(t *txn) (sup *txn, isBAD bool) {
 		if !ok {
 			continue
 		}
-		if bd && s.status != xid.StatusCommitted {
+		if bd && s.st() != xid.StatusCommitted {
 			return s, false
 		}
-		if bad && s.status != xid.StatusAborted {
+		if bad && s.st() != xid.StatusAborted {
 			return s, true
 		}
 	}
@@ -130,10 +136,10 @@ func (m *Manager) run(t *txn) {
 		return
 	}
 	m.mu.Lock()
-	if t.status == xid.StatusRunning {
+	if t.st() == xid.StatusRunning {
 		// Completion: locks are retained and changes stay volatile until an
 		// explicit commit (§2.1).
-		t.status = xid.StatusCompleted
+		t.setSt(xid.StatusCompleted)
 	}
 	m.mu.Unlock()
 	t.closeDone()
@@ -163,7 +169,7 @@ func (m *Manager) Wait(id xid.TID) error {
 func (m *Manager) waitOutcome(t *txn) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if t.status == xid.StatusAborted || t.status == xid.StatusAborting {
+	if t.st() == xid.StatusAborted || t.st() == xid.StatusAborting {
 		if t.abErr != nil {
 			return t.abErr
 		}
@@ -200,7 +206,7 @@ func (tx *Tx) Wait(id xid.TID) error {
 	}
 	m.waits.Remove(t.id, id)
 	m.mu.Lock()
-	if t.status == xid.StatusAborting || t.status == xid.StatusAborted {
+	if t.st() == xid.StatusAborting || t.st() == xid.StatusAborted {
 		err := t.abErr
 		m.mu.Unlock()
 		if err == nil {
@@ -230,16 +236,16 @@ func (m *Manager) Delegate(from, to xid.TID, oids ...xid.OID) error {
 		m.mu.Unlock()
 		return err
 	}
-	if ft.status.Terminated() || ft.status == xid.StatusCommitting {
+	if ft.st().Terminated() || ft.st() == xid.StatusCommitting {
 		m.mu.Unlock()
-		return fmt.Errorf("%w: delegator %v is %v", ErrTerminated, from, ft.status)
+		return fmt.Errorf("%w: delegator %v is %v", ErrTerminated, from, ft.st())
 	}
 	tt, _ := m.txns.Get(uint64(to))
-	if tt.status.Terminated() || tt.status == xid.StatusCommitting {
+	if tt.st().Terminated() || tt.st() == xid.StatusCommitting {
 		// A committing delegatee has already written its commit record;
 		// work delegated now would be mis-attributed at recovery.
 		m.mu.Unlock()
-		return fmt.Errorf("%w: delegatee %v is %v", ErrTerminated, to, tt.status)
+		return fmt.Errorf("%w: delegatee %v is %v", ErrTerminated, to, tt.st())
 	}
 	// The whole transfer — undo responsibility, locks with permit
 	// grantorship, and the log record — happens inside the manager's
@@ -314,7 +320,7 @@ func (m *Manager) Permit(grantor, grantee xid.TID, oids []xid.OID, ops xid.OpSet
 		m.mu.Unlock()
 		return err
 	}
-	if gt.status.Terminated() {
+	if gt.st().Terminated() {
 		m.mu.Unlock()
 		return fmt.Errorf("%w: grantor %v", ErrTerminated, grantor)
 	}
@@ -350,29 +356,29 @@ func (m *Manager) FormDependency(typ xid.DepType, ti, tj xid.TID) error {
 	// a transaction that is committing or has terminated cannot take on new
 	// constraints.
 	switch {
-	case b.status == xid.StatusAborted || b.status == xid.StatusAborting:
+	case b.st() == xid.StatusAborted || b.st() == xid.StatusAborting:
 		m.mu.Unlock()
 		if typ == xid.DepGC {
 			// Both or neither: tj already aborted, so ti must abort too.
 			m.abortTxn(a, fmt.Errorf("%w: group partner %v aborted", ErrAborted, tj))
 		}
 		return nil // every other constraint on an aborted tj is moot
-	case b.status == xid.StatusCommitted || b.status == xid.StatusCommitting:
+	case b.st() == xid.StatusCommitted || b.st() == xid.StatusCommitting:
 		m.mu.Unlock()
-		return fmt.Errorf("%w: dependent %v is already %v", ErrTerminated, tj, b.status)
+		return fmt.Errorf("%w: dependent %v is already %v", ErrTerminated, tj, b.st())
 	}
 	switch {
-	case a.status == xid.StatusAborted || a.status == xid.StatusAborting:
+	case a.st() == xid.StatusAborted || a.st() == xid.StatusAborting:
 		m.mu.Unlock()
 		if typ == xid.DepAD || typ == xid.DepGC ||
-			(typ == xid.DepBD && b.status == xid.StatusInitiated) {
+			(typ == xid.DepBD && b.st() == xid.StatusInitiated) {
 			m.abortTxn(b, fmt.Errorf("%w: dependency on aborted %v", ErrAborted, ti))
 		}
 		return nil
-	case a.status == xid.StatusCommitting && typ == xid.DepGC:
+	case a.st() == xid.StatusCommitting && typ == xid.DepGC:
 		m.mu.Unlock()
 		return fmt.Errorf("%w: group commit with committing %v", ErrTerminated, ti)
-	case a.status == xid.StatusCommitted:
+	case a.st() == xid.StatusCommitted:
 		m.mu.Unlock()
 		switch typ {
 		case xid.DepGC:

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wal"
 	"repro/internal/xid"
@@ -24,15 +26,21 @@ type undoRec struct {
 }
 
 // txn is the transaction descriptor (TD of §4.1): identity, parentage,
-// status, the function to execute, and the undo responsibility list. Status
-// and undo are guarded by the manager mutex.
+// status, the function to execute, and the undo responsibility list. The
+// undo list is guarded by the manager mutex. Status transitions still
+// happen under the manager mutex (they are read-modify-write decisions),
+// but the field itself is atomic so status *reads* — the hot pre- and
+// post-lock checks of every Tx operation, StatusOf, Transactions — need no
+// mutex. abErr is written before the status turns aborting and never
+// again, so any reader that observes an aborting/aborted status also
+// observes the reason.
 type txn struct {
 	id     xid.TID
 	parent xid.TID
 	fn     TxnFunc
 
-	status xid.Status
-	abErr  error // why the transaction aborted, if it did
+	status atomic.Int32 // holds an xid.Status
+	abErr  error        // why the transaction aborted, if it did
 
 	// done closes when the function finishes or the transaction aborts
 	// (wait() unblocks on either). term closes on final termination.
@@ -50,14 +58,37 @@ type txn struct {
 }
 
 func newTxn(id, parent xid.TID, fn TxnFunc) *txn {
-	return &txn{
+	t := &txn{
 		id:      id,
 		parent:  parent,
 		fn:      fn,
-		status:  xid.StatusInitiated,
 		done:    make(chan struct{}),
 		term:    make(chan struct{}),
 		abortCh: make(chan struct{}),
+	}
+	t.setSt(xid.StatusInitiated)
+	return t
+}
+
+// st reads the transaction status; safe without any lock.
+func (t *txn) st() xid.Status { return xid.Status(t.status.Load()) }
+
+// setSt publishes a new status. Callers deciding a transition based on the
+// current status must hold the manager mutex; the store itself makes the
+// new status (and, for aborts, the previously written abErr) visible to
+// lock-free readers.
+func (t *txn) setSt(s xid.Status) { t.status.Store(int32(s)) }
+
+// checkRunning verifies the transaction may perform operations; safe
+// without any lock.
+func (t *txn) checkRunning() error {
+	switch st := t.st(); st {
+	case xid.StatusRunning:
+		return nil
+	case xid.StatusAborting, xid.StatusAborted:
+		return ErrAborted
+	default:
+		return fmt.Errorf("core: operation in %v transaction %v", st, t.id)
 	}
 }
 

@@ -56,6 +56,12 @@ func New[V any](shards int) *Map[V] {
 	return m
 }
 
+// Hash exposes the table's 64-bit finalizer for callers that shard their
+// own structures (the lock manager hashes oids onto lock-table shards with
+// it, so an object's lock shard and its htab shard derive from one
+// function).
+func Hash(x uint64) uint64 { return mix(x) }
+
 // mix is a 64-bit finalizer (splitmix64) spreading sequential tids across
 // shards and buckets.
 func mix(x uint64) uint64 {

@@ -1,6 +1,8 @@
 package lock
 
 import (
+	"sort"
+
 	"repro/internal/xid"
 )
 
@@ -10,70 +12,134 @@ import (
 // to. A nil oids delegates everything from is responsible for. It returns
 // the objects whose locks actually moved, so the caller can log the
 // delegation and move undo responsibility the same way.
+//
+// Cross-shard discipline: the candidate set is snapshotted from from's
+// txnState (its latch alone), then each shard is visited once, in ascending
+// index order, with only that shard's latch held; every per-object decision
+// is re-validated under the owning shard latch, so candidates that moved or
+// vanished in the window are simply skipped.
 func (m *Manager) Delegate(from, to xid.TID, oids []xid.OID) []xid.OID {
 	if from == to {
 		return nil
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var moved []xid.OID
+	fromTS, ok := m.txns.Get(uint64(from))
+	if !ok {
+		// Nothing held and nothing granted by from; still ensure the
+		// grantee side exists for the caller's subsequent operations.
+		return nil
+	}
+	toTS := m.txnOf(to)
+
+	// Snapshot the candidate objects and the PDs granted by from.
+	fromTS.lat.Lock()
+	var candidates []xid.OID
 	if oids == nil {
-		for oid := range m.byTxn[from] {
-			moved = append(moved, oid)
+		for oid := range fromTS.locks {
+			candidates = append(candidates, oid)
 		}
 	} else {
 		for _, oid := range oids {
-			if _, held := m.byTxn[from][oid]; held {
-				moved = append(moved, oid)
+			if _, held := fromTS.locks[oid]; held {
+				candidates = append(candidates, oid)
 			}
 		}
 	}
-	for _, oid := range moved {
-		m.delegateOneLocked(from, to, oid)
+	grantorPDs := append([]*permit(nil), fromTS.byGrantor...)
+	fromTS.lat.Unlock()
+
+	// Visit shards in ascending order, one latch at a time.
+	byShard := make(map[*lockShard][]xid.OID)
+	for _, oid := range candidates {
+		s := m.shardOf(oid)
+		byShard[s] = append(byShard[s], oid)
 	}
+	var moved []xid.OID
+	m.forShardsAscending(byShard, func(s *lockShard, oids []xid.OID) {
+		s.lat.Lock()
+		for _, oid := range oids {
+			if m.delegateOneLocked(fromTS, toTS, s, oid) {
+				moved = append(moved, oid)
+			}
+		}
+		s.lat.Unlock()
+	})
+
 	// §4.2 delegate step (b): permissions given by from on the delegated
 	// objects (all of them for delegate-all) become permissions given by to,
 	// whether or not from also held a lock there.
-	m.reassignGrantor(from, to, oids)
+	m.reassignGrantor(fromTS, toTS, grantorPDs, oids)
 	return moved
 }
 
+// forShardsAscending runs fn over the shard groups in ascending shard-index
+// order. Ordering is not required for deadlock freedom (only one latch is
+// held at a time) but makes delegation outcomes deterministic for tests.
+func (m *Manager) forShardsAscending(groups map[*lockShard][]xid.OID, fn func(*lockShard, []xid.OID)) {
+	idx := make([]int, 0, len(groups))
+	for s := range groups {
+		idx = append(idx, m.shardIndex(s))
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		s := &m.shards[i]
+		fn(s, groups[s])
+	}
+}
+
+func (m *Manager) shardIndex(s *lockShard) int {
+	for i := range m.shards {
+		if &m.shards[i] == s {
+			return i
+		}
+	}
+	panic("lock: shard not owned by manager")
+}
+
 // delegateOneLocked moves from's LRD on oid into to's lock list, merging
-// with any lock to already holds there. Caller holds m.mu.
-func (m *Manager) delegateOneLocked(from, to xid.TID, oid xid.OID) {
-	gl := m.byTxn[from][oid]
+// with any lock to already holds there, and reports whether a lock moved.
+// Caller holds s.lat; the txnState latches nest inside it, taken one at a
+// time.
+func (m *Manager) delegateOneLocked(fromTS, toTS *txnState, s *lockShard, oid xid.OID) bool {
+	od := s.ods[oid]
+	if od == nil {
+		return false
+	}
+	gl := od.ownerReq(fromTS.tid)
 	if gl == nil {
-		return
+		return false // released or already delegated since the snapshot
 	}
-	delete(m.byTxn[from], oid)
-	od := gl.od
-	toLocks := m.byTxn[to]
-	if toLocks == nil {
-		toLocks = make(map[xid.OID]*lockReq)
-		m.byTxn[to] = toLocks
-	}
-	if existing := toLocks[oid]; existing != nil {
+	fromTS.lat.Lock()
+	delete(fromTS.locks, oid)
+	fromTS.lat.Unlock()
+	if existing := od.ownerReq(toTS.tid); existing != nil {
 		// Merge: the union of modes; the merged lock is suspended only if
 		// both inputs were (an unsuspended hold stays usable).
 		existing.mode = existing.mode.Union(gl.mode)
 		existing.suspended = existing.suspended && gl.suspended
-		for i, g := range od.granted {
-			if g == gl {
-				od.granted = append(od.granted[:i], od.granted[i+1:]...)
-				break
-			}
-		}
+		od.dropGranted(gl)
 	} else {
-		gl.tid = to
-		toLocks[oid] = gl
+		toTS.lat.Lock()
+		if toTS.dead {
+			// The grantee terminated mid-delegation: its locks are gone, so
+			// the moved lock must not outlive it. Drop it instead.
+			toTS.lat.Unlock()
+			od.dropGranted(gl)
+		} else {
+			gl.tid = toTS.tid
+			toTS.locks[oid] = gl
+			toTS.lat.Unlock()
+		}
 	}
-	// Blocked requests were waiting on `from`; their blocker is now `to`.
+	// Blocked requests were waiting on `from`; their blocker is now `to`
+	// (or gone).
 	od.cond.Broadcast()
+	return true
 }
 
 // reassignGrantor rewrites PDs of the form (from, tk, op) to (to, tk, op)
-// on the given objects (nil = all). Caller holds m.mu.
-func (m *Manager) reassignGrantor(from, to xid.TID, oids []xid.OID) {
+// on the given objects (nil = all), working from the snapshot taken by
+// Delegate. Each PD is re-validated under its own shard latch.
+func (m *Manager) reassignGrantor(fromTS, toTS *txnState, pds []*permit, oids []xid.OID) {
 	var want map[xid.OID]bool
 	if oids != nil {
 		want = make(map[xid.OID]bool, len(oids))
@@ -81,46 +147,28 @@ func (m *Manager) reassignGrantor(from, to xid.TID, oids []xid.OID) {
 			want[o] = true
 		}
 	}
-	var kept []*permit
-	for _, p := range m.byGrantor[from] {
-		if p.dead {
-			continue
-		}
+	for _, p := range pds {
 		if want != nil && !want[p.od.oid] {
-			kept = append(kept, p)
 			continue
 		}
-		if p.grantee == to {
+		s := p.od.home
+		s.lat.Lock()
+		if p.isDead() {
+			s.lat.Unlock()
+			continue
+		}
+		od := p.od
+		if p.grantee == toTS.tid {
 			// A permission from `from` to `to` collapses on delegation:
 			// to does not need its own permission.
-			p.dead = true
-			od := p.od
-			for i, q := range od.permits {
-				if q == p {
-					od.permits = append(od.permits[:i], od.permits[i+1:]...)
-					break
-				}
-			}
-			od.cond.Broadcast()
-			continue
+			od.dropPermit(p)
+		} else {
+			// Re-grant under to's name (widening any PD to already has
+			// there), then retire from's descriptor.
+			m.insertPD(od, toTS.tid, p.grantee, p.ops)
+			od.dropPermit(p)
 		}
-		// Widen any existing PD of to, or retag this one.
-		if grew, existing := m.insertPD(p.od, to, p.grantee, p.ops); grew || existing != p {
-			// Merged into to's PD: retire the old descriptor.
-			p.dead = true
-			od := p.od
-			for i, q := range od.permits {
-				if q == p {
-					od.permits = append(od.permits[:i], od.permits[i+1:]...)
-					break
-				}
-			}
-		}
-		p.od.cond.Broadcast()
-	}
-	if kept == nil {
-		delete(m.byGrantor, from)
-	} else {
-		m.byGrantor[from] = kept
+		od.cond.Broadcast()
+		s.lat.Unlock()
 	}
 }

@@ -1,0 +1,239 @@
+package lock
+
+import (
+	"fmt"
+
+	"repro/internal/xid"
+)
+
+// CheckInvariants verifies the cross-shard consistency of the whole lock
+// table and returns a description of every violation found (empty means
+// consistent). It is the one operation permitted to hold more than one
+// shard latch: it acquires ALL shard latches in ascending index order —
+// the documented exception in the latch-ordering discipline (DESIGN.md §8)
+// — so it observes a single global snapshot. Transaction-state latches and
+// the wait-graph mutex still nest inside the shard latches as usual.
+//
+// Checked invariants:
+//
+//  1. Mutual exclusion: no two unsuspended granted LRDs with conflicting
+//     modes coexist on one object (suspension is the only sanctioned form
+//     of conflicting co-grant, per the permit semantics of §2.2).
+//  2. Index agreement: every granted LRD belongs to a live transaction
+//     whose LRD index points back at it, and vice versa — so no grant is
+//     held by a terminated (released) transaction, and ReleaseAll can
+//     always find what it must free.
+//  3. Wait registration: every pending request is registered in its
+//     transaction's wait set and vice versa, so aborts and victim marking
+//     reach every blocked request.
+//  4. Permit chains: every live PD is indexed by its grantor (and grantee,
+//     when named), both of which are live transactions; every live indexed
+//     PD is present on its object's chain.
+//  5. Wait-graph agreement: every waiter in the graph has at least one
+//     registered pending request. (Assumes the graph is used by this
+//     manager alone, as in the lock-level test harnesses; the full system
+//     also records commit-dependency waits in the same graph.)
+//
+// The intended use is at quiescent points of a concurrent workload (no
+// Lock/Delegate/Permit/ReleaseAll in flight); it is safe, but noisier, to
+// call mid-flight, since transient states (e.g. a waiter whose blocker
+// terminated but which has not yet re-evaluated) are not violations.
+func (m *Manager) CheckInvariants() []string {
+	for i := range m.shards {
+		m.shards[i].lat.Lock()
+	}
+	defer func() {
+		for i := range m.shards {
+			m.shards[i].lat.Unlock()
+		}
+	}()
+
+	var bad []string
+	report := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+
+	// tsOf fetches a live txnState without creating one.
+	tsOf := func(tid xid.TID) *txnState {
+		ts, ok := m.txns.Get(uint64(tid))
+		if !ok {
+			return nil
+		}
+		return ts
+	}
+
+	pendingTids := make(map[xid.TID]bool)
+
+	// Object-side walk: shards own the ground truth.
+	for si := range m.shards {
+		for oid, od := range m.shards[si].ods {
+			if od.oid != oid || od.home != &m.shards[si] {
+				report("od %v: misfiled (oid %v, shard %d)", oid, od.oid, si)
+			}
+			seen := make(map[xid.TID]bool)
+			for _, gl := range od.granted {
+				if gl.od != od {
+					report("granted LRD %v/%v: od backpointer wrong", gl.tid, oid)
+				}
+				if seen[gl.tid] {
+					report("object %v: duplicate granted LRD for txn %v", oid, gl.tid)
+				}
+				seen[gl.tid] = true
+				ts := tsOf(gl.tid)
+				if ts == nil {
+					report("object %v: grant held by terminated txn %v", oid, gl.tid)
+					continue
+				}
+				ts.lat.Lock()
+				indexed := ts.locks[oid]
+				dead := ts.dead
+				ts.lat.Unlock()
+				if dead {
+					report("object %v: grant held by dead txn %v", oid, gl.tid)
+				} else if indexed != gl {
+					report("object %v: txn %v LRD index disagrees with OD chain", oid, gl.tid)
+				}
+				// Mutual exclusion among unsuspended grants.
+				if !gl.suspended {
+					for _, other := range od.granted {
+						if other != gl && !other.suspended && other.tid != gl.tid &&
+							other.mode.Conflicts(gl.mode) {
+							report("object %v: unsuspended conflicting grants %v(%v) vs %v(%v)",
+								oid, gl.tid, gl.mode, other.tid, other.mode)
+						}
+					}
+				}
+			}
+			for _, req := range od.pending {
+				if req.od != od {
+					report("pending LRD %v/%v: od backpointer wrong", req.tid, oid)
+				}
+				pendingTids[req.tid] = true
+				ts := tsOf(req.tid)
+				if ts == nil {
+					report("object %v: pending request by unknown txn %v", oid, req.tid)
+					continue
+				}
+				ts.lat.Lock()
+				registered := ts.waits[req]
+				ts.lat.Unlock()
+				if !registered {
+					report("object %v: pending request by %v not in its wait set", oid, req.tid)
+				}
+			}
+			for _, p := range od.permits {
+				if p.isDead() {
+					report("object %v: dead PD (%v→%v) still chained", oid, p.grantor, p.grantee)
+					continue
+				}
+				if p.od != od {
+					report("PD (%v→%v) on %v: od backpointer wrong", p.grantor, p.grantee, oid)
+				}
+				gts := tsOf(p.grantor)
+				if gts == nil {
+					report("object %v: PD by terminated grantor %v", oid, p.grantor)
+				} else if !permitIndexed(gts, p, true) {
+					report("object %v: PD (%v→%v) missing from grantor index", oid, p.grantor, p.grantee)
+				}
+				if !p.grantee.IsNil() {
+					ets := tsOf(p.grantee)
+					if ets == nil {
+						report("object %v: PD to terminated grantee %v", oid, p.grantee)
+					} else if !permitIndexed(ets, p, false) {
+						report("object %v: PD (%v→%v) missing from grantee index", oid, p.grantor, p.grantee)
+					}
+				}
+			}
+		}
+	}
+
+	// Transaction-side walk: indexes must not point at anything the OD
+	// chains no longer contain.
+	m.txns.Range(func(_ uint64, ts *txnState) bool {
+		ts.lat.Lock()
+		defer ts.lat.Unlock()
+		if ts.dead {
+			report("txn %v: dead state still mapped", ts.tid)
+			return true
+		}
+		for oid, gl := range ts.locks {
+			if gl.tid != ts.tid {
+				report("txn %v: indexed LRD on %v tagged %v", ts.tid, oid, gl.tid)
+			}
+			if gl.od.ownerReq(ts.tid) != gl {
+				report("txn %v: indexed LRD on %v absent from OD chain", ts.tid, oid)
+			}
+		}
+		for req := range ts.waits {
+			found := false
+			for _, p := range req.od.pending {
+				if p == req {
+					found = true
+					break
+				}
+			}
+			if !found {
+				report("txn %v: wait-set request on %v not pending", ts.tid, req.od.oid)
+			}
+		}
+		for _, p := range ts.byGrantor {
+			if p.isDead() {
+				continue
+			}
+			if p.grantor != ts.tid {
+				report("txn %v: grantor index holds PD by %v", ts.tid, p.grantor)
+			}
+			if !permitChained(p) {
+				report("txn %v: live grantor PD on %v not chained", ts.tid, p.od.oid)
+			}
+		}
+		for _, p := range ts.byGrantee {
+			if p.isDead() {
+				continue
+			}
+			if p.grantee != ts.tid {
+				report("txn %v: grantee index holds PD to %v", ts.tid, p.grantee)
+			}
+			if !permitChained(p) {
+				report("txn %v: live grantee PD on %v not chained", ts.tid, p.od.oid)
+			}
+		}
+		return true
+	})
+
+	// Wait-graph agreement: no edges without a blocked request behind them.
+	for _, w := range m.wg.Waiters() {
+		if !pendingTids[w] {
+			report("wait-graph: waiter %v has no pending lock request", w)
+		}
+	}
+	return bad
+}
+
+// permitIndexed reports whether p appears in ts's grantor (or grantee)
+// index. Takes ts.lat; caller holds shard latches only.
+func permitIndexed(ts *txnState, p *permit, asGrantor bool) bool {
+	ts.lat.Lock()
+	defer ts.lat.Unlock()
+	list := ts.byGrantee
+	if asGrantor {
+		list = ts.byGrantor
+	}
+	for _, q := range list {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// permitChained reports whether p is on its object's PD chain. Caller holds
+// all shard latches.
+func permitChained(p *permit) bool {
+	for _, q := range p.od.permits {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

@@ -20,14 +20,34 @@
 // Blocking requests join a FIFO pending queue per object; every block
 // registers edges in the shared waits-for graph, so deadlocks — including
 // ones crossing into commit dependencies — are detected at block time.
+//
+// # Sharding and latch order
+//
+// The lock table is sharded: oids hash onto Options.Shards lockShards, each
+// owning its ODs' LRD/PD chains under one short-term latch, the way §4.1
+// latches the OD hash chains in EOS. Lock traffic on objects in different
+// shards never serializes. Transaction-side state (LRD index, wait set,
+// permit indexes) lives in per-transaction txnState records in a sharded
+// hash table. Latches nest in one global order (see DESIGN.md §8):
+//
+//	shard latch  →  txnState latch  →  wait-graph mutex
+//
+// with the added rule that ordinary operations hold at most ONE shard latch
+// at a time — cross-shard operations (delegate and permit over object sets,
+// multi-object release, victim marking) visit shards sequentially, making
+// cross-shard latch deadlock structurally impossible. Only the invariant
+// checker (invariants.go) holds all shard latches at once, acquiring them
+// in ascending index order.
 package lock
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/htab"
 	"repro/internal/waitgraph"
 	"repro/internal/xid"
 )
@@ -56,7 +76,8 @@ const (
 )
 
 // lockReq is the lock request descriptor (LRD) of §4.1: one transaction's
-// granted or pending request on one object.
+// granted or pending request on one object. All fields after od are guarded
+// by the owning shard's latch.
 type lockReq struct {
 	tid       xid.TID
 	od        *objDesc
@@ -69,25 +90,30 @@ type lockReq struct {
 }
 
 // objDesc is the object descriptor (OD) of Figure 1: granted and pending
-// LRD lists and the object's permit list.
+// LRD lists and the object's permit list, guarded by the home shard's latch.
 type objDesc struct {
 	oid     xid.OID
+	home    *lockShard
 	granted []*lockReq
 	pending []*lockReq // FIFO
 	permits []*permit
-	cond    *sync.Cond // signalled on any release/suspension change
+	cond    *sync.Cond // on the shard latch; signalled on release/suspension change
 }
 
 // permit is the permit descriptor (PD): grantor allows grantee (NilTID =
 // any transaction) to perform ops on the object even when they conflict with
-// grantor's locks.
+// grantor's locks. ops is guarded by the shard latch; dead is atomic because
+// transaction-side index scans (accessible, invariant checks) read it under
+// a txnState latch while shard-side code flips it under the shard latch.
 type permit struct {
 	od      *objDesc
 	grantor xid.TID
 	grantee xid.TID // NilTID = any transaction
 	ops     xid.OpSet
-	dead    bool // lazily removed from secondary indexes
+	dead    atomic.Bool // lazily removed from secondary indexes
 }
+
+func (p *permit) isDead() bool { return p.dead.Load() }
 
 // Options configures a lock manager.
 type Options struct {
@@ -113,20 +139,19 @@ type Options struct {
 	// go unnoticed and blocked requests wait until granted, cancelled, or
 	// timed out. Combine with WaitTimeout, or deadlocks wait forever.
 	NoDetection bool
+	// Shards is the lock-table shard count, rounded up to a power of two;
+	// <= 0 selects the default (64). 1 reproduces the legacy fully-serial
+	// lock table.
+	Shards int
 }
 
-// Manager is the lock manager. All state is guarded by one mutex; condition
-// variables per object descriptor wake blocked requests.
+// Manager is the sharded lock manager. Object state lives in shards (one
+// latch each); transaction state lives in txnState records.
 type Manager struct {
-	mu   sync.Mutex
-	opts Options
-	ods  map[xid.OID]*objDesc
-	// txn LRD lists ("list of t's lock requests" in the TD).
-	byTxn map[xid.TID]map[xid.OID]*lockReq
-	// Permit secondary indexes, doubly hashed per §4.1: by grantor and by
-	// grantee.
-	byGrantor map[xid.TID][]*permit
-	byGrantee map[xid.TID][]*permit
+	opts      Options
+	shards    []lockShard
+	shardMask uint64
+	txns      *htab.Map[*txnState]
 	wg        *waitgraph.Graph
 }
 
@@ -135,25 +160,30 @@ func New(wg *waitgraph.Graph, opts Options) *Manager {
 	if wg == nil {
 		wg = waitgraph.New()
 	}
-	return &Manager{
+	n := opts.Shards
+	if n <= 0 {
+		n = defaultShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	m := &Manager{
 		opts:      opts,
-		ods:       make(map[xid.OID]*objDesc),
-		byTxn:     make(map[xid.TID]map[xid.OID]*lockReq),
-		byGrantor: make(map[xid.TID][]*permit),
-		byGrantee: make(map[xid.TID][]*permit),
+		shards:    make([]lockShard, p),
+		shardMask: uint64(p - 1),
+		txns:      htab.New[*txnState](0),
 		wg:        wg,
 	}
+	for i := range m.shards {
+		m.shards[i].ods = make(map[xid.OID]*objDesc)
+	}
+	return m
 }
 
-func (m *Manager) od(oid xid.OID) *objDesc {
-	od := m.ods[oid]
-	if od == nil {
-		od = &objDesc{oid: oid}
-		od.cond = sync.NewCond(&m.mu)
-		m.ods[oid] = od
-	}
-	return od
-}
+// NumShards returns the configured shard count (after power-of-two
+// rounding). Tests and benchmarks use it to label configurations.
+func (m *Manager) NumShards() int { return len(m.shards) }
 
 // Lock acquires (or upgrades to) the given mode on oid for tid, blocking
 // until granted. It returns ErrDeadlock if the request was chosen as a
@@ -163,32 +193,39 @@ func (m *Manager) Lock(tid xid.TID, oid xid.OID, mode xid.OpSet) error {
 	if mode == 0 {
 		return fmt.Errorf("lock: empty mode requested on %v", oid)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	od := m.od(oid)
+	ts := m.txnOf(tid)
+	s := m.shardOf(oid)
+	s.lat.Lock()
+	od := s.od(oid)
 
-	own := m.byTxn[tid][oid]
+	own := od.ownerReq(tid)
 	// Fast path: own unsuspended covering lock (§4.2 step 1a).
-	if own != nil && own.status == statusGranted && !own.suspended && own.mode.Has(mode) {
+	if own != nil && !own.suspended && own.mode.Has(mode) {
+		s.lat.Unlock()
 		return nil
 	}
 
-	// Enqueue a pending/upgrading request.
+	// Enqueue a pending/upgrading request and register it with the
+	// transaction so cancel/victim marking can find it without a table scan.
 	req := &lockReq{tid: tid, od: od, mode: mode, status: statusPending}
-	if own != nil && own.status == statusGranted {
+	if own != nil {
 		req.status = statusUpgrading
 	}
 	od.pending = append(od.pending, req)
+	ts.registerWait(req)
 	if m.opts.WaitTimeout > 0 {
 		timer := time.AfterFunc(m.opts.WaitTimeout, func() {
-			m.mu.Lock()
+			s.lat.Lock()
 			req.timedOut = true
 			od.cond.Broadcast()
-			m.mu.Unlock()
+			s.lat.Unlock()
 		})
 		defer timer.Stop()
 	}
 
+	// Wait-for edges registered for the current blocker set. Always cleared
+	// while the shard latch is still held, so an observer holding every
+	// shard latch sees edges if and only if the pending request is present.
 	var waitedOn []xid.TID
 	clearEdges := func() {
 		for _, h := range waitedOn {
@@ -196,33 +233,44 @@ func (m *Manager) Lock(tid xid.TID, oid xid.OID, mode xid.OpSet) error {
 		}
 		waitedOn = nil
 	}
-	defer clearEdges()
+	// exit finalizes a non-grant outcome under the shard latch.
+	exit := func(err error) error {
+		m.removePending(od, req)
+		ts.unregisterWait(req)
+		clearEdges()
+		s.lat.Unlock()
+		return err
+	}
 
+	var lastKilled xid.TID
 	for {
 		blockers, permitted := m.tryGrant(req, own)
 		if req.cancelled {
-			m.removePending(od, req)
-			return ErrCancelled
+			return exit(ErrCancelled)
 		}
 		if req.victim {
-			m.removePending(od, req)
-			return ErrDeadlock
+			return exit(ErrDeadlock)
 		}
 		if req.timedOut && len(blockers) > 0 {
-			m.removePending(od, req)
-			return ErrTimeout
+			return exit(ErrTimeout)
 		}
 		if len(blockers) == 0 {
 			// Grant: suspend the permitted conflicting locks, then install.
 			for _, gl := range permitted {
-				if !gl.suspended {
-					gl.suspended = true
-				}
+				gl.suspended = true
 			}
 			m.removePending(od, req)
-			m.installGrant(tid, od, own, mode)
+			ts.unregisterWait(req)
+			clearEdges()
+			granted := m.installGrant(ts, od, tid, mode)
 			if len(permitted) > 0 {
 				od.cond.Broadcast() // suspension may unblock re-checkers
+			}
+			s.lat.Unlock()
+			if !granted {
+				// The transaction was released while we raced to the grant;
+				// nothing was installed, treat as an aborted waiter.
+				return ErrCancelled
 			}
 			return nil
 		}
@@ -232,22 +280,30 @@ func (m *Manager) Lock(tid xid.TID, oid xid.OID, mode xid.OpSet) error {
 		waitedOn = append(waitedOn, blockers...)
 		if !m.opts.NoDetection && !victim.IsNil() {
 			if victim == tid {
-				m.removePending(od, req)
-				return ErrDeadlock
+				return exit(ErrDeadlock)
 			}
-			m.killVictim(victim)
+			if victim != lastKilled {
+				lastKilled = victim
+				// Victim marking touches other shards; drop ours first
+				// (ordinary operations hold at most one shard latch).
+				s.lat.Unlock()
+				m.killVictim(victim)
+				s.lat.Lock()
+				own = od.ownerReq(tid) // state may have moved meanwhile
+				continue
+			}
 		}
 		od.cond.Wait()
-		if own != nil { // refresh: delegation may have moved/merged our lock
-			own = m.byTxn[tid][oid]
-		}
+		// Refresh unconditionally: delegation may have granted, moved, or
+		// merged a lock for us while we slept.
+		own = od.ownerReq(tid)
 	}
 }
 
 // tryGrant evaluates §4.2 steps 1a/1b for req. It returns the transactions
 // that block the request (empty means grantable) and the conflicting
 // granted locks whose holders permit the requester (to be suspended on
-// grant). Caller holds m.mu.
+// grant). Caller holds the shard latch.
 func (m *Manager) tryGrant(req *lockReq, own *lockReq) (blockers []xid.TID, permitted []*lockReq) {
 	od := req.od
 	for _, gl := range od.granted {
@@ -285,24 +341,34 @@ func (m *Manager) tryGrant(req *lockReq, own *lockReq) (blockers []xid.TID, perm
 	return nil, permitted
 }
 
-// installGrant merges the granted mode into the requester's LRD (creating
-// one if needed) and clears any suspension (§4.2 step 2).
-func (m *Manager) installGrant(tid xid.TID, od *objDesc, own *lockReq, mode xid.OpSet) {
-	if own != nil && own.status == statusGranted {
-		own.mode = own.mode.Union(mode)
-		own.suspended = false
-		return
+// installGrant merges the granted mode into the requester's LRD on the OD
+// chain (creating one if needed) and clears any suspension (§4.2 step 2).
+// It reports false — installing nothing — if the transaction's state was
+// torn down by a concurrent ReleaseAll, in which case a new grant would
+// leak. Caller holds the shard latch.
+func (m *Manager) installGrant(ts *txnState, od *objDesc, tid xid.TID, mode xid.OpSet) bool {
+	// Re-look up rather than trusting the caller's possibly-stale own
+	// pointer: a delegation may have handed us a lock while we slept.
+	if gl := od.ownerReq(tid); gl != nil {
+		gl.mode = gl.mode.Union(mode)
+		gl.suspended = false
+		return true
 	}
 	gl := &lockReq{tid: tid, od: od, mode: mode, status: statusGranted}
-	od.granted = append(od.granted, gl)
-	byOid := m.byTxn[tid]
-	if byOid == nil {
-		byOid = make(map[xid.OID]*lockReq)
-		m.byTxn[tid] = byOid
+	ts.lat.Lock()
+	if ts.dead {
+		ts.lat.Unlock()
+		return false
 	}
-	byOid[od.oid] = gl
+	od.granted = append(od.granted, gl)
+	ts.locks[od.oid] = gl
+	ts.lat.Unlock()
+	return true
 }
 
+// removePending drops req from its OD's pending queue (by identity) and
+// wakes later waiters, whose queue position improved. Caller holds the
+// shard latch.
 func (m *Manager) removePending(od *objDesc, req *lockReq) {
 	for i, p := range od.pending {
 		if p == req {
@@ -310,67 +376,74 @@ func (m *Manager) removePending(od *objDesc, req *lockReq) {
 			break
 		}
 	}
-	od.cond.Broadcast() // queue order changed; later waiters may proceed
+	od.cond.Broadcast()
 }
 
-// killVictim marks any pending requests of the victim and notifies the
-// transaction system so it aborts the victim.
+// killVictim marks the victim's pending requests and notifies the
+// transaction system so it aborts the victim. Called with NO latches held.
 func (m *Manager) killVictim(victim xid.TID) {
-	m.markVictimLocked(victim)
+	m.markVictim(victim)
 	if m.opts.OnVictim != nil {
 		go m.opts.OnVictim(victim)
 	}
 }
 
-func (m *Manager) markVictimLocked(victim xid.TID) {
-	for _, od := range m.ods {
-		changed := false
-		for _, p := range od.pending {
-			if p.tid == victim {
-				p.victim = true
-				changed = true
-			}
-		}
-		if changed {
-			od.cond.Broadcast()
-		}
+// markVictim flags every registered pending request of the victim, one
+// shard at a time. Called with no latches held.
+func (m *Manager) markVictim(victim xid.TID) {
+	ts, ok := m.txns.Get(uint64(victim))
+	if !ok {
+		return
+	}
+	for _, req := range ts.snapshotWaits() {
+		s := req.od.home
+		s.lat.Lock()
+		req.victim = true
+		req.od.cond.Broadcast()
+		s.lat.Unlock()
 	}
 }
 
 // CancelWaits wakes every pending request of tid with ErrCancelled; the
 // abort path calls it before releasing locks.
 func (m *Manager) CancelWaits(tid xid.TID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, od := range m.ods {
-		changed := false
-		for _, p := range od.pending {
-			if p.tid == tid {
-				p.cancelled = true
-				changed = true
-			}
-		}
-		if changed {
-			od.cond.Broadcast()
-		}
+	ts, ok := m.txns.Get(uint64(tid))
+	if !ok {
+		return
+	}
+	for _, req := range ts.snapshotWaits() {
+		s := req.od.home
+		s.lat.Lock()
+		req.cancelled = true
+		req.od.cond.Broadcast()
+		s.lat.Unlock()
 	}
 }
 
 // Holds reports whether tid currently holds an unsuspended lock covering
 // mode on oid.
 func (m *Manager) Holds(tid xid.TID, oid xid.OID, mode xid.OpSet) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	gl := m.byTxn[tid][oid]
-	return gl != nil && gl.status == statusGranted && !gl.suspended && gl.mode.Has(mode)
+	s := m.shardOf(oid)
+	s.lat.Lock()
+	defer s.lat.Unlock()
+	od := s.ods[oid]
+	if od == nil {
+		return false
+	}
+	gl := od.ownerReq(tid)
+	return gl != nil && !gl.suspended && gl.mode.Has(mode)
 }
 
 // HeldObjects returns the objects tid holds locks on, in unspecified order.
 func (m *Manager) HeldObjects(tid xid.TID) []xid.OID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]xid.OID, 0, len(m.byTxn[tid]))
-	for oid := range m.byTxn[tid] {
+	ts, ok := m.txns.Get(uint64(tid))
+	if !ok {
+		return nil
+	}
+	ts.lat.Lock()
+	defer ts.lat.Unlock()
+	out := make([]xid.OID, 0, len(ts.locks))
+	for oid := range ts.locks {
 		out = append(out, oid)
 	}
 	return out
@@ -378,45 +451,45 @@ func (m *Manager) HeldObjects(tid xid.TID) []xid.OID {
 
 // ReleaseAll implements §4.2 commit step 6 / abort step 3: drop every lock
 // tid holds and every permission given by or to tid, then wake waiters.
+// The transaction's state is snapshotted and marked dead under its latch,
+// then each affected shard is visited in turn — at most one shard latch
+// held at a time.
 func (m *Manager) ReleaseAll(tid xid.TID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, gl := range m.byTxn[tid] {
-		od := gl.od
-		for i, g := range od.granted {
-			if g == gl {
-				od.granted = append(od.granted[:i], od.granted[i+1:]...)
-				break
-			}
+	ts, ok := m.txns.Get(uint64(tid))
+	if ok {
+		ts.lat.Lock()
+		ts.dead = true
+		locks := make([]*lockReq, 0, len(ts.locks))
+		for _, gl := range ts.locks {
+			locks = append(locks, gl)
 		}
-		od.cond.Broadcast()
-	}
-	delete(m.byTxn, tid)
-	m.dropPermitsOf(tid)
-	m.wg.RemoveNode(tid)
-}
+		permits := append(ts.byGrantor, ts.byGrantee...)
+		ts.locks, ts.waits = nil, nil
+		ts.byGrantor, ts.byGrantee = nil, nil
+		ts.lat.Unlock()
+		m.txns.Delete(uint64(tid))
 
-// dropPermitsOf removes permissions given by or given to tid. Caller holds
-// m.mu.
-func (m *Manager) dropPermitsOf(tid xid.TID) {
-	kill := func(ps []*permit) {
-		for _, p := range ps {
-			if p.dead {
-				continue
+		for _, gl := range locks {
+			s := gl.od.home
+			s.lat.Lock()
+			// Re-check ownership under the latch: a racing delegation may
+			// have retagged this very LRD to another transaction, whose
+			// lock must survive.
+			if gl.tid == tid {
+				gl.od.dropGranted(gl)
+				gl.od.cond.Broadcast()
 			}
-			p.dead = true
-			od := p.od
-			for i, q := range od.permits {
-				if q == p {
-					od.permits = append(od.permits[:i], od.permits[i+1:]...)
-					break
-				}
+			s.lat.Unlock()
+		}
+		for _, p := range permits {
+			s := p.od.home
+			s.lat.Lock()
+			if !p.isDead() {
+				p.od.dropPermit(p)
+				p.od.cond.Broadcast()
 			}
-			od.cond.Broadcast()
+			s.lat.Unlock()
 		}
 	}
-	kill(m.byGrantor[tid])
-	kill(m.byGrantee[tid])
-	delete(m.byGrantor, tid)
-	delete(m.byGrantee, tid)
+	m.wg.RemoveNode(tid)
 }

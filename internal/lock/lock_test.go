@@ -160,6 +160,11 @@ func TestDeadlockVictimCallback(t *testing.T) {
 	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("victim wait err = %v, want ErrDeadlock", err)
 	}
+	// The callback fires on its own goroutine; give it time to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for victims.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
 	if victims.Load() != 1 || victimTID.Load() != 2 {
 		t.Fatalf("OnVictim calls=%d tid=%d, want 1, t2", victims.Load(), victimTID.Load())
 	}
@@ -352,9 +357,10 @@ func TestDelegateMergesWithExistingLock(t *testing.T) {
 		t.Fatal("merged lock lost")
 	}
 	// Only one granted entry should remain for t2.
-	m.mu.Lock()
-	n := len(m.ods[100].granted)
-	m.mu.Unlock()
+	s := m.shardOf(100)
+	s.lat.Lock()
+	n := len(s.ods[100].granted)
+	s.lat.Unlock()
 	if n != 1 {
 		t.Fatalf("granted list has %d entries, want 1 after merge", n)
 	}

@@ -19,33 +19,48 @@ import (
 // derives the implied permits for every transaction that had permitted g on
 // the same object (ops intersected), recursively. With lazy closure (A2
 // ablation) the derivation happens at lock time instead.
+//
+// Cross-shard discipline: the grantor/grantee transaction states are
+// resolved before any shard latch is taken; each object's PD work then runs
+// under that object's shard latch alone.
 func (m *Manager) Permit(grantor, grantee xid.TID, oids []xid.OID, ops xid.OpSet) {
 	if ops == 0 {
 		ops = xid.OpAll
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	// Materialize both transaction states up front so PD insertion under
+	// shard latches only ever looks them up.
+	grantorTS := m.txnOf(grantor)
+	if !grantee.IsNil() {
+		m.txnOf(grantee)
+	}
 	if oids == nil {
-		oids = m.accessibleLocked(grantor)
+		oids = m.accessible(grantorTS)
 	}
 	for _, oid := range oids {
-		m.permitOneLocked(grantor, grantee, m.od(oid), ops)
+		s := m.shardOf(oid)
+		s.lat.Lock()
+		m.permitOneLocked(grantor, grantee, s.od(oid), ops)
+		s.lat.Unlock()
 	}
 }
 
-// accessibleLocked lists the objects grantor has accessed (its LRDs) or has
-// permission to access (permits naming it as grantee). Caller holds m.mu.
-func (m *Manager) accessibleLocked(grantor xid.TID) []xid.OID {
+// accessible lists the objects grantor has accessed (its LRDs) or has
+// permission to access (permits naming it as grantee). Reads the
+// transaction state under its latch alone; permit liveness is an atomic
+// flag, so no shard latch is needed.
+func (m *Manager) accessible(ts *txnState) []xid.OID {
+	ts.lat.Lock()
+	defer ts.lat.Unlock()
 	seen := make(map[xid.OID]bool)
 	var out []xid.OID
-	for oid := range m.byTxn[grantor] {
+	for oid := range ts.locks {
 		if !seen[oid] {
 			seen[oid] = true
 			out = append(out, oid)
 		}
 	}
-	for _, p := range m.byGrantee[grantor] {
-		if p.dead {
+	for _, p := range ts.byGrantee {
+		if p.isDead() {
 			continue
 		}
 		if !seen[p.od.oid] {
@@ -57,7 +72,8 @@ func (m *Manager) accessibleLocked(grantor xid.TID) []xid.OID {
 }
 
 // permitOneLocked inserts (or widens) one PD and, under eager closure,
-// materializes the implied transitive permits. Caller holds m.mu.
+// materializes the implied transitive permits. Caller holds the shard
+// latch of od.
 func (m *Manager) permitOneLocked(grantor, grantee xid.TID, od *objDesc, ops xid.OpSet) {
 	type ins struct {
 		grantor, grantee xid.TID
@@ -70,14 +86,14 @@ func (m *Manager) permitOneLocked(grantor, grantee xid.TID, od *objDesc, ops xid
 		if w.grantor == w.grantee && !w.grantee.IsNil() {
 			continue
 		}
-		grew, _ := m.insertPD(od, w.grantor, w.grantee, w.ops)
+		grew := m.insertPD(od, w.grantor, w.grantee, w.ops)
 		if !grew || !m.opts.EagerClosure {
 			continue
 		}
 		// Anyone who permitted w.grantor on this object implicitly permits
 		// w.grantee for the intersection.
 		for _, p := range od.permits {
-			if p.dead {
+			if p.isDead() {
 				continue
 			}
 			if (p.grantee == w.grantor || p.grantee.IsNil()) && p.grantor != w.grantor {
@@ -90,36 +106,65 @@ func (m *Manager) permitOneLocked(grantor, grantee xid.TID, od *objDesc, ops xid
 	od.cond.Broadcast() // new permission may unblock waiters
 }
 
-// insertPD adds or widens the PD (grantor→grantee, ops) on od. It reports
-// whether the permission actually grew (for closure termination) and
-// returns the descriptor.
-func (m *Manager) insertPD(od *objDesc, grantor, grantee xid.TID, ops xid.OpSet) (bool, *permit) {
+// insertPD adds or widens the PD (grantor→grantee, ops) on od and reports
+// whether the permission actually grew (for closure termination). A new
+// descriptor registers in the grantor's and grantee's transaction states;
+// if either side's state is dead or gone — the transaction terminated, and
+// its ReleaseAll snapshot will not cover this descriptor — the permit dies
+// with it immediately. Caller holds the shard latch; txnState latches nest
+// inside it, one at a time.
+func (m *Manager) insertPD(od *objDesc, grantor, grantee xid.TID, ops xid.OpSet) bool {
 	for _, p := range od.permits {
-		if p.dead || p.grantor != grantor || p.grantee != grantee {
+		if p.isDead() || p.grantor != grantor || p.grantee != grantee {
 			continue
 		}
 		if p.ops.Has(ops) {
-			return false, p
+			return false
 		}
 		p.ops = p.ops.Union(ops)
-		return true, p
+		return true
+	}
+	grantorTS, ok := m.txns.Get(uint64(grantor))
+	if !ok {
+		return false // grantor terminated; nothing to permit
 	}
 	p := &permit{od: od, grantor: grantor, grantee: grantee, ops: ops}
-	od.permits = append(od.permits, p)
-	m.byGrantor[grantor] = append(m.byGrantor[grantor], p)
-	if !grantee.IsNil() {
-		m.byGrantee[grantee] = append(m.byGrantee[grantee], p)
+	grantorTS.lat.Lock()
+	if grantorTS.dead {
+		grantorTS.lat.Unlock()
+		return false
 	}
-	return true, p
+	grantorTS.byGrantor = append(grantorTS.byGrantor, p)
+	grantorTS.lat.Unlock()
+	od.permits = append(od.permits, p)
+	if !grantee.IsNil() {
+		granteeTS, ok := m.txns.Get(uint64(grantee))
+		alive := false
+		if ok {
+			granteeTS.lat.Lock()
+			if !granteeTS.dead {
+				granteeTS.byGrantee = append(granteeTS.byGrantee, p)
+				alive = true
+			}
+			granteeTS.lat.Unlock()
+		}
+		if !alive {
+			// Grantee terminated: a permission to it is dead on arrival.
+			// The grantor-side index entry lingers, skipped lazily.
+			od.dropPermit(p)
+			return false
+		}
+	}
+	return true
 }
 
 // permits reports whether holder allows requester to perform ops on od,
 // either by a direct PD or — under lazy closure — through a chain of
-// permits starting at holder. Caller holds m.mu.
+// permits starting at holder. Caller holds the shard latch.
 func (m *Manager) permits(holder, requester xid.TID, od *objDesc, ops xid.OpSet) bool {
 	if m.opts.EagerClosure {
 		for _, p := range od.permits {
-			if p.dead || p.grantor != holder {
+			if p.isDead() || p.grantor != holder {
 				continue
 			}
 			if (p.grantee == requester || p.grantee.IsNil()) && p.ops.Has(ops) {
@@ -143,7 +188,7 @@ func (m *Manager) permits(holder, requester xid.TID, od *objDesc, ops xid.OpSet)
 		}
 		visited[n.tid] = visited[n.tid].Union(n.ops)
 		for _, p := range od.permits {
-			if p.dead || p.grantor != n.tid {
+			if p.isDead() || p.grantor != n.tid {
 				continue
 			}
 			shared := p.ops.Intersect(n.ops)
@@ -162,9 +207,10 @@ func (m *Manager) permits(holder, requester xid.TID, od *objDesc, ops xid.OpSet)
 // Permitted reports whether holder currently permits requester to perform
 // ops on oid (diagnostics and tests).
 func (m *Manager) Permitted(holder, requester xid.TID, oid xid.OID, ops xid.OpSet) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	od := m.ods[oid]
+	s := m.shardOf(oid)
+	s.lat.Lock()
+	defer s.lat.Unlock()
+	od := s.ods[oid]
 	if od == nil {
 		return false
 	}
@@ -174,9 +220,10 @@ func (m *Manager) Permitted(holder, requester xid.TID, oid xid.OID, ops xid.OpSe
 // PermitCount returns the number of live permit descriptors on oid
 // (benchmark E11 scans this list).
 func (m *Manager) PermitCount(oid xid.OID) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	od := m.ods[oid]
+	s := m.shardOf(oid)
+	s.lat.Lock()
+	defer s.lat.Unlock()
+	od := s.ods[oid]
 	if od == nil {
 		return 0
 	}

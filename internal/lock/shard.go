@@ -1,0 +1,165 @@
+package lock
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/htab"
+	"repro/internal/latch"
+	"repro/internal/xid"
+)
+
+// defaultShards is the lock-table shard count when Options.Shards is 0.
+// 64 shards keep hot-spot collisions rare for tens of workers while the
+// per-shard footprint (one latch, one map) stays trivial.
+const defaultShards = 64
+
+// lockShard is one slice of the lock table. It owns every object descriptor
+// whose oid hashes to it — the OD's granted/pending LRD chains and PD list —
+// all guarded by the shard latch, mirroring the paper's §4.1 use of EOS
+// test-and-set latches on the OD hash chains. Condition variables (one per
+// OD, built on the shard latch) park blocked requests.
+type lockShard struct {
+	lat latch.Latch
+	ods map[xid.OID]*objDesc
+	// Pad to a cache line so adjacent shards' latch words don't false-share.
+	_ [64 - 8 - 8]byte
+}
+
+// shardOf returns the shard owning oid.
+func (m *Manager) shardOf(oid xid.OID) *lockShard {
+	return &m.shards[htab.Hash(uint64(oid))&m.shardMask]
+}
+
+// od returns oid's object descriptor, creating it if absent. Caller holds
+// s.lat in X mode.
+func (s *lockShard) od(oid xid.OID) *objDesc {
+	od := s.ods[oid]
+	if od == nil {
+		od = &objDesc{oid: oid, home: s}
+		od.cond = sync.NewCond(&s.lat)
+		s.ods[oid] = od
+	}
+	return od
+}
+
+// ownerReq returns tid's granted LRD on od, or nil. Caller holds the shard
+// latch. The OD chain — not the transaction's own index — is the ground
+// truth consulted by the grant path, so a delegation that retagged or merged
+// the LRD is always observed.
+func (od *objDesc) ownerReq(tid xid.TID) *lockReq {
+	for _, gl := range od.granted {
+		if gl.tid == tid {
+			return gl
+		}
+	}
+	return nil
+}
+
+// dropGranted removes gl from od's granted chain by identity and reports
+// whether it was present. Caller holds the shard latch.
+func (od *objDesc) dropGranted(gl *lockReq) bool {
+	for i, g := range od.granted {
+		if g == gl {
+			od.granted = append(od.granted[:i], od.granted[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// dropPermit marks p dead and removes it from od's PD list. The descriptor
+// stays in the transaction-side indexes and is skipped there lazily. Caller
+// holds the shard latch.
+func (od *objDesc) dropPermit(p *permit) {
+	if p.dead.Swap(true) {
+		return
+	}
+	for i, q := range od.permits {
+		if q == p {
+			od.permits = append(od.permits[:i], od.permits[i+1:]...)
+			break
+		}
+	}
+}
+
+// txnState is the per-transaction side of the lock table: the transaction's
+// LRD index ("list of t's lock requests" in the paper's TD), its registered
+// pending requests, and its permit descriptors by grantor/grantee role.
+// All fields are guarded by lat, which in the latch order comes AFTER shard
+// latches: it is only ever acquired with at most one shard latch held, or
+// with none.
+type txnState struct {
+	lat  latch.Latch
+	tid  xid.TID
+	dead bool // ReleaseAll tore this state down; registrations must not land here
+	// locks indexes the granted LRDs by oid. Kept in step with the OD
+	// chains: installGrant adds, delegation moves, ReleaseAll snapshots.
+	locks map[xid.OID]*lockReq
+	// waits holds the transaction's currently registered pending requests,
+	// so CancelWaits and victim marking touch exactly the shards involved
+	// instead of scanning the whole table.
+	waits map[*lockReq]bool
+	// Permit descriptors naming this transaction as grantor / grantee.
+	// Dead descriptors linger and are skipped; ReleaseAll drops them all.
+	byGrantor []*permit
+	byGrantee []*permit
+}
+
+// txnOf returns tid's live txnState, creating one if needed. If a concurrent
+// ReleaseAll is tearing the state down (dead set, htab entry not yet gone),
+// it waits out the teardown and starts fresh — a grant must never register
+// into a state whose release snapshot has already been taken.
+func (m *Manager) txnOf(tid xid.TID) *txnState {
+	for {
+		if ts, ok := m.txns.Get(uint64(tid)); ok {
+			ts.lat.Lock()
+			dead := ts.dead
+			ts.lat.Unlock()
+			if !dead {
+				return ts
+			}
+			runtime.Gosched() // teardown in progress; retry after it unmaps
+			continue
+		}
+		ts := &txnState{
+			tid:   tid,
+			locks: make(map[xid.OID]*lockReq),
+			waits: make(map[*lockReq]bool),
+		}
+		if _, inserted := m.txns.PutIfAbsent(uint64(tid), ts); inserted {
+			return ts
+		}
+	}
+}
+
+// registerWait records req in its transaction's wait set. Caller holds the
+// shard latch of req's OD; ts.lat nests inside it. Registration into a
+// dead state is skipped: the release already snapshotted the wait set, and
+// the waiter's own grant path detects the dead state and gives up.
+func (ts *txnState) registerWait(req *lockReq) {
+	ts.lat.Lock()
+	if !ts.dead {
+		ts.waits[req] = true
+	}
+	ts.lat.Unlock()
+}
+
+// unregisterWait removes req from the wait set.
+func (ts *txnState) unregisterWait(req *lockReq) {
+	ts.lat.Lock()
+	delete(ts.waits, req)
+	ts.lat.Unlock()
+}
+
+// snapshotWaits returns the registered pending requests at this instant.
+// Taken with no shard latch held (ts.lat alone is always safe to acquire).
+func (ts *txnState) snapshotWaits() []*lockReq {
+	ts.lat.Lock()
+	out := make([]*lockReq, 0, len(ts.waits))
+	for req := range ts.waits {
+		out = append(out, req)
+	}
+	ts.lat.Unlock()
+	return out
+}

@@ -11,6 +11,15 @@
 // added; the victim is the youngest transaction on the cycle (the one with
 // the largest tid, since tids are assigned monotonically), which minimizes
 // lost work.
+//
+// Victim selection is exactly-once per blocking episode: a selected victim
+// is marked doomed until it stops waiting, and doomed transactions are
+// treated as non-blocking by the cycle search (their outgoing edges are
+// about to disappear — the victim is being aborted or is returning
+// ErrDeadlock to its caller). Concurrent detectors racing through
+// overlapping cycles therefore never double-select the same victim, which
+// matters now that the sharded lock manager runs detection from many latches
+// at once instead of under one global mutex.
 package waitgraph
 
 import (
@@ -21,15 +30,24 @@ import (
 )
 
 // Graph is a concurrent waits-for graph. The zero value is not usable;
-// create one with New.
+// create one with New. Its mutex is a leaf in the system's latch order: it
+// is acquired with lock-shard latches held, and no Graph method calls back
+// into the lock manager.
 type Graph struct {
 	mu    sync.Mutex
 	edges map[xid.TID]map[xid.TID]int // waiter -> holder -> refcount
+	// doomed holds transactions selected as deadlock victims whose blocking
+	// episode has not ended yet (they still have outgoing edges). They are
+	// skipped by the cycle search and never re-selected.
+	doomed map[xid.TID]bool
 }
 
 // New returns an empty waits-for graph.
 func New() *Graph {
-	return &Graph{edges: make(map[xid.TID]map[xid.TID]int)}
+	return &Graph{
+		edges:  make(map[xid.TID]map[xid.TID]int),
+		doomed: make(map[xid.TID]bool),
+	}
 }
 
 // Add records that waiter is blocked on each holder. If the new edges close
@@ -37,6 +55,10 @@ func New() *Graph {
 // cycle found as the deadlock victim and returns it together with the cycle
 // path (victim first). When no deadlock arises, the returned victim is the
 // null tid.
+//
+// A cycle that passes through an already-doomed transaction reports no
+// victim: that cycle is already being resolved, and resolving it twice
+// would abort two transactions where one suffices.
 //
 // Edges are reference counted: a waiter blocked on the same holder through
 // two mechanisms must Remove twice.
@@ -63,6 +85,7 @@ func (g *Graph) Add(waiter xid.TID, holders ...xid.TID) (victim xid.TID, cycle [
 		return xid.NilTID, nil
 	}
 	victim = youngest(cycle)
+	g.doomed[victim] = true
 	// Rotate the cycle so the victim is first, for readable diagnostics.
 	for i, t := range cycle {
 		if t == victim {
@@ -74,7 +97,8 @@ func (g *Graph) Add(waiter xid.TID, holders ...xid.TID) (victim xid.TID, cycle [
 }
 
 // Remove drops one reference on the edge waiter → holder. Removing a
-// non-existent edge is a no-op.
+// non-existent edge is a no-op. A waiter that loses its last outgoing edge
+// has ended its blocking episode, so its doomed mark (if any) is cleared.
 func (g *Graph) Remove(waiter, holder xid.TID) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -84,7 +108,7 @@ func (g *Graph) Remove(waiter, holder xid.TID) {
 		} else {
 			delete(m, holder)
 			if len(m) == 0 {
-				delete(g.edges, waiter)
+				g.dropWaiterLocked(waiter)
 			}
 		}
 	}
@@ -94,7 +118,7 @@ func (g *Graph) Remove(waiter, holder xid.TID) {
 func (g *Graph) RemoveWaiter(waiter xid.TID) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	delete(g.edges, waiter)
+	g.dropWaiterLocked(waiter)
 }
 
 // RemoveNode drops the transaction entirely, both as waiter and as holder,
@@ -102,13 +126,20 @@ func (g *Graph) RemoveWaiter(waiter xid.TID) {
 func (g *Graph) RemoveNode(t xid.TID) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	delete(g.edges, t)
+	g.dropWaiterLocked(t)
 	for w, m := range g.edges {
 		delete(m, t)
 		if len(m) == 0 {
-			delete(g.edges, w)
+			g.dropWaiterLocked(w)
 		}
 	}
+}
+
+// dropWaiterLocked removes w's outgoing edges and ends its blocking
+// episode. Caller holds g.mu.
+func (g *Graph) dropWaiterLocked(w xid.TID) {
+	delete(g.edges, w)
+	delete(g.doomed, w)
 }
 
 // Waiters returns the transactions currently blocked, in ascending tid
@@ -124,9 +155,25 @@ func (g *Graph) Waiters() []xid.TID {
 	return out
 }
 
+// Doomed reports whether t has been selected as a deadlock victim and has
+// not yet stopped waiting. Diagnostics and tests.
+func (g *Graph) Doomed(t xid.TID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.doomed[t]
+}
+
 // findCycleFrom performs a DFS from start and returns the first cycle that
-// passes through start, or nil. Caller holds g.mu.
+// passes through start, or nil. Doomed transactions are treated as
+// non-blocking and not traversed: their outgoing edges are about to vanish,
+// so any cycle through them is already scheduled to break. Caller holds
+// g.mu.
 func (g *Graph) findCycleFrom(start xid.TID) []xid.TID {
+	if g.doomed[start] {
+		// The requester itself is already a pending victim; its episode
+		// resolves without a second selection.
+		return nil
+	}
 	var path []xid.TID
 	onPath := make(map[xid.TID]bool)
 	visited := make(map[xid.TID]bool)
@@ -136,6 +183,9 @@ func (g *Graph) findCycleFrom(start xid.TID) []xid.TID {
 		onPath[t] = true
 		visited[t] = true
 		for h := range g.edges[t] {
+			if g.doomed[h] {
+				continue
+			}
 			if onPath[h] {
 				// Found a cycle: the suffix of path from h onward.
 				for i, p := range path {

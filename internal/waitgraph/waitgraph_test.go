@@ -1,6 +1,8 @@
 package waitgraph
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -138,5 +140,164 @@ func TestQuickCycleAlwaysDetected(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDoomedVictimNotSelectedTwice: once a victim is selected, further
+// cycles through it must not select it (or anyone else on its behalf)
+// again until its blocking episode ends.
+func TestDoomedVictimNotSelectedTwice(t *testing.T) {
+	g := New()
+	g.Add(1, 2)
+	v, _ := g.Add(2, 1)
+	if v != 2 {
+		t.Fatalf("victim = %v, want t2", v)
+	}
+	if !g.Doomed(2) {
+		t.Fatal("victim not marked doomed")
+	}
+	// A second mechanism blocks 2 on 1 again: same cycle, but the victim
+	// is already being resolved — no second selection.
+	if v, _ := g.Add(2, 1); !v.IsNil() {
+		t.Fatalf("doomed victim re-selected: %v", v)
+	}
+	// A third transaction closing a cycle THROUGH the doomed victim also
+	// sees no deadlock: 3 -> 2 (doomed) -> 1 -> ... is already breaking.
+	g.Add(1, 3)
+	if v, _ := g.Add(3, 2); !v.IsNil() {
+		t.Fatalf("cycle through doomed victim selected %v", v)
+	}
+	// Once the victim stops waiting (abort removed its waits), the mark
+	// clears and fresh cycles are detected again.
+	g.RemoveWaiter(2)
+	if g.Doomed(2) {
+		t.Fatal("doomed mark survived end of blocking episode")
+	}
+	v, _ = g.Add(3, 1) // 1->3 already present: closes 1<->3
+	if v != 3 {
+		t.Fatalf("victim after episode end = %v, want t3", v)
+	}
+}
+
+// TestDoomedClearedByLastEdgeRemove: clearing must trigger through Remove
+// and through RemoveNode side effects, not only RemoveWaiter.
+func TestDoomedClearedByLastEdgeRemove(t *testing.T) {
+	g := New()
+	g.Add(1, 2)
+	if v, _ := g.Add(2, 1); v != 2 {
+		t.Fatal("setup: no victim")
+	}
+	g.Remove(2, 1) // last outgoing edge of the victim
+	if g.Doomed(2) {
+		t.Fatal("doomed mark survived Remove of last edge")
+	}
+
+	g2 := New()
+	g2.Add(1, 2)
+	if v, _ := g2.Add(2, 1); v != 2 {
+		t.Fatal("setup: no victim")
+	}
+	g2.RemoveNode(1) // deletes 2's only holder, emptying 2's edge set
+	if g2.Doomed(2) {
+		t.Fatal("doomed mark survived RemoveNode emptying the edge set")
+	}
+}
+
+// TestStressConcurrentCycles hammers the detector with concurrent cycle
+// creation and resolution across many disjoint rings at once (the shape
+// the sharded lock manager produces: detections fired from many shard
+// latches in parallel). Per ring it runs three phases:
+//
+//  1. ringSize goroutines concurrently add the ring's edges — exactly one
+//     of them must be told it closed a deadlock (one victim per episode);
+//  2. with the victim still doomed, ringSize goroutines concurrently
+//     re-add the same edges — none may select a second victim, even
+//     though the cycle is structurally present on every one of those
+//     calls;
+//  3. resolution and teardown run concurrently across rings.
+//
+// Completion of the test is itself the "detector never deadlocks" check.
+func TestStressConcurrentCycles(t *testing.T) {
+	const (
+		rounds   = 100
+		ringsPer = 8 // concurrent rings per round
+		ringSize = 5
+	)
+	g := New()
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for r := 0; r < ringsPer; r++ {
+			// Disjoint tid ranges per ring so rings share the graph and its
+			// doomed set but not nodes: cross-ring interference cannot mask
+			// a double selection within a ring.
+			base := xid.TID(round*ringsPer*ringSize + r*ringSize + 1)
+			edge := func(i int) (w, h xid.TID) {
+				return base + xid.TID(i), base + xid.TID((i+1)%ringSize)
+			}
+			round, r := round, r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Phase 1: build the ring concurrently. Adds serialize on
+				// g.mu, so whichever Add lands last completes the cycle and
+				// must be the single one that reports a victim.
+				var selected int32
+				var victim atomic.Uint64
+				var inner sync.WaitGroup
+				for i := 0; i < ringSize; i++ {
+					i := i
+					inner.Add(1)
+					go func() {
+						defer inner.Done()
+						w, h := edge(i)
+						if v, _ := g.Add(w, h); !v.IsNil() {
+							atomic.AddInt32(&selected, 1)
+							victim.Store(uint64(v))
+						}
+					}()
+				}
+				inner.Wait()
+				if n := atomic.LoadInt32(&selected); n != 1 {
+					t.Errorf("round %d ring %d: %d victims on creation, want exactly 1", round, r, n)
+					return
+				}
+				v := xid.TID(victim.Load())
+				// Phase 2: the victim is doomed and unresolved; concurrent
+				// re-adds of every ring edge all see the complete cycle but
+				// must not select again.
+				var second int32
+				for i := 0; i < ringSize; i++ {
+					i := i
+					inner.Add(1)
+					go func() {
+						defer inner.Done()
+						w, h := edge(i)
+						if v2, _ := g.Add(w, h); !v2.IsNil() {
+							atomic.AddInt32(&second, 1)
+						}
+					}()
+				}
+				inner.Wait()
+				if n := atomic.LoadInt32(&second); n != 0 {
+					t.Errorf("round %d ring %d: %d extra victims while episode unresolved", round, r, n)
+					return
+				}
+				// Phase 3: resolve as the lock manager would — the victim
+				// stops waiting and terminates — then tear the ring down,
+				// racing the other rings' phases.
+				g.RemoveWaiter(v)
+				g.RemoveNode(v)
+				for i := 0; i < ringSize; i++ {
+					g.RemoveNode(base + xid.TID(i))
+				}
+			}()
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		if got := g.Waiters(); len(got) != 0 {
+			t.Fatalf("round %d: graph not empty after teardown: %v", round, got)
+		}
 	}
 }

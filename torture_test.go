@@ -17,9 +17,21 @@ import (
 // transaction models — flat transfers, nested transfers (each leg a
 // subtransaction), saga transfers (debit and credit as separate compensable
 // steps), and random aborts — and checks that the money-conservation
-// invariant survives every interleaving.
+// invariant survives every interleaving. The storm repeats across
+// lock-table shard counts: 1 reproduces the pre-sharding serial table, 4
+// forces constant cross-shard traffic for multi-object transactions, 64 is
+// the default layout.
 func TestTortureMixedModels(t *testing.T) {
-	m, err := asset.Open(asset.Config{})
+	for _, shards := range []int{1, 4, 64} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			tortureMixedModels(t, asset.Config{LockShards: shards}, int64(shards)*101)
+		})
+	}
+}
+
+func tortureMixedModels(t *testing.T, cfg asset.Config, seedBase int64) {
+	m, err := asset.Open(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,6 +76,7 @@ func TestTortureMixedModels(t *testing.T) {
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
 		go func(seed int64) {
+			seed += seedBase
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < 150; i++ {
