@@ -34,6 +34,15 @@ func (m *Manager) initiate(fn TxnFunc, parent xid.TID) (xid.TID, error) {
 	id := xid.TID(m.nextTID.Add(1))
 	t := newTxn(id, parent, fn)
 	m.txns.Put(uint64(id), t)
+	// Re-check after publishing: Close may have set the flag, flushed, and
+	// closed the log between the first check and the Put. Unregistering here
+	// fences the race — the transaction can no longer Begin and append to a
+	// closed log.
+	if m.closed.Load() {
+		m.txns.Delete(uint64(id))
+		m.live.Add(-1)
+		return xid.NilTID, ErrClosed
+	}
 	return id, nil
 }
 

@@ -112,11 +112,25 @@ func (m *Manager) delegateOneLocked(fromTS, toTS *txnState, s *lockShard, oid xi
 	delete(fromTS.locks, oid)
 	fromTS.lat.Unlock()
 	if existing := od.ownerReq(toTS.tid); existing != nil {
-		// Merge: the union of modes; the merged lock is suspended only if
-		// both inputs were (an unsuspended hold stays usable).
+		// Merge: the union of modes. Suspension is sticky — clearing it just
+		// because one input was unsuspended could leave the merged hold in
+		// unsuspended conflict with a third party's permitted grant, exposing
+		// that party's uncommitted work (invariant 1). Re-validate instead:
+		// the merged hold comes back unsuspended only if no other granted
+		// LRD conflicts with the merged mode.
+		suspended := existing.suspended || gl.suspended
 		existing.mode = existing.mode.Union(gl.mode)
-		existing.suspended = existing.suspended && gl.suspended
 		od.dropGranted(gl)
+		if suspended {
+			suspended = false
+			for _, other := range od.granted {
+				if other.tid != toTS.tid && other.mode.Conflicts(existing.mode) {
+					suspended = true
+					break
+				}
+			}
+		}
+		existing.suspended = suspended
 	} else {
 		toTS.lat.Lock()
 		if toTS.dead {

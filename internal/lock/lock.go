@@ -244,7 +244,7 @@ func (m *Manager) Lock(tid xid.TID, oid xid.OID, mode xid.OpSet) error {
 
 	var lastKilled xid.TID
 	for {
-		blockers, permitted := m.tryGrant(req, own)
+		blockers, permitted := m.tryGrant(req)
 		if req.cancelled {
 			return exit(ErrCancelled)
 		}
@@ -289,22 +289,20 @@ func (m *Manager) Lock(tid xid.TID, oid xid.OID, mode xid.OpSet) error {
 				s.lat.Unlock()
 				m.killVictim(victim)
 				s.lat.Lock()
-				own = od.ownerReq(tid) // state may have moved meanwhile
 				continue
 			}
 		}
 		od.cond.Wait()
-		// Refresh unconditionally: delegation may have granted, moved, or
-		// merged a lock for us while we slept.
-		own = od.ownerReq(tid)
 	}
 }
 
 // tryGrant evaluates §4.2 steps 1a/1b for req. It returns the transactions
 // that block the request (empty means grantable) and the conflicting
 // granted locks whose holders permit the requester (to be suspended on
-// grant). Caller holds the shard latch.
-func (m *Manager) tryGrant(req *lockReq, own *lockReq) (blockers []xid.TID, permitted []*lockReq) {
+// grant). The requester's own granted LRD, if any, is recognized by tid on
+// the OD chain — never by a caller-held pointer, which delegation can
+// stale. Caller holds the shard latch.
+func (m *Manager) tryGrant(req *lockReq) (blockers []xid.TID, permitted []*lockReq) {
 	od := req.od
 	for _, gl := range od.granted {
 		if gl.tid == req.tid {
@@ -330,7 +328,8 @@ func (m *Manager) tryGrant(req *lockReq, own *lockReq) (blockers []xid.TID, perm
 			if p == req {
 				break
 			}
-			if p.tid != req.tid && p.mode.Conflicts(req.mode) && !p.victim && !p.cancelled {
+			if p.tid != req.tid && p.mode.Conflicts(req.mode) &&
+				!p.victim && !p.cancelled && !p.timedOut {
 				blockers = append(blockers, p.tid)
 			}
 		}

@@ -366,6 +366,55 @@ func TestDelegateMergesWithExistingLock(t *testing.T) {
 	}
 }
 
+func TestDelegateMergeKeepsSuspensionUnderConflict(t *testing.T) {
+	// Regression: t3 holds Read suspended under a wildcard OpIncr permit
+	// while t1 and t2 hold permitted unsuspended Incrs. Delegating t1's Incr
+	// into t3's suspended hold must not un-suspend the merge: t2's Incr is
+	// still granted, and an unsuspended Read|Incr beside it violates mutual
+	// exclusion and would let t3 read t2's uncommitted increments.
+	m := newTest(Options{})
+	mustLock(t, m, 3, 100, xid.OpRead)
+	m.Permit(3, xid.NilTID, []xid.OID{100}, xid.OpIncr)
+	mustLock(t, m, 1, 100, xid.OpIncr) // permitted; suspends t3's Read
+	mustLock(t, m, 2, 100, xid.OpIncr) // compatible with t1, permitted vs t3
+	if m.Holds(3, 100, xid.OpRead) {
+		t.Fatal("t3's lock not suspended after permitted conflicting grants")
+	}
+	m.Delegate(1, 3, []xid.OID{100})
+	if m.Holds(3, 100, xid.OpRead) {
+		t.Fatal("merge un-suspended t3's hold while t2's conflicting Incr is granted")
+	}
+	if bad := m.CheckInvariants(); len(bad) != 0 {
+		t.Fatalf("invariants violated after merge: %v", bad)
+	}
+	// Once the conflict clears, t3 re-validates through Lock as usual.
+	m.ReleaseAll(2)
+	mustLock(t, m, 3, 100, xid.OpRead)
+	if !m.Holds(3, 100, xid.OpRead) {
+		t.Fatal("t3 cannot reclaim its lock after the conflict cleared")
+	}
+}
+
+func TestDelegateMergeRevalidatesSuspension(t *testing.T) {
+	// The counterpart: when the delegated lock IS the conflicting hold that
+	// suspended the delegatee, merging them removes the conflict and the
+	// merged hold may come back unsuspended without a re-Lock.
+	m := newTest(Options{})
+	mustLock(t, m, 1, 100, xid.OpWrite)
+	m.Permit(1, 2, []xid.OID{100}, xid.OpWrite)
+	mustLock(t, m, 2, 100, xid.OpWrite) // permitted; suspends t1
+	if m.Holds(1, 100, xid.OpWrite) {
+		t.Fatal("t1 not suspended by the permitted conflicting grant")
+	}
+	m.Delegate(2, 1, []xid.OID{100})
+	if !m.Holds(1, 100, xid.OpWrite) {
+		t.Fatal("suspension not cleared after the conflicting hold merged back")
+	}
+	if bad := m.CheckInvariants(); len(bad) != 0 {
+		t.Fatalf("invariants violated after merge: %v", bad)
+	}
+}
+
 func TestDelegateReassignsPermits(t *testing.T) {
 	m := newTest(Options{})
 	mustLock(t, m, 1, 100, xid.OpWrite)
