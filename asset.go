@@ -32,6 +32,8 @@
 package asset
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/xid"
 )
@@ -51,6 +53,12 @@ type (
 	Stats = core.Stats
 	// TxnInfo describes one transaction in (*Manager).Transactions.
 	TxnInfo = core.TxnInfo
+	// TxnOptions carries per-transaction resilience settings (context
+	// binding, deadline override) for (*Manager).InitiateWith.
+	TxnOptions = core.TxnOptions
+	// RunOptions configures the Run retry engine (attempt budget, backoff,
+	// per-attempt deadline, extra retryable classification).
+	RunOptions = core.RunOptions
 
 	// TID identifies a transaction; the zero value is the null tid.
 	TID = xid.TID
@@ -149,8 +157,32 @@ var (
 	// ErrDependencyCycle reports a rejected commit-blocking dependency
 	// cycle.
 	ErrDependencyCycle = core.ErrDependencyCycle
+	// ErrOverload reports a transaction shed by admission control
+	// (Config.MaxLive).
+	ErrOverload = core.ErrOverload
+	// ErrTxnDeadline reports an abort by the watchdog reaper
+	// (Config.TxnDeadline or a TxnOptions override).
+	ErrTxnDeadline = core.ErrTxnDeadline
+	// ErrRetryable tags failures a fresh attempt may not hit again; Run
+	// retries errors matching errors.Is(err, ErrRetryable) and the other
+	// retryable classes (see Retryable).
+	ErrRetryable = core.ErrRetryable
 )
 
 // Open creates a Manager. With cfg.Dir set the database is durable (WAL +
 // page-store checkpoints, recovered at open); otherwise it is in-memory.
 func Open(cfg Config) (*Manager, error) { return core.Open(cfg) }
+
+// Run executes fn as a transaction on m and automatically retries
+// retryable failures — deadlock victimhood, lock timeouts, watchdog reaps,
+// admission sheds — with capped exponential backoff plus jitter under an
+// attempt budget. It is the convenience form of (*Manager).Run; ctx bounds
+// the whole engagement.
+func Run(ctx context.Context, m *Manager, opts RunOptions, fn TxnFunc) error {
+	return m.Run(ctx, opts, fn)
+}
+
+// Retryable reports whether err is worth a fresh attempt (the
+// classification Run uses): deadlock victims, lock and transaction
+// deadline expiries, admission sheds, and anything tagged ErrRetryable.
+func Retryable(err error) bool { return core.Retryable(err) }

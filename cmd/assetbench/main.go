@@ -6,7 +6,9 @@
 //	assetbench -run all            # every experiment, full parameters
 //	assetbench -run E5,E9 -quick   # selected experiments, small parameters
 //	assetbench -run lock           # the sharded lock-table contention sweep
+//	assetbench -run resil          # the admission-control overload sweep
 //	assetbench -baseline FILE      # write the contention sweep as JSON
+//	assetbench -resil-baseline F   # write the overload sweep as JSON
 //	assetbench -list               # show the experiment index
 package main
 
@@ -22,26 +24,26 @@ import (
 	"repro/internal/bench"
 )
 
-// baselineFile is the JSON document -baseline writes: the lock-contention
-// sweep plus enough host metadata to judge whether two baselines are
+// baselineFile is the JSON document the -baseline flags write: one sweep's
+// points plus enough host metadata to judge whether two baselines are
 // comparable.
 type baselineFile struct {
-	Bench     string            `json:"bench"`
-	Generated string            `json:"generated"`
-	GoVersion string            `json:"go_version"`
-	NumCPU    int               `json:"num_cpu"`
-	Quick     bool              `json:"quick"`
-	Points    []bench.LockPoint `json:"points"`
+	Bench     string `json:"bench"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	Quick     bool   `json:"quick"`
+	Points    any    `json:"points"`
 }
 
-func writeBaseline(path string, quick bool) error {
+func writeBaseline(path, name string, quick bool, points any) error {
 	doc := baselineFile{
-		Bench:     "lock-contention",
+		Bench:     name,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		Quick:     quick,
-		Points:    bench.LockContention(quick),
+		Points:    points,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -55,15 +57,25 @@ func main() {
 	quick := flag.Bool("quick", false, "small parameters (seconds instead of minutes)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	baseline := flag.String("baseline", "", "write the lock-contention sweep as JSON to this file")
+	resilBaseline := flag.String("resil-baseline", "", "write the admission-control overload sweep as JSON to this file")
 	flag.Parse()
 
-	if *baseline != "" {
+	if *baseline != "" || *resilBaseline != "" {
 		start := time.Now()
-		if err := writeBaseline(*baseline, *quick); err != nil {
-			fmt.Fprintf(os.Stderr, "assetbench: baseline: %v\n", err)
-			os.Exit(1)
+		if *baseline != "" {
+			if err := writeBaseline(*baseline, "lock-contention", *quick, bench.LockContention(*quick)); err != nil {
+				fmt.Fprintf(os.Stderr, "assetbench: baseline: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s in %v\n", *baseline, time.Since(start).Round(time.Millisecond))
 		}
-		fmt.Printf("wrote %s in %v\n", *baseline, time.Since(start).Round(time.Millisecond))
+		if *resilBaseline != "" {
+			if err := writeBaseline(*resilBaseline, "resil-overload", *quick, bench.ResilOverload(*quick)); err != nil {
+				fmt.Fprintf(os.Stderr, "assetbench: resil-baseline: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s in %v\n", *resilBaseline, time.Since(start).Round(time.Millisecond))
+		}
 		return
 	}
 

@@ -31,18 +31,35 @@ func register(e Experiment) {
 	registry[e.ID] = e
 }
 
-// All returns every experiment sorted by ID (E* before A*).
+// All returns every experiment sorted by ID: E* experiments first, A*
+// ablations second, then named experiments (LOCK, RESIL, ...)
+// alphabetically.
 func All() []Experiment {
 	out := make([]Experiment, 0, len(registry))
 	for _, e := range registry {
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		gi, gj := out[i].ID[0], out[j].ID[0]
-		if gi != gj {
-			return gi == 'E' // experiments before ablations
+	group := func(id string) int {
+		var n int
+		if _, err := fmt.Sscanf(id[1:], "%d", &n); err == nil {
+			if id[0] == 'E' {
+				return 0
+			}
+			if id[0] == 'A' {
+				return 1
+			}
 		}
-		// numeric order within the group
+		return 2
+	}
+	sort.Slice(out, func(i, j int) bool {
+		gi, gj := group(out[i].ID), group(out[j].ID)
+		if gi != gj {
+			return gi < gj
+		}
+		if gi == 2 {
+			return out[i].ID < out[j].ID
+		}
+		// numeric order within the E/A groups
 		var ni, nj int
 		fmt.Sscanf(out[i].ID[1:], "%d", &ni)
 		fmt.Sscanf(out[j].ID[1:], "%d", &nj)

@@ -37,15 +37,36 @@ func TestAllExperimentsQuick(t *testing.T) {
 
 func TestRegistryOrderAndLookup(t *testing.T) {
 	exps := All()
-	// E* must precede A*, both numerically ordered.
-	sawA := false
-	lastE, lastA := 0, 0
-	for _, e := range exps {
-		var n int
-		if e.ID[0] == 'E' {
-			if sawA {
-				t.Fatalf("E after A in %v", e.ID)
+	// E* must precede A*, both numerically ordered; named experiments
+	// (LOCK, RESIL, ...) come last, alphabetically.
+	const (
+		groupE = iota
+		groupA
+		groupNamed
+	)
+	group := func(id string) int {
+		if len(id) > 1 && id[1] >= '0' && id[1] <= '9' {
+			switch id[0] {
+			case 'E':
+				return groupE
+			case 'A':
+				return groupA
 			}
+		}
+		return groupNamed
+	}
+	lastGroup := groupE
+	lastE, lastA := 0, 0
+	lastName := ""
+	for _, e := range exps {
+		g := group(e.ID)
+		if g < lastGroup {
+			t.Fatalf("group order broken at %v", e.ID)
+		}
+		lastGroup = g
+		var n int
+		switch g {
+		case groupE:
 			if _, err := parseNum(e.ID, &n); err != nil {
 				t.Fatal(err)
 			}
@@ -53,8 +74,7 @@ func TestRegistryOrderAndLookup(t *testing.T) {
 				t.Fatalf("E order broken at %s", e.ID)
 			}
 			lastE = n
-		} else {
-			sawA = true
+		case groupA:
 			if _, err := parseNum(e.ID, &n); err != nil {
 				t.Fatal(err)
 			}
@@ -62,6 +82,11 @@ func TestRegistryOrderAndLookup(t *testing.T) {
 				t.Fatalf("A order broken at %s", e.ID)
 			}
 			lastA = n
+		default:
+			if e.ID <= lastName {
+				t.Fatalf("named order broken at %s", e.ID)
+			}
+			lastName = e.ID
 		}
 	}
 	if _, ok := Get("e1"); !ok {

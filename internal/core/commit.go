@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -18,11 +19,31 @@ import (
 // success (the paper's 1) and ErrAborted if the transaction aborts instead
 // (the paper's 0).
 func (m *Manager) Commit(id xid.TID) error {
+	return m.CommitCtx(context.Background(), id)
+}
+
+// CommitCtx is Commit bounded by a context: if ctx expires while the
+// driver is blocked — on the body's completion or on a CD/AD/GC dependency
+// obstacle — the transaction is aborted (its group with it) and CommitCtx
+// returns the abort reason. Once the group passes the commit point
+// (commit record appended) the context is ignored; the commit's outcome is
+// reported as usual.
+func (m *Manager) CommitCtx(ctx context.Context, id xid.TID) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	m.mu.Lock()
 	t, err := m.lookup(id)
 	if err != nil {
 		m.mu.Unlock()
 		return err
+	}
+	if done != nil && ctx.Err() != nil {
+		// Dead on arrival: a cancelled caller must not push the group past
+		// the commit point.
+		m.ctxAbortLocked(t, ctx)
+		done = nil
 	}
 	for {
 		switch t.st() {
@@ -43,7 +64,14 @@ func (m *Manager) Commit(id xid.TID) error {
 			// commit blocks until execution completes (§2.1).
 			ch := t.done
 			m.mu.Unlock()
-			<-ch
+			select {
+			case <-ch:
+			case <-done:
+				m.mu.Lock()
+				m.ctxAbortLocked(t, ctx)
+				m.mu.Unlock()
+				done = nil
+			}
 			m.mu.Lock()
 			continue
 		}
@@ -78,6 +106,11 @@ func (m *Manager) Commit(id xid.TID) error {
 			select {
 			case <-waitCh:
 			case <-myAbort:
+			case <-done:
+				m.mu.Lock()
+				m.ctxAbortLocked(t, ctx)
+				m.mu.Unlock()
+				done = nil
 			}
 			m.mu.Lock()
 			for _, member := range group {
@@ -253,6 +286,7 @@ func (m *Manager) commitGroupLocked(group []*txn) {
 		m.deps.RemoveNode(member.id)
 		m.locks.ReleaseAll(member.id)
 		m.waits.RemoveNode(member.id)
+		m.releaseSlot(member)
 		m.live.Add(-1)
 		m.stats.commits.Add(1)
 		member.closeDone()
@@ -336,11 +370,20 @@ func (m *Manager) abortTxn(t *txn, reason error) {
 // order, logging each installation, (3) release locks, drop dependencies,
 // and finalize statuses. Caller holds m.mu.
 func (m *Manager) abortLocked(t *txn, reason error) {
-	// Deadlock accounting happens here so every victim path — lock-wait
-	// victims, commit-wait victims, and the OnVictim callback — is counted
-	// exactly once (per cascade root).
-	if !t.st().Terminated() && t.st() != xid.StatusAborting && errors.Is(reason, ErrDeadlock) {
-		m.stats.deadlocks.Add(1)
+	// Abort-cause accounting happens here so every path — lock-wait
+	// victims, commit-wait victims, the OnVictim callback, the watchdog,
+	// context watchers — is counted exactly once (per cascade root).
+	if !t.st().Terminated() && t.st() != xid.StatusAborting {
+		switch {
+		case errors.Is(reason, ErrDeadlock):
+			m.stats.deadlocks.Add(1)
+		case errors.Is(reason, ErrTxnDeadline):
+			m.stats.reaped.Add(1)
+		case errors.Is(reason, context.DeadlineExceeded):
+			m.stats.expired.Add(1)
+		case errors.Is(reason, context.Canceled):
+			m.stats.cancelled.Add(1)
+		}
 	}
 	// Phase 1: close the cascade set over AD/GC/BD incoming edges.
 	var set []*txn
@@ -356,6 +399,10 @@ func (m *Manager) abortLocked(t *txn, reason error) {
 		u.abErr = reason
 		u.setSt(xid.StatusAborting)
 		u.closeAbort()
+		// Doom before cancelling waits: a dying transaction attracts no
+		// wait-graph edges, so detectors racing this teardown cannot select
+		// a second victim for a cycle the abort is already breaking.
+		m.waits.Doom(u.id)
 		m.locks.CancelWaits(u.id)
 		set = append(set, u)
 		for _, e := range m.deps.Incoming(u.id) {
@@ -421,6 +468,7 @@ func (m *Manager) abortLocked(t *txn, reason error) {
 		m.deps.RemoveNode(u.id)
 		m.locks.ReleaseAll(u.id)
 		m.waits.RemoveNode(u.id)
+		m.releaseSlot(u)
 		u.setSt(xid.StatusAborted)
 		m.live.Add(-1)
 		m.stats.aborts.Add(1)

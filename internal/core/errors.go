@@ -41,6 +41,21 @@ var (
 	// ErrNotQuiescent is returned by Checkpoint while transactions are
 	// active.
 	ErrNotQuiescent = errors.New("core: checkpoint requires a quiescent manager")
+	// ErrOverload is returned by begin when admission control
+	// (Config.MaxLive) sheds the transaction: the gate was full and the
+	// request could not be queued within its deadline. The transaction is
+	// aborted; re-initiate to retry (Run does this automatically).
+	ErrOverload = errors.New("core: overloaded, transaction shed by admission control")
+	// ErrTxnDeadline is the abort reason used by the watchdog reaper when a
+	// transaction exceeds its deadline (Config.TxnDeadline or the per-txn
+	// override in TxnOptions).
+	ErrTxnDeadline = errors.New("core: transaction deadline exceeded")
+	// ErrRetryable classifies failures that a fresh attempt may not hit
+	// again (deadlock victims, lock timeouts, overload sheds, reaped
+	// deadlines). Run retries errors matching errors.Is(err, ErrRetryable)
+	// — see Retryable — and wraps its own give-up error with it so callers
+	// can distinguish "lost every race" from terminal failures.
+	ErrRetryable = errors.New("core: retryable transaction failure")
 
 	// ErrDeadlock is returned to deadlock victims (re-exported from the
 	// lock manager so callers need only this package).

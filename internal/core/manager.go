@@ -56,8 +56,25 @@ type Config struct {
 	DisableDeadlockDetection bool
 	// LockTimeout bounds how long any lock request may block; 0 = forever.
 	// It is the deadlock resolution of last resort with detection
-	// disabled.
+	// disabled. Per-transaction deadlines (TxnDeadline, TxnOptions) and
+	// contexts bound via BeginCtx give finer-grained bounds per request.
 	LockTimeout time.Duration
+	// TxnDeadline bounds the lifetime of every transaction: the watchdog
+	// reaper aborts (with ErrTxnDeadline) any transaction still live that
+	// long after initiation. 0 disables the watchdog unless individual
+	// transactions set deadlines via TxnOptions.
+	TxnDeadline time.Duration
+	// MaxLive bounds transactions admitted past begin — the running set
+	// that actually holds locks — independent of MaxTransactions, which
+	// bounds initiated descriptors. When the gate is full, begin queues
+	// (deadline-aware, see AdmitTimeout) and sheds with ErrOverload rather
+	// than letting the lock table collapse under contention. 0 = no gate.
+	MaxLive int
+	// AdmitTimeout is how long begin may queue for an admission slot when
+	// the MaxLive gate is full. The wait is additionally capped by the
+	// transaction's deadline and context. 0 means shed immediately unless
+	// a deadline or context bounds the wait.
+	AdmitTimeout time.Duration
 	// ReapTerminated drops transaction descriptors as soon as they
 	// terminate, bounding memory in long runs. Status queries and waits on
 	// reaped transactions return ErrUnknownTxn, so enable it only when
@@ -90,6 +107,11 @@ type Stats struct {
 	Deadlocks uint64 // deadlock victims
 	LogForces uint64 // log flushes issued by commits
 	GroupSize uint64 // sum of group sizes over group commits (avg = /Commits)
+	Reaped    uint64 // transactions aborted by the watchdog (ErrTxnDeadline)
+	Expired   uint64 // aborts caused by context deadline expiry
+	Cancelled uint64 // aborts caused by context cancellation
+	Overloads uint64 // transactions shed by admission control (ErrOverload)
+	Retries   uint64 // re-executions performed by Run
 }
 
 // Manager is the ASSET transaction manager.
@@ -113,9 +135,21 @@ type Manager struct {
 	dirty   map[xid.OID]dirtyKind // committed changes since last checkpoint
 
 	closed atomic.Bool
+	// closeCh closes when Close begins, waking admission queuers and
+	// stopping the watchdog.
+	closeCh chan struct{}
+	// admit is the MaxLive admission gate (nil when unbounded): a begin
+	// deposits a token to enter, commit/abort withdraws it.
+	admit chan struct{}
+	// The watchdog reaper starts lazily, on the first transaction that
+	// carries a deadline; watchdogDone closes when it exits.
+	watchdogOnce sync.Once
+	watchdogOn   atomic.Bool
+	watchdogDone chan struct{}
 
 	stats struct {
 		commits, aborts, deadlocks, logForces, groupSize atomic.Uint64
+		reaped, expired, cancelled, overloads, retries   atomic.Uint64
 	}
 }
 
@@ -124,14 +158,19 @@ type Manager struct {
 // and log; otherwise everything is in-memory.
 func Open(cfg Config) (*Manager, error) {
 	m := &Manager{
-		cfg:   cfg,
-		deps:  dep.New(),
-		waits: waitgraph.New(),
-		cache: storage.NewCache(),
-		txns:  htab.New[*txn](0),
-		dirty: make(map[xid.OID]dirtyKind),
+		cfg:          cfg,
+		deps:         dep.New(),
+		waits:        waitgraph.New(),
+		cache:        storage.NewCache(),
+		txns:         htab.New[*txn](0),
+		dirty:        make(map[xid.OID]dirtyKind),
+		closeCh:      make(chan struct{}),
+		watchdogDone: make(chan struct{}),
 	}
 	m.cond = sync.NewCond(&m.mu)
+	if cfg.MaxLive > 0 {
+		m.admit = make(chan struct{}, cfg.MaxLive)
+	}
 	onVictim := func(t xid.TID) {
 		m.mu.Lock()
 		if vt, ok := m.txns.Get(uint64(t)); ok {
@@ -224,11 +263,41 @@ func Open(cfg Config) (*Manager, error) {
 	return m, nil
 }
 
-// Close flushes the log and closes the backend. Live transactions are
-// abandoned; recovery treats them as losers.
+// Close shuts the manager down gracefully: every live transaction is
+// aborted with a reason wrapping ErrClosed — which wakes waiters parked on
+// lock-shard conds (their waits are cancelled), dependency and commit waits
+// (done/term close), and admission queuers — then the watchdog is drained
+// and the log flushed and closed. In-flight commit groups that already
+// appended their commit record are allowed to finish; recovery treats
+// everything else as a loser.
 func (m *Manager) Close() error {
 	if m.closed.Swap(true) {
 		return nil
+	}
+	close(m.closeCh)
+	var live, committing []*txn
+	m.txns.Range(func(_ uint64, t *txn) bool {
+		live = append(live, t)
+		return true
+	})
+	m.mu.Lock()
+	for _, t := range live {
+		switch st := t.st(); {
+		case st == xid.StatusCommitting:
+			committing = append(committing, t)
+		case !st.Terminated():
+			m.abortLocked(t, fmt.Errorf("%w: %w", ErrAborted, ErrClosed))
+		}
+	}
+	m.mu.Unlock()
+	// A committing group is past its commit record — a batched-commit
+	// driver may be off the mutex forcing the log — so wait for the outcome
+	// instead of yanking the log from under the flush.
+	for _, t := range committing {
+		<-t.term
+	}
+	if m.watchdogOn.Load() {
+		<-m.watchdogDone
 	}
 	err := m.log.Flush()
 	if cerr := m.log.Close(); err == nil {
@@ -248,6 +317,11 @@ func (m *Manager) Stats() Stats {
 		Deadlocks: m.stats.deadlocks.Load(),
 		LogForces: m.stats.logForces.Load(),
 		GroupSize: m.stats.groupSize.Load(),
+		Reaped:    m.stats.reaped.Load(),
+		Expired:   m.stats.expired.Load(),
+		Cancelled: m.stats.cancelled.Load(),
+		Overloads: m.stats.overloads.Load(),
+		Retries:   m.stats.retries.Load(),
 	}
 }
 
@@ -361,6 +435,10 @@ func (m *Manager) Cache() *storage.Cache { return m.cache }
 
 // LockManager exposes the lock manager for benchmarks and diagnostics.
 func (m *Manager) LockManager() *lock.Manager { return m.locks }
+
+// WaitGraph exposes the waits-for graph for diagnostics and tests (e.g.
+// asserting that cancelled transactions leave no edges behind).
+func (m *Manager) WaitGraph() *waitgraph.Graph { return m.waits }
 
 // MemLog returns the in-memory log when the manager is non-durable, for
 // tests and flush-counting benchmarks (unwrapping a commit coalescer).

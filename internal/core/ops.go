@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -10,7 +11,9 @@ import (
 )
 
 // mapLockErr converts lock-manager failures into the errors a transaction
-// body sees.
+// body sees. lock.ErrContext passes through unchanged: it wraps the
+// context's own error (Canceled/DeadlineExceeded), which the abort-cause
+// accounting and the Run retry classifier dispatch on.
 func mapLockErr(err error) error {
 	if errors.Is(err, lock.ErrCancelled) {
 		return ErrAborted
@@ -52,11 +55,25 @@ func (m *Manager) dropStrayLocks(t *txn) {
 // object shards. The mutex appears only on the failure path, to serialize
 // stray-grant release with an in-flight abort.
 func (tx *Tx) Lock(oid xid.OID, ops xid.OpSet) error {
+	return tx.LockCtx(tx.t.lockCtx(), oid, ops)
+}
+
+// LockCtx is Lock bounded by an explicit per-request context (a deadline
+// tighter than the transaction's, say). If ctx dies while the request is
+// parked on a shard cond, the request is abandoned cleanly — no grant, no
+// wait-graph edges — and the error wraps both lock.ErrContext and the
+// context's error. The transaction itself stays alive: an abandoned
+// acquisition is the caller's to handle (unlike cancellation of the
+// transaction's bound context, which aborts it via the watcher).
+func (tx *Tx) LockCtx(ctx context.Context, oid xid.OID, ops xid.OpSet) error {
 	m, t := tx.m, tx.t
 	if err := t.checkRunning(); err != nil {
 		return err
 	}
-	if err := m.locks.Lock(t.id, oid, ops); err != nil {
+	if ctx == nil {
+		ctx = t.lockCtx()
+	}
+	if err := m.locks.LockCtx(ctx, t.id, oid, ops); err != nil {
 		return mapLockErr(err)
 	}
 	if err := t.checkRunning(); err != nil {
@@ -73,7 +90,7 @@ func (tx *Tx) Read(oid xid.OID) ([]byte, error) {
 	if err := t.checkRunning(); err != nil {
 		return nil, err
 	}
-	if err := m.locks.Lock(t.id, oid, xid.OpRead); err != nil {
+	if err := m.locks.LockCtx(t.lockCtx(), t.id, oid, xid.OpRead); err != nil {
 		return nil, mapLockErr(err)
 	}
 	if err := t.checkRunning(); err != nil {
@@ -94,7 +111,7 @@ func (tx *Tx) Read(oid xid.OID) ([]byte, error) {
 // same X hold).
 func (tx *Tx) Write(oid xid.OID, data []byte) error {
 	m, t := tx.m, tx.t
-	if err := m.locks.Lock(t.id, oid, xid.OpWrite); err != nil {
+	if err := m.locks.LockCtx(t.lockCtx(), t.id, oid, xid.OpWrite); err != nil {
 		return mapLockErr(err)
 	}
 	m.mu.Lock()
@@ -126,7 +143,7 @@ func (tx *Tx) Write(oid xid.OID, data []byte) error {
 // back, all under the transaction's write lock.
 func (tx *Tx) Update(oid xid.OID, fn func([]byte) []byte) error {
 	m, t := tx.m, tx.t
-	if err := m.locks.Lock(t.id, oid, xid.OpWrite); err != nil {
+	if err := m.locks.LockCtx(t.lockCtx(), t.id, oid, xid.OpWrite); err != nil {
 		return mapLockErr(err)
 	}
 	m.mu.Lock()
@@ -175,7 +192,7 @@ func (tx *Tx) CreateAt(oid xid.OID, data []byte) error {
 		return fmt.Errorf("core: CreateAt with null oid")
 	}
 	m.cache.SetNextOID(oid) // keep the allocator ahead of explicit oids
-	if err := m.locks.Lock(t.id, oid, xid.OpWrite); err != nil {
+	if err := m.locks.LockCtx(t.lockCtx(), t.id, oid, xid.OpWrite); err != nil {
 		return mapLockErr(err)
 	}
 	m.mu.Lock()
@@ -206,7 +223,7 @@ func (tx *Tx) CreateAt(oid xid.OID, data []byte) error {
 // so an abort does not clobber concurrent increments.
 func (tx *Tx) Add(oid xid.OID, delta uint64) error {
 	m, t := tx.m, tx.t
-	if err := m.locks.Lock(t.id, oid, xid.OpIncr); err != nil {
+	if err := m.locks.LockCtx(t.lockCtx(), t.id, oid, xid.OpIncr); err != nil {
 		return mapLockErr(err)
 	}
 	m.mu.Lock()
@@ -249,7 +266,7 @@ func (tx *Tx) ReadCounter(oid xid.OID) (uint64, error) {
 // reinstates it.
 func (tx *Tx) Delete(oid xid.OID) error {
 	m, t := tx.m, tx.t
-	if err := m.locks.Lock(t.id, oid, xid.OpWrite); err != nil {
+	if err := m.locks.LockCtx(t.lockCtx(), t.id, oid, xid.OpWrite); err != nil {
 		return mapLockErr(err)
 	}
 	m.mu.Lock()

@@ -1,11 +1,26 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/wal"
 	"repro/internal/xid"
 )
+
+// TxnOptions carries per-transaction resilience settings for InitiateWith.
+type TxnOptions struct {
+	// Ctx binds a context to the transaction: its cancellation or deadline
+	// expiry aborts the transaction, waking any wait it is parked in
+	// (locks, begin/commit dependencies). Nil means no binding (BeginCtx
+	// can still bind one later).
+	Ctx context.Context
+	// Deadline overrides Config.TxnDeadline for this transaction: >0 sets
+	// a tighter/looser reap point, <0 disables the watchdog for it, 0
+	// inherits the config.
+	Deadline time.Duration
+}
 
 // Initiate registers a new top-level transaction that will execute fn. The
 // transaction does not start executing; call Begin. On resource exhaustion
@@ -15,10 +30,19 @@ func (m *Manager) Initiate(fn TxnFunc) (xid.TID, error) {
 	return m.initiate(fn, xid.NilTID)
 }
 
-// initiate is mutex-free: the tid counter, live count, closed flag, and
+// InitiateWith is Initiate with a context binding and a deadline override.
+func (m *Manager) InitiateWith(fn TxnFunc, opts TxnOptions) (xid.TID, error) {
+	return m.initiateOpts(fn, xid.NilTID, opts)
+}
+
+func (m *Manager) initiate(fn TxnFunc, parent xid.TID) (xid.TID, error) {
+	return m.initiateOpts(fn, parent, TxnOptions{})
+}
+
+// initiateOpts is mutex-free: the tid counter, live count, closed flag, and
 // descriptor table are all safe for concurrent use, so registering a
 // transaction never contends with commits, aborts, or other initiates.
-func (m *Manager) initiate(fn TxnFunc, parent xid.TID) (xid.TID, error) {
+func (m *Manager) initiateOpts(fn TxnFunc, parent xid.TID, opts TxnOptions) (xid.TID, error) {
 	if m.closed.Load() {
 		return xid.NilTID, ErrClosed
 	}
@@ -33,6 +57,17 @@ func (m *Manager) initiate(fn TxnFunc, parent xid.TID) (xid.TID, error) {
 	}
 	id := xid.TID(m.nextTID.Add(1))
 	t := newTxn(id, parent, fn)
+	if opts.Ctx != nil {
+		t.ctx = opts.Ctx
+	}
+	d := opts.Deadline
+	if d == 0 {
+		d = m.cfg.TxnDeadline
+	}
+	if d > 0 {
+		t.deadline.Store(time.Now().Add(d).UnixNano())
+		m.ensureWatchdog()
+	}
 	m.txns.Put(uint64(id), t)
 	// Re-check after publishing: Close may have set the flag, flushed, and
 	// closed the log between the first check and the Put. Unregistering here
@@ -48,18 +83,26 @@ func (m *Manager) initiate(fn TxnFunc, parent xid.TID) (xid.TID, error) {
 
 // Begin starts execution of the given transactions, each on its own
 // goroutine. It returns the first error encountered (a transaction that is
-// not in the initiated state, or an unsatisfiable begin dependency);
-// earlier transactions in the list still start.
+// not in the initiated state, an unsatisfiable begin dependency, or an
+// admission shed); earlier transactions in the list still start.
 func (m *Manager) Begin(tids ...xid.TID) error {
+	return m.BeginCtx(context.Background(), tids...)
+}
+
+// BeginCtx is Begin with a context bound to each transaction (unless one
+// was already bound at InitiateWith): cancelling it — before or after the
+// body starts — aborts the transaction, waking any lock, dependency, or
+// admission wait it is parked in.
+func (m *Manager) BeginCtx(ctx context.Context, tids ...xid.TID) error {
 	for _, id := range tids {
-		if err := m.beginOne(id); err != nil {
+		if err := m.beginOne(ctx, id); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (m *Manager) beginOne(id xid.TID) error {
+func (m *Manager) beginOne(ctx context.Context, id xid.TID) error {
 	m.mu.Lock()
 	t, err := m.lookup(id)
 	if err != nil {
@@ -73,6 +116,15 @@ func (m *Manager) beginOne(id xid.TID) error {
 		}
 		return fmt.Errorf("%w: %v is %v", ErrAlreadyBegun, id, t.st())
 	}
+	// Bind the context before the body, watcher, and admission code that
+	// read it exist; an InitiateWith binding wins.
+	if t.ctx == nil && ctx != nil {
+		t.ctx = ctx
+	}
+	var ctxDone <-chan struct{}
+	if t.ctx != nil {
+		ctxDone = t.ctx.Done()
+	}
 	// Begin dependencies (extension): a BD gate waits for the supporter's
 	// commit (its abort aborts t); a BAD gate waits for the supporter's
 	// abort (its commit aborts t, via the commit-time forced-abort scan).
@@ -85,7 +137,18 @@ func (m *Manager) beginOne(id xid.TID) error {
 		supID := sup.id
 		m.waits.Add(id, supID)
 		m.mu.Unlock()
-		<-term
+		select {
+		case <-term:
+		case <-t.abortCh: // aborted while gated (watchdog, cascade, Close)
+			m.waits.Remove(id, supID)
+			return txnOutcome(t)
+		case <-ctxDone:
+			m.waits.Remove(id, supID)
+			m.mu.Lock()
+			m.ctxAbortLocked(t, t.ctx)
+			m.mu.Unlock()
+			return txnOutcome(t)
+		}
 		m.waits.Remove(id, supID)
 		m.mu.Lock()
 		if !isBAD && sup.st() == xid.StatusAborted {
@@ -96,7 +159,23 @@ func (m *Manager) beginOne(id xid.TID) error {
 	}
 	if t.st() != xid.StatusInitiated { // aborted while waiting to begin
 		m.mu.Unlock()
-		return ErrAborted
+		return txnOutcome(t)
+	}
+	// Admission control: the MaxLive gate bounds the set of transactions
+	// that run and hold locks. Crossed after the begin-dependency gates
+	// (a gated transaction consumes no slot) and before the transaction
+	// turns running.
+	if m.admit != nil {
+		m.mu.Unlock()
+		if err := m.admitOne(t); err != nil {
+			return err
+		}
+		m.mu.Lock()
+		if t.st() != xid.StatusInitiated { // aborted while queued
+			m.releaseSlot(t)
+			m.mu.Unlock()
+			return txnOutcome(t)
+		}
 	}
 	t.setSt(xid.StatusRunning)
 	m.mu.Unlock()
@@ -104,6 +183,9 @@ func (m *Manager) beginOne(id xid.TID) error {
 	if _, err := m.log.Append(&wal.Record{Type: wal.TBegin, TID: id}); err != nil {
 		m.abortTxn(t, err)
 		return err
+	}
+	if ctxDone != nil {
+		go m.watchCtx(t)
 	}
 	go m.run(t)
 	return nil
@@ -164,6 +246,14 @@ func (m *Manager) run(t *txn) {
 // real dependency (the waiter holds locks), and only Tx.Wait registers it
 // with deadlock detection.
 func (m *Manager) Wait(id xid.TID) error {
+	return m.WaitCtx(context.Background(), id)
+}
+
+// WaitCtx is Wait bounded by a context. When ctx expires first, WaitCtx
+// returns its error without touching the target: an outside observer
+// abandoning a wait says nothing about the transaction's fate (use Abort,
+// or bind the context at begin, to propagate cancellation).
+func (m *Manager) WaitCtx(ctx context.Context, id xid.TID) error {
 	m.mu.Lock()
 	t, err := m.lookup(id)
 	if err != nil {
@@ -171,7 +261,11 @@ func (m *Manager) Wait(id xid.TID) error {
 		return err
 	}
 	m.mu.Unlock()
-	<-t.done
+	select {
+	case <-t.done:
+	case <-ctx.Done():
+		return fmt.Errorf("core: wait on %v abandoned: %w", id, ctx.Err())
+	}
 	return m.waitOutcome(t)
 }
 
@@ -195,6 +289,15 @@ func (m *Manager) waitOutcome(t *txn) error {
 // transaction is selected as the deadlock victim — or is aborted while
 // waiting — Wait returns the abort reason.
 func (tx *Tx) Wait(id xid.TID) error {
+	return tx.WaitCtx(context.Background(), id)
+}
+
+// WaitCtx is Tx.Wait bounded by a context: if ctx expires while blocked,
+// the waiting transaction is aborted — it holds locks, so abandoning the
+// wait without releasing them would just move the liveness problem — and
+// WaitCtx returns the abort reason. The transaction's own bound context
+// (BeginCtx) wakes this wait too, through the watcher's abort.
+func (tx *Tx) WaitCtx(ctx context.Context, id xid.TID) error {
 	m, t := tx.m, tx.t
 	m.mu.Lock()
 	target, err := m.lookup(id)
@@ -209,9 +312,15 @@ func (tx *Tx) Wait(id xid.TID) error {
 		}
 	}
 	m.mu.Unlock()
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
 	select {
 	case <-target.done:
 	case <-t.abortCh:
+	case <-ctxDone:
+		m.abortTxn(t, abortReason(fmt.Errorf("core: wait on %v cancelled: %w", id, ctx.Err())))
 	}
 	m.waits.Remove(t.id, id)
 	m.mu.Lock()

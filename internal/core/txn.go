@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -54,7 +55,27 @@ type txn struct {
 	termOnce  sync.Once
 	abortOnce sync.Once
 
+	// ctx binds external cancellation to the transaction. Written at
+	// InitiateWith, or by BeginCtx before the status turns running (under
+	// the manager mutex, before the body/watcher goroutines that read it
+	// are spawned); nil means no binding. Every lock wait of the body uses
+	// it, and a watcher goroutine converts its expiry into an abort.
+	ctx context.Context
+	// deadline is the watchdog reap point in unix nanoseconds; 0 = none.
+	deadline atomic.Int64
+	// admitted records that the transaction holds a Config.MaxLive
+	// admission slot, which commit/abort must return to the gate.
+	admitted atomic.Bool
+
 	undo []undoRec
+}
+
+// lockCtx is the context the transaction's lock requests wait under.
+func (t *txn) lockCtx() context.Context {
+	if t.ctx != nil {
+		return t.ctx
+	}
+	return context.Background()
 }
 
 func newTxn(id, parent xid.TID, fn TxnFunc) *txn {

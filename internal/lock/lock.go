@@ -41,6 +41,7 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -63,6 +64,13 @@ var (
 	// configured WaitTimeout (the fallback resolution when deadlock
 	// detection is disabled).
 	ErrTimeout = errors.New("lock: wait timed out")
+	// ErrContext is returned by LockCtx when the request's context was
+	// cancelled or its deadline expired; the returned error wraps the
+	// context error, so errors.Is(err, context.Canceled) (or
+	// context.DeadlineExceeded) distinguishes the two. Per-request
+	// deadlines travel in the context, superseding the single global
+	// WaitTimeout for callers that use them.
+	ErrContext = errors.New("lock: wait abandoned by context")
 )
 
 // reqStatus is the LRD status field: granted, pending, or upgrading (a
@@ -83,10 +91,11 @@ type lockReq struct {
 	od        *objDesc
 	mode      xid.OpSet
 	status    reqStatus
-	suspended bool // granted lock suspended by a permitted conflicting grant
-	cancelled bool // waiter was aborted; it must give up
-	victim    bool // waiter was chosen as deadlock victim
-	timedOut  bool // waiter exceeded Options.WaitTimeout
+	suspended bool  // granted lock suspended by a permitted conflicting grant
+	cancelled bool  // waiter was aborted; it must give up
+	victim    bool  // waiter was chosen as deadlock victim
+	timedOut  bool  // waiter exceeded Options.WaitTimeout
+	ctxErr    error // waiter's context was cancelled or expired
 }
 
 // objDesc is the object descriptor (OD) of Figure 1: granted and pending
@@ -190,8 +199,23 @@ func (m *Manager) NumShards() int { return len(m.shards) }
 // deadlock victim and ErrCancelled if the transaction was aborted while
 // waiting.
 func (m *Manager) Lock(tid xid.TID, oid xid.OID, mode xid.OpSet) error {
+	return m.LockCtx(context.Background(), tid, oid, mode)
+}
+
+// LockCtx is Lock with a caller-supplied context: a cancelled or
+// deadline-expired context wakes the waiter parked on the object's cond and
+// returns ErrContext (wrapping the context error), with the pending request
+// removed and its wait-graph edges cleared — the lock table is left exactly
+// as if the request had never been made. Context deadlines are the
+// per-request replacement for the single global Options.WaitTimeout, which
+// still applies as a backstop when both are configured. A background (or
+// never-cancellable) context adds no overhead over Lock.
+func (m *Manager) LockCtx(ctx context.Context, tid xid.TID, oid xid.OID, mode xid.OpSet) error {
 	if mode == 0 {
 		return fmt.Errorf("lock: empty mode requested on %v", oid)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrContext, err)
 	}
 	ts := m.txnOf(tid)
 	s := m.shardOf(oid)
@@ -222,6 +246,25 @@ func (m *Manager) Lock(tid xid.TID, oid xid.OID, mode xid.OpSet) error {
 		})
 		defer timer.Stop()
 	}
+	if done := ctx.Done(); done != nil {
+		// A watcher goroutine converts context death into a cond wake-up.
+		// It may fire after the request is already resolved (the stop and
+		// the cancellation race); setting ctxErr on a request that has left
+		// the pending queue is harmless, and the stray broadcast only makes
+		// other waiters re-evaluate.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				s.lat.Lock()
+				req.ctxErr = ctx.Err()
+				od.cond.Broadcast()
+				s.lat.Unlock()
+			case <-stop:
+			}
+		}()
+	}
 
 	// Wait-for edges registered for the current blocker set. Always cleared
 	// while the shard latch is still held, so an observer holding every
@@ -251,20 +294,36 @@ func (m *Manager) Lock(tid xid.TID, oid xid.OID, mode xid.OpSet) error {
 		if req.victim {
 			return exit(ErrDeadlock)
 		}
+		if req.ctxErr != nil {
+			// Context death abandons the request even when it became
+			// grantable in the same wake-up: the caller is tearing the
+			// transaction down and must not pick up new grants.
+			return exit(fmt.Errorf("%w: %w", ErrContext, req.ctxErr))
+		}
 		if req.timedOut && len(blockers) > 0 {
 			return exit(ErrTimeout)
 		}
 		if len(blockers) == 0 {
-			// Grant: suspend the permitted conflicting locks, then install.
-			for _, gl := range permitted {
-				gl.suspended = true
-			}
+			// Grant: install first, then suspend the permitted conflicting
+			// locks. The order matters: installGrant refuses (returns false)
+			// when a concurrent ReleaseAll tore the transaction down while
+			// we raced to the grant, and suspending the permitted holders
+			// before knowing the grant landed would leave their locks
+			// suspended with no conflicting grant to justify it — a
+			// half-merged state nothing would ever repair. Both steps happen
+			// under the same continuous latch hold, so the reordering is
+			// invisible to other threads.
 			m.removePending(od, req)
 			ts.unregisterWait(req)
 			clearEdges()
 			granted := m.installGrant(ts, od, tid, mode)
-			if len(permitted) > 0 {
-				od.cond.Broadcast() // suspension may unblock re-checkers
+			if granted {
+				for _, gl := range permitted {
+					gl.suspended = true
+				}
+				if len(permitted) > 0 {
+					od.cond.Broadcast() // suspension may unblock re-checkers
+				}
 			}
 			s.lat.Unlock()
 			if !granted {
@@ -329,7 +388,7 @@ func (m *Manager) tryGrant(req *lockReq) (blockers []xid.TID, permitted []*lockR
 				break
 			}
 			if p.tid != req.tid && p.mode.Conflicts(req.mode) &&
-				!p.victim && !p.cancelled && !p.timedOut {
+				!p.victim && !p.cancelled && !p.timedOut && p.ctxErr == nil {
 				blockers = append(blockers, p.tid)
 			}
 		}

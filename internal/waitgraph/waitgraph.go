@@ -74,6 +74,14 @@ func (g *Graph) Add(waiter xid.TID, holders ...xid.TID) (victim xid.TID, cycle [
 		if h == waiter || h.IsNil() {
 			continue
 		}
+		if g.doomed[h] {
+			// The holder is already condemned (deadlock victim being
+			// aborted, or a transaction cancelled by its context): its locks
+			// are about to be released, so recording an edge toward it would
+			// only let detectors pick a second victim for a cycle that is
+			// already breaking. Dying transactions attract no edges.
+			continue
+		}
 		m[h]++
 	}
 	if len(m) == 0 {
@@ -94,6 +102,20 @@ func (g *Graph) Add(waiter xid.TID, holders ...xid.TID) (victim xid.TID, cycle [
 		}
 	}
 	return victim, cycle
+}
+
+// Doom marks t as condemned outside victim selection: the transaction is
+// being aborted (context cancellation, deadline expiry, explicit abort) and
+// its locks will be released shortly. Until its node is removed, the cycle
+// search treats it as non-blocking — cycles through it never select a fresh
+// victim — and new waiters record no edges toward it. The abort path calls
+// this before cancelling the transaction's lock waits, so concurrent
+// detectors racing the teardown cannot kill an innocent second transaction
+// for a deadlock the abort is already resolving.
+func (g *Graph) Doom(t xid.TID) {
+	g.mu.Lock()
+	g.doomed[t] = true
+	g.mu.Unlock()
 }
 
 // Remove drops one reference on the edge waiter → holder. Removing a

@@ -301,3 +301,38 @@ func TestStressConcurrentCycles(t *testing.T) {
 		}
 	}
 }
+
+// TestDoomAttractsNoEdges: a transaction condemned via Doom (being aborted
+// by context cancellation or deadline) must not attract new edges, and
+// cycles through it must not select fresh victims — the abort already
+// breaks them.
+func TestDoomAttractsNoEdges(t *testing.T) {
+	g := New()
+	g.Doom(2)
+	if v, _ := g.Add(1, 2); !v.IsNil() {
+		t.Fatalf("victim %v from edge to doomed holder", v)
+	}
+	// The edge was not recorded: 1 is not a waiter.
+	if ws := g.Waiters(); len(ws) != 0 {
+		t.Fatalf("edge toward doomed holder recorded: waiters %v", ws)
+	}
+	// A would-be cycle through the doomed node selects no victim.
+	if v, _ := g.Add(2, 3); !v.IsNil() {
+		t.Fatalf("doomed waiter's own add selected victim %v", v)
+	}
+	if v, _ := g.Add(3, 2); !v.IsNil() {
+		t.Fatalf("victim %v for a cycle the abort already breaks", v)
+	}
+	// Termination clears the mark with the node.
+	g.RemoveNode(2)
+	if g.Doomed(2) {
+		t.Fatal("doomed mark survived RemoveNode")
+	}
+	// After the doomed transaction is gone, real cycles detect normally.
+	if v, _ := g.Add(4, 3); !v.IsNil() {
+		t.Fatalf("unexpected victim %v", v)
+	}
+	if v, _ := g.Add(3, 4); v.IsNil() {
+		t.Fatal("genuine cycle not detected after doomed node removed")
+	}
+}

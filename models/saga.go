@@ -1,9 +1,11 @@
 package models
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	asset "repro"
 )
@@ -17,6 +19,23 @@ type SagaStep struct {
 	Compensate asset.TxnFunc
 }
 
+// SagaOptions configures retry behaviour for a saga's components and
+// compensations.
+type SagaOptions struct {
+	// StepAttempts is the attempt budget per component transaction:
+	// transient failures (deadlock victims, lock timeouts, overload
+	// sheds, anything tagged asset.ErrRetryable) are retried with backoff
+	// that many times before the saga gives up on the step and
+	// compensates. <=0 means 3.
+	StepAttempts int
+	// Backoff is the delay before a step's second attempt, doubling per
+	// attempt (with jitter) up to MaxBackoff; it also paces compensation
+	// retries. <=0 means 1ms.
+	Backoff time.Duration
+	// MaxBackoff caps the backoff; <=0 means 64ms.
+	MaxBackoff time.Duration
+}
+
 // Saga is the §3.1.6 model: a sequence of component transactions that
 // commit independently (releasing their locks early), with compensating
 // transactions run in reverse order if a later component aborts. Build one
@@ -28,10 +47,64 @@ type Saga struct {
 	// transaction ("a compensating transaction must be retried until it
 	// finally commits"); 0 means the default of 100.
 	CompensationRetries int
+	// Options shapes step retry and backoff; the zero value gives each
+	// component 3 attempts with 1ms..64ms backoff.
+	Options SagaOptions
 }
 
 // NewSaga returns an empty saga over m.
 func NewSaga(m *asset.Manager) *Saga { return &Saga{m: m} }
+
+// WithOptions sets the saga's retry options and returns it for chaining.
+func (s *Saga) WithOptions(o SagaOptions) *Saga {
+	s.Options = o
+	return s
+}
+
+// runStep executes one component transaction under the saga's retry
+// budget: transient failures restart the step (fresh transaction, capped
+// exponential backoff) via the Run engine.
+func (s *Saga) runStep(fn asset.TxnFunc) error {
+	attempts := s.Options.StepAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	return asset.Run(context.Background(), s.m, asset.RunOptions{
+		MaxAttempts: attempts,
+		BaseBackoff: s.Options.Backoff,
+		MaxBackoff:  s.Options.MaxBackoff,
+	}, fn)
+}
+
+// stepAborted reports whether a step's error means the component
+// definitively aborted (compensate and stop) as opposed to an
+// infrastructure error that should surface unchanged. Exhausting the
+// retry budget on transient failures counts as an abort: the saga's
+// contract is that a failed component triggers compensation.
+func stepAborted(err error) bool {
+	return errors.Is(err, asset.ErrAborted) ||
+		errors.Is(err, asset.ErrDeadlock) ||
+		asset.Retryable(err)
+}
+
+// compensationPause sleeps before compensation attempt n (n>=1), pacing
+// the "retry until it finally commits" loop so it does not spin against a
+// transient conflict.
+func (s *Saga) compensationPause(n int) {
+	base := s.Options.Backoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	maxB := s.Options.MaxBackoff
+	if maxB <= 0 {
+		maxB = 64 * time.Millisecond
+	}
+	d := base << uint(min(n-1, 20))
+	if d <= 0 || d > maxB {
+		d = maxB
+	}
+	time.Sleep(d)
+}
 
 // Step appends a component transaction with its compensation and returns
 // the saga for chaining.
@@ -76,7 +149,7 @@ func (s *Saga) RunParallel() (*SagaResult, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = Atomic(s.m, s.steps[i].Action)
+			errs[i] = s.runStep(s.steps[i].Action)
 		}(i)
 	}
 	wg.Wait()
@@ -86,7 +159,7 @@ func (s *Saga) RunParallel() (*SagaResult, error) {
 			res.Committed = append(res.Committed, s.steps[i].Name)
 			continue
 		}
-		if !errors.Is(err, asset.ErrAborted) && !errors.Is(err, asset.ErrDeadlock) {
+		if !stepAborted(err) {
 			return res, err
 		}
 		if failed < 0 {
@@ -108,6 +181,9 @@ func (s *Saga) RunParallel() (*SagaResult, error) {
 		var lastErr error
 		done := false
 		for attempt := 0; attempt < retries; attempt++ {
+			if attempt > 0 {
+				s.compensationPause(attempt)
+			}
 			if lastErr = Atomic(s.m, s.steps[i].Compensate); lastErr == nil {
 				done = true
 				break
@@ -131,8 +207,8 @@ func (s *Saga) Run() (*SagaResult, error) {
 	res := &SagaResult{}
 	failed := -1
 	for i, step := range s.steps {
-		if err := Atomic(s.m, step.Action); err != nil {
-			if !errors.Is(err, asset.ErrAborted) && !errors.Is(err, asset.ErrDeadlock) {
+		if err := s.runStep(step.Action); err != nil {
+			if !stepAborted(err) {
 				return res, err // infrastructure error, not a component abort
 			}
 			res.FailedStep = step.Name
@@ -157,6 +233,9 @@ func (s *Saga) Run() (*SagaResult, error) {
 		var lastErr error
 		committed := false
 		for attempt := 0; attempt < retries; attempt++ {
+			if attempt > 0 {
+				s.compensationPause(attempt)
+			}
 			if lastErr = Atomic(s.m, step.Compensate); lastErr == nil {
 				committed = true
 				break

@@ -1,6 +1,7 @@
 package asset_test
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -164,6 +165,187 @@ func tortureMixedModels(t *testing.T, cfg asset.Config, seedBase int64) {
 	}
 	st := m.Stats()
 	t.Logf("commits=%d aborts=%d deadlock victims=%d", st.Commits, st.Aborts, st.Deadlocks)
+}
+
+// TestTortureCancellation storms the resilience layer: concurrent hotspot
+// transfers where contexts are cancelled at random moments (sometimes while
+// the transaction is blocked on a lock or parked in the commit protocol),
+// per-transaction deadlines expire under the watchdog, and the Run engine
+// retries the victims. After the storm the manager must be quiescent — no
+// leaked transactions, an empty waits-for graph, clean lock-table
+// invariants — and money conserved.
+func TestTortureCancellation(t *testing.T) {
+	for _, shards := range []int{1, 4, 64} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			tortureCancellation(t,
+				asset.Config{LockShards: shards, ReapTerminated: true},
+				int64(shards)*7919)
+		})
+	}
+}
+
+func tortureCancellation(t *testing.T, cfg asset.Config, seedBase int64) {
+	m, err := asset.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	const nAccounts = 6
+	const initial = 1000
+	accounts := make([]asset.OID, nAccounts)
+	if err := models.Atomic(m, func(tx *asset.Tx) error {
+		for i := range accounts {
+			var err error
+			if accounts[i], err = tx.Create(u64(initial)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// pause > 0 dawdles between the two legs while holding the debit lock,
+	// so deadlines and cancellations land mid-transaction.
+	transfer := func(from, to asset.OID, amount uint64, pause time.Duration) asset.TxnFunc {
+		return func(tx *asset.Tx) error {
+			b, err := tx.Read(from)
+			if err != nil {
+				return err
+			}
+			v := binary.LittleEndian.Uint64(b)
+			if v < amount {
+				return errSkip
+			}
+			if err := tx.Write(from, u64(v-amount)); err != nil {
+				return err
+			}
+			if pause > 0 {
+				time.Sleep(pause)
+			}
+			b, err = tx.Read(to)
+			if err != nil {
+				return err
+			}
+			return tx.Write(to, u64(binary.LittleEndian.Uint64(b)+amount))
+		}
+	}
+	// Every way a stormed transaction may legitimately end.
+	acceptable := func(err error) bool {
+		return errors.Is(err, asset.ErrAborted) ||
+			errors.Is(err, asset.ErrRetryable) ||
+			errors.Is(err, asset.ErrTxnDeadline) ||
+			errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded)
+	}
+
+	var wg sync.WaitGroup
+	fatal := make(chan error, 16)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			seed += seedBase
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 120; i++ {
+				from := accounts[rng.Intn(nAccounts)]
+				to := accounts[rng.Intn(nAccounts)]
+				if from == to {
+					continue
+				}
+				amount := uint64(rng.Intn(20) + 1)
+				var pause time.Duration
+				if rng.Intn(4) == 0 {
+					pause = time.Duration(rng.Intn(2000)) * time.Microsecond
+				}
+				fn := transfer(from, to, amount, pause)
+				opts := asset.RunOptions{MaxAttempts: 10, BaseBackoff: 50 * time.Microsecond}
+				var err error
+				switch rng.Intn(4) {
+				case 0: // undisturbed
+					err = asset.Run(context.Background(), m, opts, fn)
+				case 1: // ctx deadline, possibly already expired on arrival
+					ctx, cancel := context.WithTimeout(context.Background(),
+						time.Duration(rng.Intn(3))*time.Millisecond)
+					err = asset.Run(ctx, m, opts, fn)
+					cancel()
+				case 2: // asynchronous cancellation at a random moment
+					ctx, cancel := context.WithCancel(context.Background())
+					go func(d time.Duration) {
+						time.Sleep(d)
+						cancel()
+					}(time.Duration(rng.Intn(2000)) * time.Microsecond)
+					err = asset.Run(ctx, m, opts, fn)
+				case 3: // per-transaction deadline enforced by the watchdog
+					o := opts
+					o.MaxAttempts = 2
+					o.Deadline = time.Duration(rng.Intn(2000)+100) * time.Microsecond
+					if rng.Intn(4) == 0 {
+						// Outlive the deadline for sure: the watchdog
+						// (10ms tick) must reap this one mid-body.
+						fn = transfer(from, to, amount, 12*time.Millisecond)
+					}
+					err = asset.Run(context.Background(), m, o, fn)
+				}
+				if err != nil && !acceptable(err) {
+					fatal <- fmt.Errorf("worker %d op %d: %w", seed, i, err)
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	select {
+	case err := <-fatal:
+		t.Fatal(err)
+	default:
+	}
+
+	// Quiescence: watcher goroutines and abort cascades may still be
+	// draining for a moment after the last Run returns.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if len(m.Transactions()) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leaked transactions after storm: %+v", m.Transactions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ws := m.WaitGraph().Waiters(); len(ws) != 0 {
+		t.Fatalf("waits-for graph not empty after storm: %v", ws)
+	}
+	// An aborted waiter's pending lock request lingers until its parked
+	// goroutine wakes and dequeues itself; allow that beat to settle.
+	for {
+		errs := m.LockManager().CheckInvariants()
+		if len(errs) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lock invariants violated after storm: %v", errs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var total uint64
+	for _, acct := range accounts {
+		b, ok := m.Cache().Read(acct)
+		if !ok {
+			t.Fatalf("account %v vanished", acct)
+		}
+		total += binary.LittleEndian.Uint64(b)
+	}
+	if total != nAccounts*initial {
+		t.Fatalf("money not conserved under cancellation storm: %d, want %d",
+			total, nAccounts*initial)
+	}
+	st := m.Stats()
+	t.Logf("commits=%d aborts=%d deadlocks=%d reaped=%d expired=%d cancelled=%d retries=%d",
+		st.Commits, st.Aborts, st.Deadlocks, st.Reaped, st.Expired, st.Cancelled, st.Retries)
 }
 
 var (
