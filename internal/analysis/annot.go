@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+)
+
+// LatchClass is one annotated mutex/latch field — a "class" of latch in the
+// global acquisition order. Two runtime instances of the same class (two
+// lock-table shards, say) share one order number, which is how the ≤1-latch
+// rule for shards falls out of the ordering check: acquiring a class while
+// already holding it is never in strictly ascending order.
+type LatchClass struct {
+	Field *types.Var // the struct field carrying the annotation
+	Name  string     // display name: pkg.Struct.field
+	Order int        // position in the global acquisition order (ascending)
+	Spin  bool       // short-term spin latch: no blocking while held
+}
+
+// latchSet is the module-wide registry of annotated latch classes.
+type latchSet struct {
+	byField map[*types.Var]*LatchClass
+	classes []*LatchClass
+}
+
+// classOf returns the latch class of a struct field, or nil.
+func (s *latchSet) classOf(v *types.Var) *LatchClass {
+	if s == nil || v == nil {
+		return nil
+	}
+	return s.byField[v]
+}
+
+var annotRe = regexp.MustCompile(`^//\s*asset:latch\b(.*)$`)
+var attrRe = regexp.MustCompile(`(\w+)(?:=(\S+))?`)
+
+// collectLatches scans every struct field of the given packages for
+// //asset:latch annotations. Malformed annotations and annotations on
+// non-lockable fields are reported under the latchorder checker: a broken
+// annotation silently weakens the whole discipline.
+func collectLatches(r *Runner, pkgs []*Package) *latchSet {
+	set := &latchSet{byField: make(map[*types.Var]*LatchClass)}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					text, ok := annotationText(field)
+					if !ok {
+						continue
+					}
+					order, spin, perr := parseLatchAttrs(text)
+					if perr != "" {
+						r.report(field.Pos(), "latchorder", "bad //asset:latch annotation: %s", perr)
+						continue
+					}
+					for _, name := range field.Names {
+						v, ok := p.Info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						if !lockableType(v.Type()) {
+							r.report(field.Pos(), "latchorder",
+								"//asset:latch annotation on non-latch field %s (type %s)", name.Name, v.Type())
+							continue
+						}
+						cls := &LatchClass{
+							Field: v,
+							Name:  p.Pkg.Name() + "." + ts.Name.Name + "." + name.Name,
+							Order: order,
+							Spin:  spin,
+						}
+						set.byField[v] = cls
+						set.classes = append(set.classes, cls)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return set
+}
+
+// annotationText returns the //asset:latch comment attached to a struct
+// field (doc comment above it or line comment after it), if any.
+func annotationText(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := annotRe.FindStringSubmatch(c.Text); m != nil {
+				return m[1], true
+			}
+		}
+	}
+	return "", false
+}
+
+// parseLatchAttrs parses the attribute list of an //asset:latch comment:
+// order=<n> is required; spin marks a short-term spin latch under which
+// blocking operations are forbidden (the holdblock checker's domain).
+func parseLatchAttrs(text string) (order int, spin bool, problem string) {
+	order = -1
+	for _, m := range attrRe.FindAllStringSubmatch(text, -1) {
+		switch m[1] {
+		case "order":
+			n, err := strconv.Atoi(m[2])
+			if err != nil || n < 0 {
+				return 0, false, "order must be a non-negative integer"
+			}
+			order = n
+		case "spin":
+			spin = true
+		default:
+			return 0, false, "unknown attribute " + m[1]
+		}
+	}
+	if order < 0 {
+		return 0, false, "missing order=<n>"
+	}
+	return order, spin, ""
+}
+
+// lockableType reports whether t is a type the latch checkers track:
+// sync.Mutex, sync.RWMutex, or the project's latch.Latch.
+func lockableType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sync":
+		return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+	default:
+		return obj.Name() == "Latch" && pathTail(obj.Pkg().Path()) == "latch"
+	}
+}
+
+func pathTail(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// atomicmix: a struct field accessed through sync/atomic anywhere in the
+// module must be accessed through sync/atomic everywhere. A single plain
+// read of an atomically-written counter is a data race the race detector
+// only catches when the schedule cooperates; this checker catches it from
+// the source alone.
+//
+// Typed atomics (atomic.Bool, atomic.Int64, ...) are immune by construction
+// and are not tracked — only the old-style `atomic.LoadUint64(&x.field)`
+// functions over plain integer fields can be mixed.
+
+// atomicFields finds, across all packages, every struct field that appears
+// as the &-operand of a sync/atomic function call, and remembers the exact
+// selector nodes used in those calls (the sanctioned accesses).
+func atomicFields(pkgs []*Package) (fields map[*types.Var]bool, sanctioned map[*ast.SelectorExpr]bool) {
+	fields = make(map[*types.Var]bool)
+	sanctioned = make(map[*ast.SelectorExpr]bool)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkgID, ok := ast.Unparen(fun.X).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := p.Info.Uses[pkgID].(*types.PkgName)
+				if !ok || pn.Imported().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || ue.Op.String() != "&" {
+						continue
+					}
+					se, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					sel, ok := p.Info.Selections[se]
+					if !ok || sel.Kind() != types.FieldVal {
+						continue
+					}
+					if fv, ok := sel.Obj().(*types.Var); ok {
+						fields[fv] = true
+						sanctioned[se] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return fields, sanctioned
+}
+
+// atomicmix flags every selector in p that resolves to an atomic field but
+// is not itself an operand of a sync/atomic call. The field and sanctioned
+// sets are computed over `all` packages so cross-package mixing is caught.
+func (r *Runner) atomicmix(p *Package, all []*Package) {
+	if !r.enabled("atomicmix") {
+		return
+	}
+	if r.atomicF == nil {
+		r.atomicF, r.atomicOK = atomicFields(all)
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := p.Info.Selections[se]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			fv, ok := sel.Obj().(*types.Var)
+			if !ok || !r.atomicF[fv] || r.atomicOK[se] {
+				return true
+			}
+			r.report(se.Sel.Pos(), "atomicmix",
+				"field %s is accessed with sync/atomic elsewhere; this plain access races with those (use the atomic helpers everywhere)",
+				fv.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxflow: inside a function that receives a context.Context, calling a
+// primitive that has a context-aware sibling (Lock vs LockCtx, Wait vs
+// WaitCtx, Begin vs BeginCtx, ...) by its non-ctx name silently drops
+// cancellation and deadlines on the floor — exactly the bug class the
+// resilience layer exists to prevent. The checker flags any call to X(...)
+// from a ctx-bearing function when the same receiver (or package) also
+// defines XCtx(..., context.Context, ...).
+
+// ctxflow runs the checker over one package.
+func (r *Runner) ctxflow(p *Package) {
+	if !r.enabled("ctxflow") {
+		return
+	}
+	eachFunc(p, func(decl *ast.FuncDecl) {
+		fn, ok := p.Info.Defs[decl.Name].(*types.Func)
+		if !ok || !hasCtxParam(fn.Type().(*types.Signature)) {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			// Nested literals may legitimately not see the context (timer
+			// callbacks, goroutines with their own lifetime); skip them.
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			r.checkCtxCall(p, call)
+			return true
+		})
+	})
+}
+
+func (r *Runner) checkCtxCall(p *Package, call *ast.CallExpr) {
+	var callee *types.Func
+	var fun *ast.SelectorExpr
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		fun = f
+		callee, _ = p.Info.Uses[f.Sel].(*types.Func)
+	case *ast.Ident:
+		// Same-package function call.
+		callee, _ = p.Info.Uses[f].(*types.Func)
+		if callee != nil && callee.Type().(*types.Signature).Recv() != nil {
+			return // method value through an ident: out of scope
+		}
+	}
+	if callee == nil {
+		return
+	}
+	name := callee.Name()
+	// An already-ctx call, or a name where the Ctx suffix would be silly.
+	if len(name) >= 3 && name[len(name)-3:] == "Ctx" {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || hasCtxParam(sig) {
+		return // the callee itself takes a ctx; nothing dropped
+	}
+
+	var variant *types.Func
+	if fun == nil {
+		// Same-package call: look for <name>Ctx in the package scope.
+		if callee.Pkg() != nil {
+			obj := callee.Pkg().Scope().Lookup(name + "Ctx")
+			variant, _ = obj.(*types.Func)
+		}
+	} else if sel, selOK := p.Info.Selections[fun]; selOK && sel.Kind() == types.MethodVal {
+		// Method call: look for a <name>Ctx method on the receiver type.
+		recvT := sel.Recv()
+		obj, _, _ := types.LookupFieldOrMethod(recvT, true, callee.Pkg(), name+"Ctx")
+		variant, _ = obj.(*types.Func)
+	} else if pkgID, idOK := ast.Unparen(fun.X).(*ast.Ident); idOK {
+		// Package-qualified call: look for pkg.<name>Ctx.
+		if pn, pnOK := p.Info.Uses[pkgID].(*types.PkgName); pnOK {
+			obj := pn.Imported().Scope().Lookup(name + "Ctx")
+			variant, _ = obj.(*types.Func)
+		}
+	}
+	if variant == nil {
+		return
+	}
+	vsig, ok := variant.Type().(*types.Signature)
+	if !ok || !hasCtxParam(vsig) {
+		return
+	}
+	r.report(call.Pos(), "ctxflow",
+		"calls %s in a context-bearing function; %s exists and would propagate cancellation",
+		name, variant.Name())
+}
+
+// hasCtxParam reports whether any parameter of sig is a context.Context.
+func hasCtxParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// errcmp: sentinel errors (package-level error variables like ErrDeadlock)
+// must be compared with errors.Is, never ==/!= — the resilience layer wraps
+// errors with %w, and an == comparison silently stops matching the moment a
+// wrap is added anywhere on the return path. Companion rule: fmt.Errorf
+// calls that embed an error value must use %w so the chain stays unwrappable.
+
+func (r *Runner) errcmp(p *Package) {
+	if !r.enabled("errcmp") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				if v.Op == token.EQL || v.Op == token.NEQ {
+					r.checkErrCompare(p, v)
+				}
+			case *ast.SwitchStmt:
+				r.checkErrSwitch(p, v)
+			case *ast.CallExpr:
+				r.checkErrorf(p, v)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrCompare flags x == ErrFoo / ErrFoo != x.
+func (r *Runner) checkErrCompare(p *Package, be *ast.BinaryExpr) {
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if s := sentinelError(p, side); s != nil {
+			op := "=="
+			if be.Op == token.NEQ {
+				op = "!="
+			}
+			r.report(be.OpPos, "errcmp",
+				"sentinel error %s compared with %s; use errors.Is so wrapped errors still match", s.Name(), op)
+			return
+		}
+	}
+}
+
+// checkErrSwitch flags `switch err { case ErrFoo: }`.
+func (r *Runner) checkErrSwitch(p *Package, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorType(p, sw.Tag) {
+		return
+	}
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if s := sentinelError(p, e); s != nil {
+				r.report(e.Pos(), "errcmp",
+					"sentinel error %s matched by switch case (an == comparison); use errors.Is in an if/else chain", s.Name())
+			}
+		}
+	}
+}
+
+// checkErrorf flags fmt.Errorf calls that pass an error value to a verb
+// other than %w.
+func (r *Runner) checkErrorf(p *Package, call *ast.CallExpr) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || fun.Sel.Name != "Errorf" {
+		return
+	}
+	fn, ok := p.Info.Uses[fun.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs, indexed := formatVerbs(format)
+	if indexed {
+		return // explicit argument indexes: too clever to analyze, bail
+	}
+	args := call.Args[1:]
+	for i, verb := range verbs {
+		if i >= len(args) {
+			break
+		}
+		if verb == 'w' {
+			continue
+		}
+		if isErrorType(p, args[i]) {
+			r.report(args[i].Pos(), "errcmp",
+				"error value formatted with %%%c in fmt.Errorf; use %%w so callers can errors.Is/As through the wrap", verb)
+		}
+	}
+}
+
+// formatVerbs returns the verb letter consuming each successive argument of
+// a format string, in order. A '*' width/precision consumes an argument of
+// its own. Returns indexed=true (give up) when %[n] argument indexes appear.
+func formatVerbs(format string) (verbs []rune, indexed bool) {
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++ // past '%'
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// flags, width, precision
+		for i < len(format) {
+			c := format[i]
+			if c == '[' {
+				return nil, true
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0.", rune(c)) || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, rune(format[i]))
+			i++
+		}
+	}
+	return verbs, false
+}
+
+// sentinelError returns the package-level error variable an expression
+// resolves to, or nil. Nil literals and non-error variables don't count.
+func sentinelError(p *Package, e ast.Expr) *types.Var {
+	var obj types.Object
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[v]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[v.Sel]
+	default:
+		return nil
+	}
+	vr, ok := obj.(*types.Var)
+	if !ok || vr.Pkg() == nil || vr.Parent() != vr.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorTypeT(vr.Type()) {
+		return nil
+	}
+	return vr
+}
+
+func isErrorType(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Type != nil && isErrorTypeT(tv.Type)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorTypeT(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+		return true
+	}
+	// Any concrete or interface type identical to error counts; broader
+	// implements-error matching would flag comparisons of rich error structs,
+	// which can legitimately use ==.
+	return types.Identical(t, errorIface) || types.Identical(t.Underlying(), errorIface)
+}

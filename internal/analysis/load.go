@@ -1,0 +1,281 @@
+// Package analysis implements assetlint, the project's static analyzer. It
+// loads the whole module with go/parser and go/types (stdlib only — export
+// data for dependencies comes from `go list -export`, read back through
+// go/importer's gc reader) and runs a set of project-specific checkers that
+// enforce the concurrency discipline documented in DESIGN.md §8/§10: latch
+// acquisition order, the ≤1-shard-latch rule, no leaked latches on early
+// returns, no blocking while spinning, atomic-access consistency, context
+// plumbing, and errors.Is-based sentinel comparison.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Fixture marks packages loaded from a testdata directory by the test
+	// harness rather than discovered in the module.
+	Fixture bool
+}
+
+// Module is the fully loaded module: every package parsed with comments and
+// type-checked from source, sharing one FileSet and one type identity space.
+type Module struct {
+	Root     string // module root directory (contains go.mod)
+	Path     string // module path from go.mod
+	Fset     *token.FileSet
+	Packages []*Package // module packages in dependency order
+
+	byPath  map[string]*Package
+	exports map[string]string // import path -> export data file (non-module deps)
+	gcImp   types.Importer    // reads export data via lookup into exports
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Imports    []string
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+}
+
+// LoadModule loads and type-checks every package of the module rooted at (or
+// above) dir. Test files are excluded: the discipline checkers target
+// production code, and fixtures exercise the checkers themselves.
+func LoadModule(dir string) (*Module, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command("go", "list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,Imports", "./...")
+	cmd.Dir = root
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list failed: %w\n%s", err, errb.String())
+	}
+
+	m := &Module{
+		Root:    root,
+		Path:    modPath,
+		Fset:    token.NewFileSet(),
+		byPath:  make(map[string]*Package),
+		exports: make(map[string]string),
+	}
+	m.gcImp = importer.ForCompiler(m.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := m.exports[path]
+		if !ok || exp == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+
+	var local []*listEntry
+	dec := json.NewDecoder(&out)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if e.ImportPath == modPath || strings.HasPrefix(e.ImportPath, modPath+"/") {
+			local = append(local, &e)
+		} else if e.Export != "" {
+			m.exports[e.ImportPath] = e.Export
+		}
+	}
+	// Load module packages in dependency order so every intra-module import
+	// resolves to an already-checked package.
+	sortByDeps(local, modPath)
+	for _, e := range local {
+		if err := m.loadLocal(e); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// sortByDeps topologically sorts the module's own packages by their
+// intra-module imports (stable on import path for determinism).
+func sortByDeps(entries []*listEntry, modPath string) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ImportPath < entries[j].ImportPath })
+	byPath := make(map[string]*listEntry, len(entries))
+	for _, e := range entries {
+		byPath[e.ImportPath] = e
+	}
+	var ordered []*listEntry
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(e *listEntry)
+	visit = func(e *listEntry) {
+		if state[e.ImportPath] != 0 {
+			return // visiting (import cycle: the type checker will report it) or done
+		}
+		state[e.ImportPath] = 1
+		for _, imp := range e.Imports {
+			if d, ok := byPath[imp]; ok {
+				visit(d)
+			}
+		}
+		state[e.ImportPath] = 2
+		ordered = append(ordered, e)
+	}
+	for _, e := range entries {
+		visit(e)
+	}
+	copy(entries, ordered)
+}
+
+// loadLocal parses and type-checks one module package from source.
+func (m *Module) loadLocal(e *listEntry) error {
+	var files []*ast.File
+	for _, name := range e.GoFiles {
+		f, err := parser.ParseFile(m.Fset, filepath.Join(e.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("analysis: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := m.check(e.ImportPath, files)
+	if err != nil {
+		return err
+	}
+	p := &Package{Path: e.ImportPath, Dir: e.Dir, Files: files, Pkg: pkg, Info: info}
+	m.Packages = append(m.Packages, p)
+	m.byPath[e.ImportPath] = p
+	return nil
+}
+
+// LoadFixture parses and type-checks a standalone directory (a golden test
+// fixture under testdata) against the module's package space. Fixture
+// imports are limited to packages the module itself already depends on.
+func (m *Module) LoadFixture(dir, asPath string) (*Package, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, de.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing fixture %s: %w", de.Name(), err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := m.check(asPath, files)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: asPath, Dir: dir, Files: files, Pkg: pkg, Info: info, Fixture: true}, nil
+}
+
+// check type-checks one package's files.
+func (m *Module) check(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: moduleImporter{m},
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, m.Fset, files, info)
+	if firstErr != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// moduleImporter resolves intra-module imports to source-checked packages
+// and everything else to gc export data.
+type moduleImporter struct{ m *Module }
+
+func (mi moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := mi.m.byPath[path]; ok {
+		return p.Pkg, nil
+	}
+	if strings.HasPrefix(path, mi.m.Path+"/") || path == mi.m.Path {
+		return nil, fmt.Errorf("analysis: module package %q not yet loaded (dependency order bug)", path)
+	}
+	return mi.m.gcImp.Import(path)
+}

@@ -1,0 +1,38 @@
+// Package atomicmix is a golden fixture for the atomicmix checker: a field
+// touched through sync/atomic anywhere must be touched that way everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	total uint64 // never touched atomically: plain access is fine
+}
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// read mixes a plain load into an atomically-written field.
+func read(c *counters) uint64 {
+	return c.hits // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+// write mixes a plain store.
+func write(c *counters) {
+	c.hits = 0 // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+func readOK(c *counters) uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func plainOnly(c *counters) uint64 {
+	return c.total
+}
+
+// suppressed shows a reasoned exception.
+func suppressed(c *counters) uint64 {
+	//lint:allow atomicmix constructor runs before any goroutine exists
+	return c.hits
+}

@@ -1,0 +1,47 @@
+// Package ctxflow is a golden fixture for the ctxflow checker: a function
+// that receives a context must use the Ctx variant of any primitive that has
+// one.
+package ctxflow
+
+import "context"
+
+type store struct{ n int }
+
+func (s *store) Wait()                       { s.n++ }
+func (s *store) WaitCtx(ctx context.Context) { s.n++ }
+func (s *store) Poke()                       { s.n++ }
+
+func begin()                       {}
+func beginCtx(ctx context.Context) { _ = ctx }
+
+// driver drops its context on the floor.
+func driver(ctx context.Context, s *store) {
+	s.Wait() // want `calls Wait in a context-bearing function; WaitCtx exists`
+	s.WaitCtx(ctx)
+	s.Poke() // no Ctx variant: fine
+}
+
+// pkgLevel drops the context on a package-level call.
+func pkgLevel(ctx context.Context) {
+	begin() // want `calls begin in a context-bearing function; beginCtx exists`
+	beginCtx(ctx)
+}
+
+// noCtx has no context, so the plain variants are the right ones.
+func noCtx(s *store) {
+	s.Wait()
+	begin()
+}
+
+// nested function literals may legitimately outlive the caller's context.
+func detached(ctx context.Context, s *store) func() {
+	return func() {
+		s.Wait()
+	}
+}
+
+// suppressed shows a reasoned exception.
+func suppressed(ctx context.Context, s *store) {
+	//lint:allow ctxflow teardown must run to completion even when cancelled
+	s.Wait()
+}

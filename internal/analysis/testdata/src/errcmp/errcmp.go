@@ -1,0 +1,58 @@
+// Package errcmp is a golden fixture for the errcmp checker: sentinel
+// errors are matched with errors.Is, and fmt.Errorf wraps with %w.
+package errcmp
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrGone = errors.New("gone")
+
+// compare matches a sentinel by identity.
+func compare(err error) bool {
+	return err == ErrGone // want `sentinel error ErrGone compared with ==`
+}
+
+// compareNeq is the negated form.
+func compareNeq(err error) bool {
+	return err != ErrGone // want `sentinel error ErrGone compared with !=`
+}
+
+func compareOK(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+// viaSwitch hides the identity comparison in a switch.
+func viaSwitch(err error) string {
+	switch err {
+	case ErrGone: // want `sentinel error ErrGone matched by switch case`
+		return "gone"
+	}
+	return ""
+}
+
+// wrapBad formats an error with a verb that breaks the unwrap chain.
+func wrapBad(err error) error {
+	return fmt.Errorf("op failed: %v", err) // want `error value formatted with %v in fmt\.Errorf`
+}
+
+func wrapOK(err error) error {
+	return fmt.Errorf("op failed: %w", err)
+}
+
+// mixedArgs: only the error argument position matters.
+func mixedArgs(err error, n int) error {
+	return fmt.Errorf("attempt %d: %s", n, err) // want `error value formatted with %s in fmt\.Errorf`
+}
+
+// nilOK: comparing against nil is the normal presence check.
+func nilOK(err error) bool {
+	return err == nil
+}
+
+// suppressed shows a reasoned exception.
+func suppressed(err error) bool {
+	//lint:allow errcmp comparing identity on purpose: sentinel is never wrapped
+	return err == ErrGone
+}

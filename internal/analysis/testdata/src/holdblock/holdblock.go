@@ -1,0 +1,87 @@
+// Package holdblock is a golden fixture for the holdblock checker: no
+// blocking operation may run while a spin-annotated latch is held.
+package holdblock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+type table struct {
+	//asset:latch order=10 spin
+	lat sync.Mutex
+	aux sync.Mutex // unannotated
+	n   int
+}
+
+// sleeps parks the CPU while every other contender spins.
+func sleeps(t *table) {
+	t.lat.Lock()
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep while holding spin latch holdblock\.table\.lat`
+	t.lat.Unlock()
+}
+
+// sends performs a channel rendezvous under the latch.
+func sends(t *table, ch chan int) {
+	t.lat.Lock()
+	ch <- 1 // want `channel send while holding spin latch`
+	t.lat.Unlock()
+}
+
+// receives blocks on a channel read under the latch.
+func receives(t *table, ch chan int) {
+	t.lat.Lock()
+	<-ch // want `channel receive while holding spin latch`
+	t.lat.Unlock()
+}
+
+// prints does I/O under the latch.
+func prints(t *table) {
+	t.lat.Lock()
+	fmt.Println(t.n) // want `call to fmt\.Println while holding spin latch`
+	t.lat.Unlock()
+}
+
+// locksAux acquires an order-opaque lock under the spin latch.
+func locksAux(t *table) {
+	t.lat.Lock()
+	t.aux.Lock() // want `acquires unannotated lock "t\.aux" while holding spin latch`
+	t.aux.Unlock()
+	t.lat.Unlock()
+}
+
+func helper(ch chan int) { <-ch }
+
+// transitive blocks through a callee.
+func transitive(t *table, ch chan int) {
+	t.lat.Lock()
+	helper(ch) // want `may block .* while holding spin latch`
+	t.lat.Unlock()
+}
+
+// nonBlockingOK: plain computation under the latch is fine, as is the same
+// blocking call made after release.
+func nonBlockingOK(t *table, ch chan int) {
+	t.lat.Lock()
+	t.n++
+	t.lat.Unlock()
+	ch <- t.n
+}
+
+// condOK: sync.Cond.Wait is the sanctioned parking primitive.
+func condOK(t *table, c *sync.Cond) {
+	t.lat.Lock()
+	for t.n == 0 {
+		c.Wait()
+	}
+	t.lat.Unlock()
+}
+
+// suppressed shows a reasoned exception.
+func suppressed(t *table, ch chan int) {
+	t.lat.Lock()
+	//lint:allow holdblock buffered channel sized for worst case, cannot block
+	ch <- 1
+	t.lat.Unlock()
+}

@@ -1,0 +1,82 @@
+// Package leakedlatch is a golden fixture for the leakedlatch checker. The
+// checker applies to every mutex, annotated or not.
+package leakedlatch
+
+import (
+	"errors"
+	"sync"
+)
+
+type guarded struct {
+	mu  sync.Mutex
+	val int
+}
+
+var errBad = errors.New("bad")
+
+// leaky is the canonical bug: an early return with the Unlock removed.
+func leaky(g *guarded, fail bool) error {
+	g.mu.Lock()
+	if fail {
+		return errBad // want `return while "g\.mu" is still locked`
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// balanced unlocks on every path by hand.
+func balanced(g *guarded, fail bool) error {
+	g.mu.Lock()
+	if fail {
+		g.mu.Unlock()
+		return errBad
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// deferred is covered on every path by the defer.
+func deferred(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.val
+}
+
+// panicLeak escapes through a panic with the latch held.
+func panicLeak(g *guarded, n int) {
+	g.mu.Lock()
+	if n < 0 {
+		panic("negative") // want `panic while "g\.mu" is still locked`
+	}
+	g.mu.Unlock()
+}
+
+// funcEnd falls off the end of the function still holding the latch.
+func funcEnd(g *guarded) {
+	g.mu.Lock()
+	g.val++
+} // want `function end while "g\.mu" is still locked`
+
+// relock releases and reacquires under an up-front defer (the pattern used
+// around blocking sections); the defer still covers the second hold.
+func relock(g *guarded) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.mu.Unlock()
+	err := sideEffect()
+	g.mu.Lock()
+	if err != nil {
+		return err
+	}
+	g.val++
+	return nil
+}
+
+func sideEffect() error { return nil }
+
+// suppressedLeak hands the latch to the caller on purpose.
+func suppressedLeak(g *guarded) {
+	g.mu.Lock()
+	g.val++
+	//lint:allow leakedlatch lock handoff: caller releases via unlock helper
+}

@@ -1,0 +1,692 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file implements the latchorder, leakedlatch, and holdblock checkers.
+// They share one abstract interpretation: every function body is walked in
+// source order with a stack of currently-held latches. Branches fork the
+// held set and merge conservatively; a branch that ends in return/panic/
+// break/continue contributes nothing past its end. The model is deliberately
+// optimistic about what it cannot resolve (interface calls, callbacks,
+// goroutine bodies): a finding it does report is close to certainly real.
+
+// heldEntry is one latch currently held on the walked path.
+type heldEntry struct {
+	class    *LatchClass // nil for unannotated mutexes
+	key      string      // printed operand expression, e.g. "s.lat"
+	rlock    bool
+	deferred bool // a defer guarantees release on every exit
+	pos      token.Pos
+}
+
+// lockFX is one lock/unlock a local closure performs on captured state.
+type lockFX struct {
+	class *LatchClass
+	key   string
+	rlock bool
+}
+
+// closureFX summarizes a local closure's direct effect on captured latches,
+// so `return exit(err)` patterns — where the unlock lives in the closure —
+// do not read as leaks.
+type closureFX struct {
+	locks   []lockFX
+	unlocks []lockFX
+}
+
+// flowWalker walks one function (or function literal).
+type flowWalker struct {
+	r        *Runner
+	p        *Package
+	fname    string
+	held     []heldEntry
+	closures map[types.Object]*closureFX
+	queue    *[]*ast.FuncLit // pending function literals, analyzed standalone
+	queued   map[*ast.FuncLit]bool
+	// debt holds keys of caller-held locks this function released (an
+	// unmatched Unlock): a later Lock on the same key restores the caller's
+	// hold rather than acquiring anew — the xxxLocked unlock/relock pattern
+	// around a blocking section.
+	debt []string
+	// deferredKeys records keys with a registered deferred unlock; once a
+	// defer covers a key, every re-acquisition of it is covered too (the
+	// unlock/relock-under-defer pattern). Shared across forks: monotone over
+	// the function.
+	deferredKeys map[string]bool
+}
+
+// runFlow runs the three latch checkers over every function of p.
+func (r *Runner) runFlow(p *Package) {
+	eachFunc(p, func(decl *ast.FuncDecl) {
+		var queue []*ast.FuncLit
+		w := &flowWalker{
+			r: r, p: p, fname: decl.Name.Name,
+			closures: prescanClosures(r, p, decl.Body),
+			queue:    &queue, queued: make(map[*ast.FuncLit]bool),
+			deferredKeys: make(map[string]bool),
+		}
+		w.walkTop(decl.Body)
+		// Function literals run on their own stacks (goroutines, timers,
+		// callbacks) or at call sites handled via closure effects; analyze
+		// each as an independent function with an empty held set.
+		for i := 0; i < len(queue); i++ {
+			lit := queue[i]
+			lw := &flowWalker{
+				r: r, p: p, fname: w.fname + ".func",
+				closures: prescanClosures(r, p, lit.Body),
+				queue:    &queue, queued: w.queued,
+				deferredKeys: make(map[string]bool),
+			}
+			lw.walkTop(lit.Body)
+		}
+	})
+}
+
+func (w *flowWalker) walkTop(body *ast.BlockStmt) {
+	if !w.stmts(body.List) {
+		w.leakCheck(body.Rbrace, "function end")
+	}
+}
+
+// prescanClosures records, for every `name := func(...){...}` in the body,
+// the locks and unlocks the literal performs on captured latches.
+func prescanClosures(r *Runner, p *Package, body *ast.BlockStmt) map[types.Object]*closureFX {
+	out := make(map[types.Object]*closureFX)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			fx := &closureFX{}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if _, isLit := m.(*ast.FuncLit); isLit {
+					return false
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				ci := r.classifyCall(p, call)
+				if ci.lockOp == "" || ci.recvExpr == nil {
+					return true
+				}
+				e := lockFX{class: ci.class, key: types.ExprString(ci.recvExpr)}
+				switch ci.lockOp {
+				case "Lock":
+					fx.locks = append(fx.locks, e)
+				case "RLock":
+					e.rlock = true
+					fx.locks = append(fx.locks, e)
+				case "Unlock":
+					fx.unlocks = append(fx.unlocks, e)
+				case "RUnlock":
+					e.rlock = true
+					fx.unlocks = append(fx.unlocks, e)
+				}
+				return true
+			})
+			if len(fx.locks)+len(fx.unlocks) > 0 {
+				out[obj] = fx
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (w *flowWalker) fork() *flowWalker {
+	cp := *w
+	cp.held = append([]heldEntry(nil), w.held...)
+	cp.debt = append([]string(nil), w.debt...)
+	return &cp
+}
+
+// mergeHeld joins two branch outcomes: a latch counts as held afterwards if
+// either branch may still hold it (over-approximating held keeps the order
+// checks sound for the paths that matter).
+func mergeHeld(a, b []heldEntry) []heldEntry {
+	out := append([]heldEntry(nil), a...)
+	count := func(list []heldEntry, key string) int {
+		n := 0
+		for _, h := range list {
+			if h.key == key {
+				n++
+			}
+		}
+		return n
+	}
+	for _, h := range b {
+		if count(out, h.key) < count(b, h.key) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// stmts walks a statement list; true means the path terminated (return,
+// panic, or branch out) and nothing after it on this path executes.
+func (w *flowWalker) stmts(list []ast.Stmt) bool {
+	for _, s := range list {
+		if w.stmt(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *flowWalker) stmt(s ast.Stmt) bool {
+	switch v := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := v.X.(*ast.CallExpr); ok {
+			if w.call(call) { // panic()
+				w.leakCheck(v.Pos(), "panic")
+				return true
+			}
+			return false
+		}
+		w.expr(v.X)
+	case *ast.AssignStmt:
+		for _, e := range v.Rhs {
+			w.expr(e)
+		}
+		for _, e := range v.Lhs {
+			w.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(v.X)
+	case *ast.ReturnStmt:
+		for _, e := range v.Results {
+			w.expr(e)
+		}
+		w.leakCheck(v.Pos(), "return")
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the linear path; fallthrough stays.
+		return v.Tok != token.FALLTHROUGH
+	case *ast.BlockStmt:
+		return w.stmts(v.List)
+	case *ast.LabeledStmt:
+		return w.stmt(v.Stmt)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			w.stmt(v.Init)
+		}
+		w.expr(v.Cond)
+		thenW := w.fork()
+		thenTerm := thenW.stmts(v.Body.List)
+		if v.Else == nil {
+			if !thenTerm {
+				w.held = mergeHeld(w.held, thenW.held)
+			}
+			return false
+		}
+		elseW := w.fork()
+		elseTerm := elseW.stmt(v.Else)
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			w.held = elseW.held
+		case elseTerm:
+			w.held = thenW.held
+		default:
+			w.held = mergeHeld(thenW.held, elseW.held)
+		}
+	case *ast.ForStmt:
+		if v.Init != nil {
+			w.stmt(v.Init)
+		}
+		w.expr(v.Cond)
+		w.loopBody(v.Body, v.Post)
+		// A `for {}` with no break never falls through: every live path exits
+		// via return/panic inside the body (each already leak-checked), so
+		// nothing after the loop executes.
+		if v.Cond == nil && !hasLoopExit(v.Body) {
+			return true
+		}
+	case *ast.RangeStmt:
+		w.expr(v.X)
+		if isChanType(w.p, v.X) {
+			w.holdblockOp(v.X.Pos(), "range over channel")
+		}
+		w.loopBody(v.Body, nil)
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			w.stmt(v.Init)
+		}
+		w.expr(v.Tag)
+		w.caseClauses(v.Body.List)
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			w.stmt(v.Init)
+		}
+		w.caseClauses(v.Body.List)
+	case *ast.SelectStmt:
+		if !selectHasDefault(v) {
+			w.holdblockOp(v.Pos(), "blocking select")
+		}
+		w.caseClauses(v.Body.List)
+	case *ast.SendStmt:
+		w.expr(v.Chan)
+		w.expr(v.Value)
+		w.holdblockOp(v.Pos(), "channel send")
+	case *ast.GoStmt:
+		// The goroutine body runs on another stack; queue any literal for
+		// standalone analysis and charge nothing to this path.
+		if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			w.enqueue(lit)
+		}
+		for _, a := range v.Call.Args {
+			w.expr(a)
+		}
+	case *ast.DeferStmt:
+		w.deferStmt(v)
+	}
+	return false
+}
+
+// loopBody walks a loop body once and continues with the union of the entry
+// and exit states. A net gain of an annotated latch across one iteration
+// means successive iterations stack instances of the same class — the
+// multi-instance pattern the ≤1-shard rule forbids.
+func (w *flowWalker) loopBody(body *ast.BlockStmt, post ast.Stmt) {
+	entry := append([]heldEntry(nil), w.held...)
+	bw := w.fork()
+	term := bw.stmts(body.List)
+	if post != nil && !term {
+		bw.stmt(post)
+	}
+	if term {
+		return
+	}
+	for _, cls := range classCounts(bw.held) {
+		if cls.n > classCount(entry, cls.class) {
+			w.r.report(cls.pos, "latchorder",
+				"%s (order %d) acquired in a loop without release: successive iterations hold multiple instances (≤1-latch rule)",
+				cls.class.Name, cls.class.Order)
+		}
+	}
+	w.held = mergeHeld(w.held, bw.held)
+}
+
+type classTally struct {
+	class *LatchClass
+	n     int
+	pos   token.Pos
+}
+
+func classCounts(held []heldEntry) []classTally {
+	var out []classTally
+	for _, h := range held {
+		if h.class == nil {
+			continue
+		}
+		found := false
+		for i := range out {
+			if out[i].class == h.class {
+				out[i].n++
+				found = true
+			}
+		}
+		if !found {
+			out = append(out, classTally{h.class, 1, h.pos})
+		}
+	}
+	return out
+}
+
+func classCount(held []heldEntry, c *LatchClass) int {
+	n := 0
+	for _, h := range held {
+		if h.class == c {
+			n++
+		}
+	}
+	return n
+}
+
+// caseClauses walks switch/select clause bodies as parallel branches.
+func (w *flowWalker) caseClauses(list []ast.Stmt) {
+	merged := append([]heldEntry(nil), w.held...)
+	for _, c := range list {
+		cw := w.fork()
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				cw.expr(e)
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				cw.stmt(cc.Comm)
+			}
+			body = cc.Body
+		}
+		if !cw.stmts(body) {
+			merged = mergeHeld(merged, cw.held)
+		}
+	}
+	w.held = merged
+}
+
+// deferStmt handles defers: a deferred Unlock (directly or inside a deferred
+// closure) guarantees release on every exit path of the function.
+func (w *flowWalker) deferStmt(d *ast.DeferStmt) {
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		w.enqueue(lit)
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit && n != lit {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				ci := w.r.classifyCall(w.p, call)
+				if (ci.lockOp == "Unlock" || ci.lockOp == "RUnlock") && ci.recvExpr != nil {
+					w.markDeferred(types.ExprString(ci.recvExpr))
+				}
+			}
+			return true
+		})
+		return
+	}
+	ci := w.r.classifyCall(w.p, d.Call)
+	if (ci.lockOp == "Unlock" || ci.lockOp == "RUnlock") && ci.recvExpr != nil {
+		w.markDeferred(types.ExprString(ci.recvExpr))
+		return
+	}
+	for _, a := range d.Call.Args {
+		w.expr(a)
+	}
+}
+
+func (w *flowWalker) markDeferred(key string) {
+	w.deferredKeys[key] = true
+	for i := len(w.held) - 1; i >= 0; i-- {
+		if w.held[i].key == key && !w.held[i].deferred {
+			w.held[i].deferred = true
+			return
+		}
+	}
+}
+
+// expr walks an expression in evaluation order, dispatching calls and
+// channel receives.
+func (w *flowWalker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			w.enqueue(v)
+			return false
+		case *ast.CallExpr:
+			w.call(v)
+			return false
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				w.holdblockOp(v.Pos(), "channel receive")
+			}
+		}
+		return true
+	})
+}
+
+// call processes one call expression (operands first) and reports true if
+// it is a call to panic.
+func (w *flowWalker) call(c *ast.CallExpr) bool {
+	if se, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+		w.expr(se.X)
+	} else if _, ok := ast.Unparen(c.Fun).(*ast.Ident); !ok {
+		w.expr(c.Fun)
+	}
+	for _, a := range c.Args {
+		w.expr(a)
+	}
+
+	ci := w.r.classifyCall(w.p, c)
+	if ci.isPanic {
+		return true
+	}
+	if ci.lockOp != "" {
+		key := ""
+		if ci.recvExpr != nil {
+			key = types.ExprString(ci.recvExpr)
+		}
+		switch ci.lockOp {
+		case "Lock", "RLock":
+			w.acquire(c.Pos(), ci, key)
+		case "Unlock", "RUnlock":
+			w.release(key)
+			// TryLock/TryRLock never block and are not tracked: the typical
+			// `if l.TryLock()` guard would otherwise poison the held set.
+		}
+		return false
+	}
+	if ci.condWait {
+		return false // Cond.Wait releases and reacquires its latch; sanctioned
+	}
+	// A call to a local closure applies its recorded lock effects here.
+	if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok {
+		if obj := w.p.Info.Uses[id]; obj != nil {
+			if fx, ok := w.closures[obj]; ok {
+				for _, u := range fx.unlocks {
+					w.release(u.key)
+				}
+				for _, l := range fx.locks {
+					w.acquire(c.Pos(), callInfo{class: l.class}, l.key)
+				}
+				return false
+			}
+		}
+	}
+	if ci.callee != nil {
+		// Summaries exist for every analyzed function (module and fixtures);
+		// absence means an external callee, where only the blocking-stdlib
+		// classification applies.
+		if sum := w.r.summary[ci.callee]; sum != nil {
+			w.checkCallSummary(c.Pos(), sum)
+		} else if ci.blocking {
+			w.holdblockOp(c.Pos(), "call to "+ci.callee.FullName())
+		}
+	}
+	return false
+}
+
+// hasLoopExit reports whether a loop body contains a break or goto that
+// could leave the loop: an unlabeled break outside nested breakable
+// statements, or (conservatively) any labeled break or goto.
+func hasLoopExit(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node, breakable bool)
+	walk = func(n ast.Node, breakable bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			switch v := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				if m == n {
+					return true // the node walk() was called on itself
+				}
+				walk(m, true)
+				return false
+			case *ast.BranchStmt:
+				switch v.Tok {
+				case token.GOTO:
+					found = true
+				case token.BREAK:
+					if v.Label != nil || !breakable {
+						found = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return found
+}
+
+// acquire pushes a latch and runs the order checks.
+func (w *flowWalker) acquire(pos token.Pos, ci callInfo, key string) {
+	// A Lock on a key this function previously unlocked without holding it
+	// restores the caller's hold (the xxxLocked unlock/relock pattern); it is
+	// the caller's lock, not a new acquisition.
+	for i, d := range w.debt {
+		if d == key {
+			w.debt = append(w.debt[:i], w.debt[i+1:]...)
+			return
+		}
+	}
+	if ci.class != nil {
+		for _, h := range w.held {
+			if h.class == nil {
+				continue
+			}
+			if h.class == ci.class {
+				w.r.report(pos, "latchorder",
+					"acquires %s (order %d) while already holding %s (locked at %s): at most one latch of a class may be held",
+					ci.class.Name, ci.class.Order, h.key, w.fpos(h.pos))
+			} else if ci.class.Order <= h.class.Order {
+				w.r.report(pos, "latchorder",
+					"acquires %s (order %d) while holding %s (order %d): latch order requires strictly ascending acquisition",
+					ci.class.Name, ci.class.Order, h.class.Name, h.class.Order)
+			}
+		}
+	} else if w.spinHeld() != nil && ci.shared {
+		s := w.spinHeld()
+		w.r.report(pos, "holdblock",
+			"acquires unannotated lock %q while holding spin latch %s: annotate it with //asset:latch or restructure",
+			key, s.class.Name)
+	}
+	w.held = append(w.held, heldEntry{
+		class: ci.class, key: key, rlock: ci.lockOp == "RLock", pos: pos,
+		// A defer already registered for this key covers re-acquisitions too
+		// (unlock/relock under an up-front defer).
+		deferred: w.deferredKeys[key],
+	})
+}
+
+// release pops the most recent hold of key. An unmatched unlock releases a
+// lock the caller holds (xxxLocked convention); recording it as debt lets
+// the matching re-lock cancel out instead of reading as a fresh acquisition.
+func (w *flowWalker) release(key string) {
+	for i := len(w.held) - 1; i >= 0; i-- {
+		if w.held[i].key == key {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			return
+		}
+	}
+	w.debt = append(w.debt, key)
+}
+
+// checkCallSummary applies a callee's transitive summary at a call site made
+// with latches held.
+func (w *flowWalker) checkCallSummary(pos token.Pos, sum *funcSummary) {
+	if len(w.held) == 0 {
+		return
+	}
+	for _, h := range w.held {
+		if h.class == nil {
+			continue
+		}
+		for c := range sum.acquires {
+			if c == h.class {
+				w.r.report(pos, "latchorder",
+					"call to %s may acquire %s (order %d) while %s is already held (≤1-latch rule)",
+					sum.name, c.Name, c.Order, h.key)
+			} else if c.Order <= h.class.Order {
+				w.r.report(pos, "latchorder",
+					"call to %s may acquire %s (order %d) while holding %s (order %d): latch order violation",
+					sum.name, c.Name, c.Order, h.class.Name, h.class.Order)
+			}
+		}
+	}
+	if s := w.spinHeld(); s != nil {
+		if sum.blocks {
+			w.r.report(pos, "holdblock",
+				"call to %s may block (channel/I/O/sleep) while holding spin latch %s", sum.name, s.class.Name)
+		}
+		if sum.acquiresUnannotated {
+			w.r.report(pos, "holdblock",
+				"call to %s acquires an unannotated lock while holding spin latch %s", sum.name, s.class.Name)
+		}
+	}
+}
+
+// holdblockOp reports a directly blocking operation performed under a spin
+// latch.
+func (w *flowWalker) holdblockOp(pos token.Pos, what string) {
+	if s := w.spinHeld(); s != nil {
+		w.r.report(pos, "holdblock",
+			"%s while holding spin latch %s (locked at %s)", what, s.class.Name, w.fpos(s.pos))
+	}
+}
+
+// spinHeld returns a currently held spin-annotated latch, or nil.
+func (w *flowWalker) spinHeld() *heldEntry {
+	for i := range w.held {
+		if w.held[i].class != nil && w.held[i].class.Spin {
+			return &w.held[i]
+		}
+	}
+	return nil
+}
+
+// leakCheck fires at every path exit: anything still held without a defer
+// leaks past this return/panic.
+func (w *flowWalker) leakCheck(pos token.Pos, kind string) {
+	for _, h := range w.held {
+		if h.deferred {
+			continue
+		}
+		w.r.report(pos, "leakedlatch",
+			"%s while %q is still locked (acquired at %s) with no deferred unlock on this path", kind, h.key, w.fpos(h.pos))
+	}
+}
+
+func (w *flowWalker) enqueue(lit *ast.FuncLit) {
+	if !w.queued[lit] {
+		w.queued[lit] = true
+		*w.queue = append(*w.queue, lit)
+	}
+}
+
+func (w *flowWalker) fpos(pos token.Pos) string {
+	p := w.r.Mod.Fset.Position(pos)
+	return fmt.Sprintf("line %d", p.Line)
+}

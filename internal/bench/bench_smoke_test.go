@@ -2,6 +2,8 @@ package bench
 
 import (
 	"bytes"
+	"io"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -94,6 +96,54 @@ func TestRegistryOrderAndLookup(t *testing.T) {
 	}
 	if _, ok := Get("E999"); ok {
 		t.Fatal("Get of unknown experiment succeeded")
+	}
+}
+
+// TestRegistryOrderWithNewNamedExperiment registers a fresh named
+// experiment and checks All() keeps the three-group order (E* numeric, A*
+// numeric, named alphabetical) with the newcomer slotted into the named
+// group — the contract a new registration must not silently break.
+func TestRegistryOrderWithNewNamedExperiment(t *testing.T) {
+	for _, id := range []string{"AAANEW", "ZZZNEW", "MIDNEW"} {
+		register(Experiment{ID: id, Title: "ordering probe " + id,
+			Run: func(io.Writer, bool) error { return nil }})
+	}
+	t.Cleanup(func() {
+		delete(registry, "AAANEW")
+		delete(registry, "ZZZNEW")
+		delete(registry, "MIDNEW")
+	})
+
+	exps := All()
+	seen := map[string]bool{}
+	boundary := 0 // index where the named group starts
+	for i, e := range exps {
+		seen[e.ID] = true
+		numeric := len(e.ID) > 1 && e.ID[1] >= '0' && e.ID[1] <= '9' &&
+			(e.ID[0] == 'E' || e.ID[0] == 'A')
+		if numeric {
+			if boundary != 0 {
+				t.Fatalf("numeric experiment %s after the named group began", e.ID)
+			}
+		} else if boundary == 0 {
+			boundary = i
+		}
+	}
+	for _, id := range []string{"AAANEW", "ZZZNEW", "MIDNEW"} {
+		if !seen[id] {
+			t.Fatalf("registered experiment %s missing from All()", id)
+		}
+	}
+	named := exps[boundary:]
+	if !sort.SliceIsSorted(named, func(i, j int) bool { return named[i].ID < named[j].ID }) {
+		ids := make([]string, len(named))
+		for i, e := range named {
+			ids[i] = e.ID
+		}
+		t.Fatalf("named group not alphabetical after registration: %v", ids)
+	}
+	if _, ok := Get("midnew"); !ok {
+		t.Fatal("case-insensitive Get missed the new experiment")
 	}
 }
 

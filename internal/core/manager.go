@@ -118,6 +118,10 @@ type Stats struct {
 type Manager struct {
 	cfg Config
 
+	// The manager mutex is the outermost lock of the system: it may be held
+	// while calling into the lock manager (Delegate, Permit), so it orders
+	// before every latch below.
+	//asset:latch order=10
 	mu   sync.Mutex
 	cond *sync.Cond
 

@@ -259,7 +259,7 @@ func (m *Manager) runOnce(ctx context.Context, opts RunOptions, fn TxnFunc) erro
 	if err != nil {
 		return err
 	}
-	if err := m.Begin(id); err != nil {
+	if err := m.BeginCtx(ctx, id); err != nil {
 		return err
 	}
 	return m.CommitCtx(ctx, id)

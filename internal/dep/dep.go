@@ -81,6 +81,7 @@ type Edge struct {
 
 // Graph is the dependency graph. All methods are safe for concurrent use.
 type Graph struct {
+	//asset:latch order=60
 	mu  sync.Mutex
 	out map[xid.TID]map[xid.TID]Mask // dependent -> supporter
 	in  map[xid.TID]map[xid.TID]Mask // supporter -> dependent

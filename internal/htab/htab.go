@@ -23,6 +23,7 @@ type entry[V any] struct {
 }
 
 type shard[V any] struct {
+	//asset:latch order=30
 	mu      sync.Mutex
 	buckets []*entry[V]
 	n       int

@@ -20,6 +20,7 @@ const defaultShards = 64
 // test-and-set latches on the OD hash chains. Condition variables (one per
 // OD, built on the shard latch) park blocked requests.
 type lockShard struct {
+	//asset:latch order=20 spin
 	lat latch.Latch
 	ods map[xid.OID]*objDesc
 	// Pad to a cache line so adjacent shards' latch words don't false-share.
@@ -90,6 +91,7 @@ func (od *objDesc) dropPermit(p *permit) {
 // latches: it is only ever acquired with at most one shard latch held, or
 // with none.
 type txnState struct {
+	//asset:latch order=40 spin
 	lat  latch.Latch
 	tid  xid.TID
 	dead bool // ReleaseAll tore this state down; registrations must not land here

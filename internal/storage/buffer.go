@@ -125,7 +125,7 @@ func (p *pool) get(pageNo uint64) (*frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := p.f.ReadAt(fr.data, int64(pageNo)*PageSize); err != nil && err != io.EOF {
+	if _, err := p.f.ReadAt(fr.data, int64(pageNo)*PageSize); err != nil && !errors.Is(err, io.EOF) {
 		return nil, fmt.Errorf("storage: read page %d: %w", pageNo, err)
 	}
 	if err := verifyPage(pageNo, fr.data); err != nil {

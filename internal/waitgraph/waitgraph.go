@@ -34,6 +34,7 @@ import (
 // is acquired with lock-shard latches held, and no Graph method calls back
 // into the lock manager.
 type Graph struct {
+	//asset:latch order=50
 	mu    sync.Mutex
 	edges map[xid.TID]map[xid.TID]int // waiter -> holder -> refcount
 	// doomed holds transactions selected as deadlock victims whose blocking
