@@ -9,6 +9,7 @@
 //	assetbench -run resil          # the admission-control overload sweep
 //	assetbench -baseline FILE      # write the contention sweep as JSON
 //	assetbench -resil-baseline F   # write the overload sweep as JSON
+//	assetbench -walgc-baseline F   # write the group-commit sweep as JSON
 //	assetbench -list               # show the experiment index
 package main
 
@@ -58,9 +59,10 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	baseline := flag.String("baseline", "", "write the lock-contention sweep as JSON to this file")
 	resilBaseline := flag.String("resil-baseline", "", "write the admission-control overload sweep as JSON to this file")
+	walgcBaseline := flag.String("walgc-baseline", "", "write the group-commit WAL sweep as JSON to this file")
 	flag.Parse()
 
-	if *baseline != "" || *resilBaseline != "" {
+	if *baseline != "" || *resilBaseline != "" || *walgcBaseline != "" {
 		start := time.Now()
 		if *baseline != "" {
 			if err := writeBaseline(*baseline, "lock-contention", *quick, bench.LockContention(*quick)); err != nil {
@@ -75,6 +77,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s in %v\n", *resilBaseline, time.Since(start).Round(time.Millisecond))
+		}
+		if *walgcBaseline != "" {
+			if err := writeBaseline(*walgcBaseline, "walgc-pipeline", *quick, bench.WALGC(*quick)); err != nil {
+				fmt.Fprintf(os.Stderr, "assetbench: walgc-baseline: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s in %v\n", *walgcBaseline, time.Since(start).Round(time.Millisecond))
 		}
 		return
 	}

@@ -1,9 +1,12 @@
 // Command walinspect dumps an ASSET write-ahead log in human-readable
 // form, one record per line, and summarizes the recovery outcome.
+// Given a directory it walks the whole segmented chain (manifest,
+// segments, legacy wal.log base) in LSN order; given a file it scans
+// that single log.
 //
 // Usage:
 //
-//	walinspect [-v] <path-to-wal.log>
+//	walinspect [-v] <db-dir | path-to-wal.log>
 package main
 
 import (
@@ -18,13 +21,19 @@ func main() {
 	verbose := flag.Bool("v", false, "print image bytes")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: walinspect [-v] <wal.log>")
+		fmt.Fprintln(os.Stderr, "usage: walinspect [-v] <db-dir | wal.log>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
+	info, statErr := os.Stat(path)
+	isDir := statErr == nil && info.IsDir()
 
+	scan := wal.ScanFile
+	if isDir {
+		scan = wal.ScanChain
+	}
 	var count int
-	err := wal.ScanFile(path, func(r *wal.Record) error {
+	err := scan(path, func(r *wal.Record) error {
 		count++
 		switch r.Type {
 		case wal.TBegin, wal.TAbort:
@@ -57,7 +66,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	st, err := wal.Recover(path)
+	recover := func(p string) (*wal.State, error) { return wal.Recover(p) }
+	if isDir {
+		recover = func(p string) (*wal.State, error) { return wal.RecoverDir(p, wal.RecoverOptions{}) }
+	}
+	st, err := recover(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "walinspect: recover: %v\n", err)
 		os.Exit(1)

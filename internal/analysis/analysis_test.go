@@ -341,6 +341,13 @@ func TestLatchRegistry(t *testing.T) {
 		"lock.txnState.lat":  "order=40 spin",
 		"waitgraph.Graph.mu": "order=50",
 		"dep.Graph.mu":       "order=60",
+
+		// The segmented WAL's group-commit latches order after everything
+		// above: commit paths append to the log while holding core latches
+		// (Tx.Write under core.Manager.mu is the paper's §4.2 design), so
+		// the log's own latches must be innermost.
+		"wal.SegmentedLog.stateMu":  "order=70",
+		"wal.SegmentedLog.appendMu": "order=80",
 	}
 	for name, attrs := range want {
 		if got[name] != attrs {

@@ -237,9 +237,11 @@ func (m *Manager) commitGroupLocked(group []*txn) {
 		return
 	}
 	var flushErr error
-	if m.cfg.BatchedCommits {
-		// Classic group commit: release the manager mutex around the
-		// physical force so concurrent committers coalesce into one fsync.
+	if m.cfg.BatchedCommits || m.cfg.GroupCommit {
+		// Group commit, either flavour: release the manager mutex around
+		// the physical force so concurrent committers share one fsync —
+		// via the Coalescer's flush gate (BatchedCommits) or the
+		// segmented log's leader/cohort batch protocol (GroupCommit).
 		// The members sit in the committing state meanwhile; every other
 		// path treats committing as untouchable (Abort waits on term,
 		// drivers wait via examineGroupLocked, FormDependency rejects).

@@ -113,11 +113,22 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 	configs := []struct {
 		name          string
 		sync, batched bool
+		group         bool
+		segBytes      int64
 	}{
-		{"buffered", false, false},
-		{"sync", true, false},
-		{"batched", false, true},
-		{"sync-batched", true, true},
+		{name: "buffered"},
+		{name: "sync", sync: true},
+		{name: "batched", batched: true},
+		{name: "sync-batched", sync: true, batched: true},
+		// Group-commit over the segmented log, with a rotation threshold
+		// tiny enough that the workload crosses several segment
+		// boundaries: the op sweep then lands crashes inside rotation
+		// (seal fsync, header write/fsync, manifest tmp write/fsync,
+		// manifest rename) and inside checkpoint truncation (cutover
+		// rename, old-chain removes) as well as inside plain appends.
+		{name: "groupcommit", sync: true, group: true, segBytes: 128},
+		{name: "groupcommit-buffered", group: true, segBytes: 128},
+		{name: "sync-tiny-seg", sync: true, segBytes: 128},
 	}
 	tears := []int{-1, 512}
 	modes := []faultfs.CrashMode{faultfs.KeepAll, faultfs.DropUnsynced}
@@ -125,7 +136,8 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			var acks [3]bool
 			sim := CrashSim{
-				Cfg:      Config{Dir: "/db", SyncCommits: tc.sync, BatchedCommits: tc.batched},
+				Cfg: Config{Dir: "/db", SyncCommits: tc.sync, BatchedCommits: tc.batched,
+					GroupCommit: tc.group, WALSegmentBytes: tc.segBytes},
 				Workload: matrixWorkload(&acks),
 			}
 			n := sim.CountOps()

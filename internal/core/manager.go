@@ -37,10 +37,23 @@ type Config struct {
 	// manager mutex around the force). Complements the paper's
 	// GC-dependency groups, which share a commit *record*.
 	BatchedCommits bool
-	// CommitWindow, with BatchedCommits, makes the flush leader linger to
-	// accumulate more committers into the same force (latency for
-	// throughput).
+	// GroupCommit enables the pipelined group-commit WAL protocol
+	// (durable mode only): committers enqueue their commit record into
+	// the segmented log's batch slab and park; a force leader writes the
+	// whole batch with one write and one fsync and wakes the cohort. The
+	// commit protocol releases the manager mutex around the force, so
+	// batch N+1 forms while batch N is on the disk. Distinct from
+	// BatchedCommits, which coalesces Flush calls in front of any log;
+	// GroupCommit is the segmented log's native cohort protocol.
+	GroupCommit bool
+	// CommitWindow, with BatchedCommits or GroupCommit, makes the flush
+	// leader linger to accumulate more committers into the same force
+	// (latency for throughput).
 	CommitWindow time.Duration
+	// WALSegmentBytes sets the segmented log's rotation threshold
+	// (durable mode only). 0 picks the default (16 MiB). Small values
+	// are useful to tests that need to cross many rotation boundaries.
+	WALSegmentBytes int64
 	// MaxTransactions bounds concurrently live (non-terminated)
 	// transactions; initiate fails beyond it. 0 means no limit.
 	MaxTransactions int
@@ -90,6 +103,13 @@ type Config struct {
 // checkpoint.
 type truncatableLog interface {
 	Truncate() error
+}
+
+// forceableLog is satisfied by logs that can be fsynced on demand
+// regardless of their commit-durability policy. The checkpoint uses it as
+// a write-ahead barrier before touching the backend.
+type forceableLog interface {
+	ForceDurable() error
 }
 
 // dirtyKind records what a checkpoint must do for a changed object.
@@ -199,7 +219,9 @@ func Open(cfg Config) (*Manager, error) {
 
 	if cfg.Dir == "" {
 		m.log = wal.NewMem()
-		if cfg.BatchedCommits {
+		if cfg.BatchedCommits || cfg.GroupCommit {
+			// The in-memory log has no cohort protocol of its own, so
+			// both group-commit flavours degrade to flush coalescing.
 			m.log = wal.NewCoalescer(m.log, cfg.CommitWindow)
 		}
 		m.backend = storage.NullBackend{}
@@ -228,8 +250,10 @@ func Open(cfg Config) (*Manager, error) {
 		ps.Close()
 		return nil, err
 	}
-	walPath := filepath.Join(cfg.Dir, "wal.log")
-	st, err := wal.RecoverFS(fsys, walPath)
+	// The log is a segmented chain (with any pre-segmentation wal.log as
+	// its read-only base); recovery scans the segments in parallel across
+	// cores and merges them sequentially in redo order.
+	st, err := wal.RecoverDirFS(fsys, cfg.Dir, wal.RecoverOptions{})
 	if err != nil {
 		ps.Close()
 		return nil, err
@@ -255,13 +279,23 @@ func Open(cfg Config) (*Manager, error) {
 	}
 	m.cache.SetNextOID(maxOID)
 	m.nextTID.Store(uint64(st.MaxTID))
-	log, err := wal.OpenFileFS(fsys, walPath, cfg.SyncCommits)
+	segOpts := wal.SegmentedOptions{
+		SegmentBytes: cfg.WALSegmentBytes,
+		Sync:         cfg.SyncCommits,
+	}
+	if cfg.GroupCommit {
+		// The linger window belongs to the log's force leader; without
+		// GroupCommit the commit protocol flushes while holding m.mu, and
+		// sleeping there would serialize everyone.
+		segOpts.Window = cfg.CommitWindow
+	}
+	log, err := wal.OpenSegmentedFS(fsys, cfg.Dir, segOpts)
 	if err != nil {
 		ps.Close()
 		return nil, err
 	}
 	m.log = log
-	if cfg.BatchedCommits {
+	if cfg.BatchedCommits && !cfg.GroupCommit {
 		m.log = wal.NewCoalescer(m.log, cfg.CommitWindow)
 	}
 	return m, nil
@@ -400,6 +434,19 @@ func (m *Manager) Checkpoint() error {
 	// a freshly initiated transaction cannot touch any object until Begin,
 	// and beginOne blocks on m.mu.
 	defer m.mu.Unlock()
+	// Write-ahead barrier: force the log durable — even under buffered
+	// commits — before the first backend write. Segment rotation can leave
+	// an old prefix of a buffered log durable on its own (the rotation
+	// seal fsync); if the checkpoint then made the store durable through
+	// later transactions whose records were still buffered, a crash would
+	// replay that stale prefix over the newer store and resurrect old
+	// images. Forcing first keeps the durable log at least as new as
+	// anything the store can reflect.
+	if fl, ok := m.log.(forceableLog); ok {
+		if err := fl.ForceDurable(); err != nil {
+			return err
+		}
+	}
 	for oid, kind := range dirty {
 		if kind == dirtyDelete {
 			if err := m.backend.Delete(oid); err != nil {
@@ -463,6 +510,9 @@ func (m *Manager) MemLog() *wal.MemLog {
 func (m *Manager) PhysicalForces() uint64 {
 	if c, ok := m.log.(*wal.Coalescer); ok {
 		return c.Forces()
+	}
+	if s, ok := m.log.(*wal.SegmentedLog); ok {
+		return s.Forces()
 	}
 	return 0
 }

@@ -34,11 +34,14 @@ type File interface {
 }
 
 // FS opens files. Implementations must return errors satisfying
-// os.IsNotExist for missing files opened without O_CREATE.
+// os.IsNotExist for missing files opened without O_CREATE. Rename must
+// replace newpath atomically when it exists (the POSIX rename contract
+// the segmented WAL's manifest update relies on).
 type FS interface {
 	OpenFile(path string, flag int, perm os.FileMode) (File, error)
 	MkdirAll(path string, perm os.FileMode) error
 	Remove(path string) error
+	Rename(oldpath, newpath string) error
 }
 
 // Errors returned by injected faults.
@@ -64,3 +67,6 @@ func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(pat
 
 // Remove deletes path from the host filesystem.
 func (OS) Remove(path string) error { return os.Remove(path) }
+
+// Rename atomically renames oldpath to newpath on the host filesystem.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }

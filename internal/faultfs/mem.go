@@ -137,7 +137,9 @@ func (m *MemFS) MkdirAll(path string, perm os.FileMode) error {
 	return nil
 }
 
-// Remove deletes the file at path.
+// Remove deletes the file at path. Removal is modeled as atomic and
+// immediately durable: once it succeeds, no crash image contains the
+// file. A crash injected on the remove leaves the file untouched.
 func (m *MemFS) Remove(path string) error {
 	path = filepath.Clean(path)
 	m.mu.Lock()
@@ -145,10 +147,56 @@ func (m *MemFS) Remove(path string) error {
 	if m.crashed {
 		return ErrCrashed
 	}
+	m.ops++
+	if rule, ok := m.script.decide(OpRemove, path); ok {
+		switch rule.Action {
+		case ActError:
+			return rule.error()
+		case ActCrash:
+			m.crashed = true
+			return ErrCrashed
+		}
+	}
 	if _, ok := m.files[path]; !ok {
 		return &os.PathError{Op: "remove", Path: path, Err: fs.ErrNotExist}
 	}
 	delete(m.files, path)
+	return nil
+}
+
+// Rename atomically renames oldpath to newpath, replacing any existing
+// file there. Like a journaling filesystem's metadata operation it is
+// modeled as atomic and immediately durable: after a successful rename a
+// crash image holds the file under its new name (with only the file's
+// own synced content — unsynced data still needs an fsync before the
+// rename, exactly as on a real disk). A crash injected on the rename
+// itself leaves both names as they were.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	m.ops++
+	// Matched against the destination: fault scripts target the name a
+	// recovering opener would look for (e.g. "wal.manifest").
+	if rule, ok := m.script.decide(OpRename, newpath); ok {
+		switch rule.Action {
+		case ActError:
+			return rule.error()
+		case ActCrash:
+			m.crashed = true
+			return ErrCrashed
+		}
+	}
+	n, ok := m.files[oldpath]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	delete(m.files, oldpath)
+	n.name = newpath
+	m.files[newpath] = n
 	return nil
 }
 

@@ -18,11 +18,17 @@ const (
 	// OpSync matches Sync calls.
 	OpSync
 	// OpAny matches every durability-relevant operation (writes,
-	// truncates, and syncs — the crash-sweep domain). Reads are never
-	// matched by OpAny; target them with OpRead explicitly.
+	// truncates, syncs, renames, and removes — the crash-sweep domain).
+	// Reads are never matched by OpAny; target them with OpRead
+	// explicitly.
 	OpAny
 	// OpRead matches Read/ReadAt calls.
 	OpRead
+	// OpRename matches FS.Rename calls (matched against the destination
+	// path — the name a recovering opener would look for).
+	OpRename
+	// OpRemove matches FS.Remove calls.
+	OpRemove
 )
 
 func (k OpKind) String() string {
@@ -37,6 +43,10 @@ func (k OpKind) String() string {
 		return "any"
 	case OpRead:
 		return "read"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
 	}
 	return fmt.Sprintf("opkind(%d)", k)
 }

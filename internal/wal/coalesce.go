@@ -85,6 +85,17 @@ func (c *Coalescer) Forces() uint64 {
 	return c.forces
 }
 
+// ForceDurable forwards the checkpoint's write-ahead barrier to the
+// wrapped log when it supports on-demand fsync. Same quiescence contract
+// as Truncate.
+func (c *Coalescer) ForceDurable() error {
+	type forceable interface{ ForceDurable() error }
+	if f, ok := c.Appender.(forceable); ok {
+		return f.ForceDurable()
+	}
+	return nil
+}
+
 // Truncate forwards to the wrapped log when it supports truncation. The
 // caller must be quiescent (no concurrent flushes), as at a checkpoint.
 func (c *Coalescer) Truncate() error {

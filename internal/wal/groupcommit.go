@@ -1,0 +1,538 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// SegmentedLog is the pipelined group-commit write-ahead log: a chain of
+// fixed-size(ish) segment files (see segment.go) fed by a leader/cohort
+// force protocol.
+//
+// Append is the enqueue fast path: it assigns the LSN and frames the
+// record into an in-memory slab under a short latch — no file I/O — so
+// appends never wait behind an fsync. Flush is the force: the first
+// caller that finds no force in flight becomes the leader, swaps the
+// slab for an empty spare, writes the whole batch with one file write,
+// issues one fsync, and wakes the cohort; callers that arrive while a
+// force is in flight park on the cohort condvar and are covered by a
+// later batch. Appends keep landing in the fresh slab while the leader
+// is on the disk, which is what pipelines commit throughput: batch N+1
+// forms while batch N syncs, and commits-per-fsync grows with offered
+// load instead of every committer paying a private force.
+//
+// A failed write or fsync poisons the log exactly like FileLog: the
+// batch's records are in an indeterminate state on disk, so the leader
+// returns the cause, every parked follower gets ErrPoisoned (no commit
+// is ever acked over a hole), and all later appends and forces refuse.
+type SegmentedLog struct {
+	fsys     faultfs.FS
+	dir      string
+	segBytes int64
+	syncOn   bool
+	window   time.Duration
+
+	// Cohort state: force leadership, the durability watermark the
+	// cohort parks on, and the force counters. Ordered before the
+	// append latch; the two are never held together — the leader
+	// releases stateMu before draining the slab.
+	//asset:latch order=70
+	stateMu    sync.Mutex
+	cond       *sync.Cond
+	inFlight   bool   // a leader is off the latch forcing a batch
+	durableLSN uint64 // every record at or below this LSN is forced
+	forces     uint64 // physical forces (non-empty batches written)
+	batchRecs  uint64 // records covered by those forces
+
+	// Enqueue fast path: the slab the next batch drains. Held only for
+	// the in-memory frame append and the swap; never across I/O.
+	//asset:latch order=80
+	appendMu  sync.Mutex
+	slab      []byte
+	spare     []byte // recycled batch buffer, swapped in at drain
+	slabFirst uint64 // LSN of the slab's first record (0 = empty slab)
+	slabRecs  uint64
+	nextLSN   uint64
+	lastLSN   atomic.Uint64
+
+	closed   atomic.Bool
+	poisoned atomic.Bool
+	perr     error // set once, before poisoned; wraps ErrPoisoned
+
+	// Writer-side state, owned by whoever holds force leadership
+	// (inFlight) — the leader, Truncate, or Close. Not latched: the
+	// leadership protocol serializes access.
+	cur     faultfs.File
+	curSeq  uint64
+	curSize int64
+	man     *manifest
+}
+
+// SegmentedOptions configures OpenSegmented.
+type SegmentedOptions struct {
+	// SegmentBytes is the rotation threshold: a batch that lands on a
+	// segment already at or past it goes to a fresh segment. 0 picks
+	// the default (16 MiB). Segments may overshoot by up to one batch.
+	SegmentBytes int64
+	// Sync makes every force an fsync (durable commits); false drains
+	// to the OS cache only, the fast mode.
+	Sync bool
+	// Window makes the force leader linger before draining the slab,
+	// letting more committers join the batch (latency for throughput).
+	Window time.Duration
+}
+
+// DefaultSegmentBytes is the rotation threshold when
+// SegmentedOptions.SegmentBytes is zero.
+const DefaultSegmentBytes = 16 << 20
+
+// OpenSegmented opens (creating if needed) the segmented log in dir and
+// positions appends after the last intact record of the chain.
+func OpenSegmented(dir string, opts SegmentedOptions) (*SegmentedLog, error) {
+	return OpenSegmentedFS(faultfs.OS{}, dir, opts)
+}
+
+// OpenSegmentedFS is OpenSegmented over an injected filesystem.
+func OpenSegmentedFS(fsys faultfs.FS, dir string, opts SegmentedOptions) (*SegmentedLog, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	info, err := scanChain(fsys, dir, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	l := &SegmentedLog{
+		fsys:     fsys,
+		dir:      dir,
+		segBytes: opts.SegmentBytes,
+		syncOn:   opts.Sync,
+		window:   opts.Window,
+		nextLSN:  info.nextLSN,
+		man:      &manifest{},
+	}
+	l.cond = sync.NewCond(&l.stateMu)
+	l.lastLSN.Store(info.nextLSN - 1)
+	l.durableLSN = info.nextLSN - 1
+
+	for _, e := range info.entries {
+		if e.legacy {
+			l.man.Legacy = true
+			continue
+		}
+		l.man.Segments = append(l.man.Segments, manifestSegment{Seq: e.seq, FirstLSN: e.firstLSN})
+	}
+
+	manifestDirty := info.man == nil || info.man.Legacy != l.man.Legacy ||
+		len(info.man.Segments) != len(l.man.Segments)
+
+	if info.lastIsSegment {
+		// Adopt the final segment as the write target, dropping its torn
+		// tail the way FileLog.Open does.
+		f, err := fsys.OpenFile(info.lastPath, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: open %s: %w", info.lastPath, err)
+		}
+		if err := f.Truncate(info.lastEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if _, err := f.Seek(info.lastEnd, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.cur, l.curSeq, l.curSize = f, info.lastSeq, info.lastEnd
+	} else {
+		// Fresh database, legacy-only chain, or a torn trailing segment
+		// whose header never became durable: start a new segment. A
+		// legacy base first has its torn tail dropped so the chain stays
+		// LSN-contiguous.
+		if info.legacyPath != "" {
+			lf, err := fsys.OpenFile(info.legacyPath, os.O_RDWR, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			if err := lf.Truncate(info.legacyEnd); err != nil {
+				lf.Close()
+				return nil, fmt.Errorf("wal: truncate legacy torn tail: %w", err)
+			}
+			if err := lf.Sync(); err != nil {
+				lf.Close()
+				return nil, err
+			}
+			if err := lf.Close(); err != nil {
+				return nil, err
+			}
+		}
+		// A chain with no adoptable segment always starts numbering at 1:
+		// either nothing exists yet, or only a legacy base does (a torn
+		// probed wal-000001.seg is recreated in place by O_TRUNC).
+		seq := uint64(1)
+		f, err := createSegment(fsys, dir, seq, info.nextLSN)
+		if err != nil {
+			return nil, err
+		}
+		l.cur, l.curSeq, l.curSize = f, seq, segHeaderSize
+		l.man.Segments = append(l.man.Segments, manifestSegment{Seq: seq, FirstLSN: info.nextLSN})
+		manifestDirty = true
+	}
+	if manifestDirty {
+		if err := writeManifest(fsys, dir, l.man); err != nil {
+			l.cur.Close()
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// createSegment creates a fresh segment file with a durable header.
+func createSegment(fsys faultfs.FS, dir string, seq, firstLSN uint64) (faultfs.File, error) {
+	f, err := fsys.OpenFile(segmentPath(dir, seq), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := encodeSegmentHeader(seq, firstLSN)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// The header is fsynced before the segment is linked into the
+	// manifest, so a manifest-listed segment always has a durable
+	// header; a crash in between leaves an unlisted trailing segment
+	// recovery discovers by probing.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Append encodes r, assigns it the next LSN (stored into r.LSN), and
+// frames it into the pending batch slab. No file I/O happens here; the
+// record becomes durable when a force covering its LSN completes.
+// Allocation-free once the slab has warmed to the batch working set.
+func (l *SegmentedLog) Append(r *Record) (uint64, error) {
+	l.appendMu.Lock()
+	defer l.appendMu.Unlock()
+	if l.closed.Load() {
+		return 0, errors.New("wal: append to closed log")
+	}
+	if l.poisoned.Load() {
+		return 0, l.perr
+	}
+	r.LSN = l.nextLSN
+	l.nextLSN++
+	if l.slabFirst == 0 {
+		l.slabFirst = r.LSN
+	}
+	l.slab = appendFrame(l.slab, r)
+	l.slabRecs++
+	l.lastLSN.Store(r.LSN)
+	return r.LSN, nil
+}
+
+// takeBatch swaps the slab for the recycled spare and returns the
+// pending batch. Called by whoever holds force leadership.
+func (l *SegmentedLog) takeBatch() (batch []byte, first, recs uint64) {
+	l.appendMu.Lock()
+	batch, first, recs = l.slab, l.slabFirst, l.slabRecs
+	l.slab = l.spare[:0]
+	l.spare = nil
+	l.slabFirst, l.slabRecs = 0, 0
+	l.appendMu.Unlock()
+	return batch, first, recs
+}
+
+// recycleBatch returns a drained batch buffer for reuse as the next
+// spare slab.
+func (l *SegmentedLog) recycleBatch(batch []byte) {
+	l.appendMu.Lock()
+	if l.spare == nil {
+		l.spare = batch[:0]
+	}
+	l.appendMu.Unlock()
+}
+
+// Flush forces every record appended so far, sharing the physical force
+// with concurrent callers: one caller leads, the rest park and are woken
+// when a force covering their records completes. A follower of a failed
+// batch gets an error wrapping ErrPoisoned — its records may sit after a
+// hole, so acking them would claim durability the disk cannot back.
+func (l *SegmentedLog) Flush() error {
+	need := l.lastLSN.Load()
+	l.stateMu.Lock()
+	defer l.stateMu.Unlock()
+	for {
+		// Records the cohort already forced stay good even if the log
+		// was poisoned afterwards: durableLSN only ever advances over
+		// batches whose fsync succeeded.
+		if l.durableLSN >= need {
+			return nil
+		}
+		if l.poisoned.Load() {
+			return l.perr
+		}
+		if l.inFlight {
+			l.cond.Wait()
+			continue
+		}
+		// Become the force leader for everything pending, this caller's
+		// records included.
+		l.inFlight = true
+		l.stateMu.Unlock()
+		if l.window > 0 {
+			time.Sleep(l.window) // accumulate followers into the batch
+		}
+		batch, first, recs := l.takeBatch()
+		high := l.lastLSN.Load()
+		err := l.writeBatch(batch, first)
+		l.recycleBatch(batch)
+		l.stateMu.Lock()
+		l.inFlight = false
+		if err != nil {
+			l.poisonLocked(err)
+			l.cond.Broadcast() // wake the cohort to see the poison
+			return err         // the leader reports the cause itself
+		}
+		if recs > 0 {
+			l.forces++
+			l.batchRecs += recs
+		}
+		l.durableLSN = high
+		l.cond.Broadcast()
+	}
+}
+
+// poisonLocked records the first failure; later calls keep the original
+// cause. Caller holds stateMu.
+func (l *SegmentedLog) poisonLocked(cause error) {
+	if !l.poisoned.Load() {
+		l.perr = fmt.Errorf("%w: %w", ErrPoisoned, cause)
+		l.poisoned.Store(true)
+	}
+}
+
+// writeBatch writes one drained batch to the chain, rotating to a fresh
+// segment first when the current one is full. Leader-owned; no latches
+// held — appends keep flowing into the new slab meanwhile.
+func (l *SegmentedLog) writeBatch(batch []byte, firstLSN uint64) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if l.curSize >= l.segBytes {
+		if err := l.rotate(firstLSN); err != nil {
+			return err
+		}
+	}
+	if _, err := l.cur.Write(batch); err != nil {
+		return err
+	}
+	l.curSize += int64(len(batch))
+	if l.syncOn {
+		if err := l.cur.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotate seals the current segment and switches writing to a fresh one
+// whose first record will carry firstLSN. The seal fsync runs even in
+// buffered mode: only the final segment of the chain may ever have a
+// torn tail, which is what lets recovery treat any mid-chain hole as
+// corruption instead of silently replaying around it.
+func (l *SegmentedLog) rotate(firstLSN uint64) error {
+	if err := l.cur.Sync(); err != nil {
+		return err
+	}
+	if err := l.cur.Close(); err != nil {
+		return err
+	}
+	seq := l.curSeq + 1
+	f, err := createSegment(l.fsys, l.dir, seq, firstLSN)
+	if err != nil {
+		return err
+	}
+	l.man.Segments = append(l.man.Segments, manifestSegment{Seq: seq, FirstLSN: firstLSN})
+	if err := writeManifest(l.fsys, l.dir, l.man); err != nil {
+		f.Close()
+		return err
+	}
+	l.cur, l.curSeq, l.curSize = f, seq, segHeaderSize
+	return nil
+}
+
+// acquireWriter takes force leadership for an exclusive writer-side
+// operation (Truncate, Close), waiting out any in-flight force.
+func (l *SegmentedLog) acquireWriter() {
+	l.stateMu.Lock()
+	for l.inFlight {
+		l.cond.Wait()
+	}
+	l.inFlight = true
+	l.stateMu.Unlock()
+}
+
+// releaseWriter drops leadership, recording err as poison if non-nil,
+// and marks everything drained so far as settled.
+func (l *SegmentedLog) releaseWriter(err error) {
+	l.stateMu.Lock()
+	l.inFlight = false
+	if err != nil {
+		l.poisonLocked(err)
+	} else {
+		l.durableLSN = l.lastLSN.Load()
+	}
+	l.cond.Broadcast()
+	l.stateMu.Unlock()
+}
+
+// ForceDurable drains the pending batch and fsyncs the chain regardless
+// of the Sync policy. It is the checkpoint's write-ahead barrier: a
+// checkpoint makes the store durably reflect every committed record, so
+// before its first store write the log must be durable through those
+// records. Otherwise a crash can leave the store ahead of a shorter
+// durable log prefix (sealed by an earlier rotation), and replaying that
+// stale prefix over the newer store would resurrect old images — the
+// failure mode the crash matrix's buffered group-commit sweep catches.
+func (l *SegmentedLog) ForceDurable() error {
+	l.acquireWriter()
+	err := l.forceDurable()
+	l.releaseWriter(err)
+	return err
+}
+
+func (l *SegmentedLog) forceDurable() error {
+	if l.poisoned.Load() {
+		return l.perr
+	}
+	batch, first, _ := l.takeBatch()
+	err := l.writeBatch(batch, first)
+	l.recycleBatch(batch)
+	if err != nil {
+		return err
+	}
+	return l.cur.Sync()
+}
+
+// Truncate drops the fully-applied chain after a quiescent checkpoint:
+// a fresh segment (continuing the LSN sequence) becomes the entire log,
+// the manifest is cut over to it atomically, and only then are the old
+// segment files — and any legacy wal.log base — deleted. A crash
+// anywhere in between recovers either the old chain or the new one;
+// orphaned files below the manifest's first segment are ignored by
+// recovery and swept on the next truncation-free open.
+func (l *SegmentedLog) Truncate() error {
+	l.acquireWriter()
+	err := l.truncateChain()
+	l.releaseWriter(err)
+	return err
+}
+
+func (l *SegmentedLog) truncateChain() error {
+	if l.poisoned.Load() {
+		return l.perr
+	}
+	// Drain whatever is still pending into the old chain first, so the
+	// cutover never discards an appended record.
+	batch, first, _ := l.takeBatch()
+	err := l.writeBatch(batch, first)
+	l.recycleBatch(batch)
+	if err != nil {
+		return err
+	}
+	// Seal the old chain before the new segment's header can become
+	// durable: if a crash lands between the two, recovery must find the
+	// old chain complete up to exactly the new segment's first LSN, not a
+	// gap where buffered records evaporated (the crash matrix sweeps this
+	// boundary).
+	if err := l.cur.Sync(); err != nil {
+		return err
+	}
+	l.appendMu.Lock()
+	next := l.nextLSN
+	l.appendMu.Unlock()
+	seq := l.curSeq + 1
+	f, err := createSegment(l.fsys, l.dir, seq, next)
+	if err != nil {
+		return err
+	}
+	old := l.man
+	l.man = &manifest{Segments: []manifestSegment{{Seq: seq, FirstLSN: next}}}
+	if err := writeManifest(l.fsys, l.dir, l.man); err != nil {
+		f.Close()
+		l.man = old
+		return err
+	}
+	// The manifest now starts at the new segment: the old chain is dead
+	// regardless of whether these deletes all land before a crash.
+	if err := l.cur.Close(); err != nil {
+		return err
+	}
+	l.cur, l.curSeq, l.curSize = f, seq, segHeaderSize
+	var firstErr error
+	for _, s := range old.Segments {
+		if err := l.fsys.Remove(segmentPath(l.dir, s.Seq)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if old.Legacy {
+		if err := l.fsys.Remove(filepath.Join(l.dir, "wal.log")); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close drains the pending batch and closes the chain.
+func (l *SegmentedLog) Close() error {
+	l.acquireWriter()
+	l.closed.Store(true)
+	var err error
+	if !l.poisoned.Load() {
+		batch, first, _ := l.takeBatch()
+		err = l.writeBatch(batch, first)
+		l.recycleBatch(batch)
+	}
+	if l.cur != nil {
+		if cerr := l.cur.Close(); err == nil {
+			err = cerr
+		}
+		l.cur = nil
+	}
+	l.releaseWriter(err)
+	return err
+}
+
+// Forces reports the number of physical forces (non-empty batches
+// written); Commits / Forces is the commits-per-fsync batching factor
+// the WALGC experiment measures.
+func (l *SegmentedLog) Forces() uint64 {
+	l.stateMu.Lock()
+	defer l.stateMu.Unlock()
+	return l.forces
+}
+
+// BatchedRecords reports the total records covered by physical forces —
+// BatchedRecords / Forces is the mean batch size.
+func (l *SegmentedLog) BatchedRecords() uint64 {
+	l.stateMu.Lock()
+	defer l.stateMu.Unlock()
+	return l.batchRecs
+}
+
+// CurrentSegment reports the active segment's sequence number, for
+// tests asserting rotation behaviour.
+func (l *SegmentedLog) CurrentSegment() uint64 {
+	l.acquireWriter()
+	seq := l.curSeq
+	l.releaseWriter(nil)
+	return seq
+}

@@ -262,14 +262,39 @@ func ScanFileFS(fsys faultfs.FS, path string, fn func(*Record) error) error {
 	return err
 }
 
+// appendFrame appends the on-disk frame for r — with r.LSN already
+// assigned — to buf and returns the extended slice. The framing matches
+// what FileLog.Append writes; SegmentedLog batches frames into a shared
+// slab with it. Allocation-free once buf has capacity.
+func appendFrame(buf []byte, r *Record) []byte {
+	start := len(buf)
+	var zero [frameHeader]byte
+	buf = append(buf, zero[:]...)
+	buf = r.marshalInto(buf)
+	payload := buf[start+frameHeader:]
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(buf[start+8:start+16], r.LSN)
+	crc := crc32.Update(0, crcTable, buf[start+8:start+16])
+	crc = crc32.Update(crc, crcTable, payload)
+	binary.LittleEndian.PutUint32(buf[start+4:start+8], crc)
+	return buf
+}
+
 // scanReader scans records from r, returning the byte offset just past the
 // last intact record.
 func scanReader(r io.ReadSeeker, fn func(*Record) error) (int64, error) {
-	if _, err := r.Seek(0, io.SeekStart); err != nil {
-		return 0, err
+	return scanFrames(r, 0, fn)
+}
+
+// scanFrames scans record frames from r starting at byte offset start,
+// returning the offset just past the last intact record. A torn or
+// corrupt frame stops the scan cleanly; fn errors abort it.
+func scanFrames(r io.ReadSeeker, start int64, fn func(*Record) error) (int64, error) {
+	if _, err := r.Seek(start, io.SeekStart); err != nil {
+		return start, err
 	}
 	br := bufio.NewReaderSize(r, 1<<16)
-	var off int64
+	off := start
 	var hdr [frameHeader]byte
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {

@@ -134,7 +134,14 @@ var errTruncated = fmt.Errorf("wal: truncated record payload")
 
 // marshal encodes the record payload (everything after the frame header).
 func (r *Record) marshal() []byte {
-	buf := make([]byte, 0, 32+len(r.Before)+len(r.After))
+	return r.marshalInto(make([]byte, 0, 32+len(r.Before)+len(r.After)))
+}
+
+// marshalInto appends the record payload to buf and returns the extended
+// slice. It allocates nothing beyond what append needs, which is what
+// keeps the group-commit enqueue fast path allocation-free once the
+// batch slab has warmed up.
+func (r *Record) marshalInto(buf []byte) []byte {
 	buf = append(buf, byte(r.Type))
 	switch r.Type {
 	case TBegin, TAbort:
