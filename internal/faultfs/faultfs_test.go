@@ -71,6 +71,9 @@ func TestMemFSNotExist(t *testing.T) {
 func TestCrashImageModes(t *testing.T) {
 	m := NewMem()
 	f := mustOpen(t, m, "/a")
+	if err := m.SyncDir("/"); err != nil { // make the entry durable
+		t.Fatal(err)
+	}
 	f.Write([]byte("durable."))
 	if err := f.Sync(); err != nil {
 		t.Fatal(err)
@@ -89,6 +92,9 @@ func TestFailedSyncLosesWritesForever(t *testing.T) {
 	m := NewMem()
 	m.SetScript(NewScript(Rule{Op: OpSync, Nth: 1, Action: ActError}))
 	f := mustOpen(t, m, "/a")
+	if err := m.SyncDir("/"); err != nil { // OpSyncDir doesn't trip the OpSync rule
+		t.Fatal(err)
+	}
 	f.Write([]byte("doomed."))
 	if err := f.Sync(); !errors.Is(err, ErrInjected) {
 		t.Fatalf("sync = %v", err)
@@ -243,6 +249,130 @@ func TestOpsCounterAndReadExclusion(t *testing.T) {
 	}
 }
 
+// TestDirEntryDurability: a fully-fsynced file whose directory entry was
+// never SyncDir'd is absent from a DropUnsynced crash image (the POSIX
+// lost-directory-entry failure mode), present in KeepAll, and durable in
+// both once the parent directory is synced.
+func TestDirEntryDurability(t *testing.T) {
+	m := NewMem()
+	f := mustOpen(t, m, "/db/a")
+	f.Write([]byte("content"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.CrashImage(DropUnsynced).ReadImage("/db/a"); ok {
+		t.Fatal("unsynced directory entry survived a drop-unsynced crash")
+	}
+	if img, ok := m.CrashImage(KeepAll).ReadImage("/db/a"); !ok || string(img) != "content" {
+		t.Fatalf("keep-all image = %q,%v", img, ok)
+	}
+	if err := m.SyncDir("/db"); err != nil {
+		t.Fatal(err)
+	}
+	if img, ok := m.CrashImage(DropUnsynced).ReadImage("/db/a"); !ok || string(img) != "content" {
+		t.Fatalf("post-SyncDir drop-unsynced image = %q,%v", img, ok)
+	}
+}
+
+// TestRenameEntryDurability models the atomic-replace protocol the WAL
+// manifest uses: until the directory is synced, a crash rolls the name
+// back to the old file; after SyncDir the new file owns the name.
+func TestRenameEntryDurability(t *testing.T) {
+	m := NewMem()
+	old := mustOpen(t, m, "/db/m")
+	old.Write([]byte("old"))
+	old.Sync()
+	if err := m.SyncDir("/db"); err != nil {
+		t.Fatal(err)
+	}
+	tmp := mustOpen(t, m, "/db/m.tmp")
+	tmp.Write([]byte("new"))
+	tmp.Sync()
+	tmp.Close()
+	if err := m.Rename("/db/m.tmp", "/db/m"); err != nil {
+		t.Fatal(err)
+	}
+	// Unsynced rename: the durable directory still holds the old file.
+	img := m.CrashImage(DropUnsynced)
+	if got, _ := img.ReadImage("/db/m"); string(got) != "old" {
+		t.Fatalf("pre-SyncDir drop-unsynced /db/m = %q, want old content", got)
+	}
+	// KeepAll sees the rename (and no leftover tmp).
+	img = m.CrashImage(KeepAll)
+	if got, _ := img.ReadImage("/db/m"); string(got) != "new" {
+		t.Fatalf("keep-all /db/m = %q, want new content", got)
+	}
+	if _, ok := img.ReadImage("/db/m.tmp"); ok {
+		t.Fatal("keep-all image still has the renamed-away tmp")
+	}
+	if err := m.SyncDir("/db"); err != nil {
+		t.Fatal(err)
+	}
+	img = m.CrashImage(DropUnsynced)
+	if got, _ := img.ReadImage("/db/m"); string(got) != "new" {
+		t.Fatalf("post-SyncDir drop-unsynced /db/m = %q, want new content", got)
+	}
+	if _, ok := img.ReadImage("/db/m.tmp"); ok {
+		t.Fatal("post-SyncDir image resurrected the tmp file")
+	}
+}
+
+// TestRemoveEntryDurability: an unsynced unlink resurrects the file in a
+// DropUnsynced crash image; SyncDir makes the removal stick.
+func TestRemoveEntryDurability(t *testing.T) {
+	m := NewMem()
+	f := mustOpen(t, m, "/db/a")
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Close()
+	if err := m.SyncDir("/db"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("/db/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.CrashImage(DropUnsynced).ReadImage("/db/a"); !ok {
+		t.Fatal("unsynced removal was durable; the old entry should resurrect")
+	}
+	if _, ok := m.CrashImage(KeepAll).ReadImage("/db/a"); ok {
+		t.Fatal("keep-all image resurrected a removed file")
+	}
+	if err := m.SyncDir("/db"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.CrashImage(DropUnsynced).ReadImage("/db/a"); ok {
+		t.Fatal("removal not durable after SyncDir")
+	}
+}
+
+// TestSyncDirFaults: SyncDir is a scriptable crash-sweep point; a crash
+// injected on it leaves the directory's pending entries volatile, and an
+// injected error folds nothing.
+func TestSyncDirFaults(t *testing.T) {
+	m := NewMem()
+	m.SetScript(NewScript(
+		Rule{Op: OpSyncDir, Nth: 1, Action: ActError},
+		Rule{Op: OpSyncDir, Nth: 2, Action: ActCrash, Keep: -1},
+	))
+	f := mustOpen(t, m, "/db/a")
+	f.Sync()
+	if err := m.SyncDir("/db"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first SyncDir = %v, want injected error", err)
+	}
+	if _, ok := m.CrashImage(DropUnsynced).ReadImage("/db/a"); ok {
+		t.Fatal("failed SyncDir still folded the entry")
+	}
+	if err := m.SyncDir("/db"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("second SyncDir = %v, want crash", err)
+	}
+	if !m.Crashed() {
+		t.Fatal("fs not crashed")
+	}
+	if _, ok := m.CrashImage(DropUnsynced).ReadImage("/db/a"); ok {
+		t.Fatal("crashing SyncDir folded the entry")
+	}
+}
+
 func TestOSPassthrough(t *testing.T) {
 	dir := t.TempDir()
 	var fsys FS = OS{}
@@ -260,6 +390,9 @@ func TestOSPassthrough(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir + "/sub"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := fsys.OpenFile(dir+"/nope", os.O_RDONLY, 0); !os.IsNotExist(err) {

@@ -60,18 +60,35 @@ type memNode struct {
 
 // MemFS is an in-memory filesystem with an explicit durability model and
 // optional fault injection. All methods are safe for concurrent use.
+//
+// Durability is modeled at two levels, the way a disk plus directory
+// metadata behaves: file *content* becomes durable on File.Sync, and a
+// file's *directory entry* (its creation, rename, or removal) becomes
+// durable on FS.SyncDir of the parent directory. A fully-fsynced file
+// whose entry was never dir-synced vanishes from a DropUnsynced crash
+// image — the real POSIX failure mode a missing directory fsync leaves.
 type MemFS struct {
-	mu      sync.Mutex
-	files   map[string]*memNode
-	dirs    map[string]bool
-	script  *Script
-	ops     int // durability-relevant ops issued (writes, truncates, syncs)
-	crashed bool
+	mu    sync.Mutex
+	files map[string]*memNode
+	// durFiles is the durable namespace: the entries (and the nodes they
+	// pointed at) as of each directory's last SyncDir. A rename swaps the
+	// cache-visible entry immediately but the durable one only at the
+	// next SyncDir, exactly like a journaling filesystem's unsynced
+	// directory update.
+	durFiles map[string]*memNode
+	dirs     map[string]bool
+	script   *Script
+	ops      int // durability-relevant ops issued (writes, truncates, syncs)
+	crashed  bool
 }
 
 // NewMem returns an empty in-memory filesystem.
 func NewMem() *MemFS {
-	return &MemFS{files: make(map[string]*memNode), dirs: make(map[string]bool)}
+	return &MemFS{
+		files:    make(map[string]*memNode),
+		durFiles: make(map[string]*memNode),
+		dirs:     make(map[string]bool),
+	}
 }
 
 // SetScript installs the fault script (nil disables injection).
@@ -137,9 +154,11 @@ func (m *MemFS) MkdirAll(path string, perm os.FileMode) error {
 	return nil
 }
 
-// Remove deletes the file at path. Removal is modeled as atomic and
-// immediately durable: once it succeeds, no crash image contains the
-// file. A crash injected on the remove leaves the file untouched.
+// Remove deletes the file at path from the cache-visible namespace. The
+// removal's durability follows the directory model: until the parent is
+// SyncDir'd, a DropUnsynced crash image resurrects the file (with its
+// last-synced content), as an unsynced unlink would on a real disk. A
+// crash injected on the remove leaves the file untouched.
 func (m *MemFS) Remove(path string) error {
 	path = filepath.Clean(path)
 	m.mu.Lock()
@@ -164,12 +183,12 @@ func (m *MemFS) Remove(path string) error {
 	return nil
 }
 
-// Rename atomically renames oldpath to newpath, replacing any existing
-// file there. Like a journaling filesystem's metadata operation it is
-// modeled as atomic and immediately durable: after a successful rename a
-// crash image holds the file under its new name (with only the file's
-// own synced content — unsynced data still needs an fsync before the
-// rename, exactly as on a real disk). A crash injected on the rename
+// Rename atomically renames oldpath to newpath in the cache-visible
+// namespace, replacing any existing file there. The rename is atomic but
+// NOT immediately durable: a DropUnsynced crash image rolls the
+// directory back to its last SyncDir'd state (the old names, each with
+// its own synced content), so an atomic-replace protocol must SyncDir
+// after the rename before acting on it. A crash injected on the rename
 // itself leaves both names as they were.
 func (m *MemFS) Rename(oldpath, newpath string) error {
 	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
@@ -200,6 +219,44 @@ func (m *MemFS) Rename(oldpath, newpath string) error {
 	return nil
 }
 
+// SyncDir folds the directory's pending entry mutations into the
+// durable namespace: files created or renamed into path become
+// crash-durable entries, and entries removed or renamed away are
+// durably forgotten. File content durability is untouched — entries
+// and content sync independently, as on a real disk.
+func (m *MemFS) SyncDir(path string) error {
+	path = filepath.Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	m.ops++
+	if rule, ok := m.script.decide(OpSyncDir, path); ok {
+		switch rule.Action {
+		case ActError:
+			return rule.error()
+		case ActCrash:
+			m.crashed = true
+			return ErrCrashed
+		}
+	}
+	for p, n := range m.files {
+		if filepath.Dir(p) == path {
+			m.durFiles[p] = n
+		}
+	}
+	for p := range m.durFiles {
+		if filepath.Dir(p) != path {
+			continue
+		}
+		if _, live := m.files[p]; !live {
+			delete(m.durFiles, p)
+		}
+	}
+	return nil
+}
+
 // ReadImage returns a copy of the file's current ("page cache") content.
 func (m *MemFS) ReadImage(path string) ([]byte, bool) {
 	m.mu.Lock()
@@ -211,16 +268,26 @@ func (m *MemFS) ReadImage(path string) ([]byte, bool) {
 	return append([]byte(nil), n.data...), true
 }
 
-// CrashImage reconstructs the filesystem a rebooted machine would find:
-// each file's last-synced image, plus — in KeepAll mode — its unsynced
-// writes (except those dropped by a failed fsync), with torn writes cut
-// to their surviving prefix. The result is a fresh fault-free MemFS
-// suitable for reopening the database.
+// CrashImage reconstructs the filesystem a rebooted machine would find.
+// In KeepAll mode the OS is assumed to have written everything through
+// before dying: the cache-visible namespace survives, each file holding
+// its synced image plus unsynced writes (except those dropped by a
+// failed fsync), with torn writes cut to their surviving prefix. In
+// DropUnsynced mode nothing unsynced survives: only the SyncDir'd
+// directory entries exist, each holding only its last-synced content —
+// so a created or renamed file whose directory was never synced is
+// simply absent, and an unsynced removal resurrects the old file. The
+// result is a fresh fault-free MemFS suitable for reopening the
+// database.
 func (m *MemFS) CrashImage(mode CrashMode) *MemFS {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := NewMem()
-	for path, n := range m.files {
+	src := m.files
+	if mode == DropUnsynced {
+		src = m.durFiles
+	}
+	for path, n := range src {
 		img := append([]byte(nil), n.durable...)
 		if mode == KeepAll {
 			for _, op := range n.pending {
@@ -230,7 +297,9 @@ func (m *MemFS) CrashImage(mode CrashMode) *MemFS {
 				img = applyImage(img, op, true)
 			}
 		}
-		out.files[path] = &memNode{name: path, data: img, durable: append([]byte(nil), img...)}
+		node := &memNode{name: path, data: img, durable: append([]byte(nil), img...)}
+		out.files[path] = node
+		out.durFiles[path] = node
 	}
 	for d := range m.dirs {
 		out.dirs[d] = true

@@ -18,9 +18,9 @@ const (
 	// OpSync matches Sync calls.
 	OpSync
 	// OpAny matches every durability-relevant operation (writes,
-	// truncates, syncs, renames, and removes — the crash-sweep domain).
-	// Reads are never matched by OpAny; target them with OpRead
-	// explicitly.
+	// truncates, syncs, renames, removes, and directory syncs — the
+	// crash-sweep domain). Reads are never matched by OpAny; target them
+	// with OpRead explicitly.
 	OpAny
 	// OpRead matches Read/ReadAt calls.
 	OpRead
@@ -29,6 +29,9 @@ const (
 	OpRename
 	// OpRemove matches FS.Remove calls.
 	OpRemove
+	// OpSyncDir matches FS.SyncDir calls (matched against the directory
+	// path).
+	OpSyncDir
 )
 
 func (k OpKind) String() string {
@@ -47,6 +50,8 @@ func (k OpKind) String() string {
 		return "rename"
 	case OpRemove:
 		return "remove"
+	case OpSyncDir:
+		return "syncdir"
 	}
 	return fmt.Sprintf("opkind(%d)", k)
 }

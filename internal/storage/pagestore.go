@@ -67,6 +67,18 @@ func OpenPageStore(dir string, opts PageStoreOptions) (*PageStore, error) {
 			f.Close()
 			return nil, err
 		}
+	}
+	// store.dat / store.dw may have just been created; their directory
+	// entries must be durable before any page or journal write is relied
+	// upon, or a crash can lose the files entirely.
+	if err := fsys.SyncDir(dir); err != nil {
+		if dw != nil {
+			dw.close()
+		}
+		f.Close()
+		return nil, err
+	}
+	if dw != nil {
 		if err := dw.replay(f); err != nil {
 			dw.close()
 			f.Close()

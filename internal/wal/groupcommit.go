@@ -211,6 +211,15 @@ func createSegment(fsys faultfs.FS, dir string, seq, firstLSN uint64) (faultfs.F
 		f.Close()
 		return nil, err
 	}
+	// The directory entry must be as durable as the header: a segment
+	// whose entry is lost in a crash takes every record forced into it
+	// along — acked-durable commits silently gone behind a clean chain
+	// end. Forcing it here, before the first batch can land (and so
+	// before any force into this segment is acked), closes that window.
+	if err := fsys.SyncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return f, nil
 }
 
@@ -239,15 +248,27 @@ func (l *SegmentedLog) Append(r *Record) (uint64, error) {
 }
 
 // takeBatch swaps the slab for the recycled spare and returns the
-// pending batch. Called by whoever holds force leadership.
-func (l *SegmentedLog) takeBatch() (batch []byte, first, recs uint64) {
+// pending batch. Called by whoever holds force leadership. high is the
+// LSN of the batch's last record (0 for an empty batch), computed while
+// the append latch is held: appends race the leader here — the core
+// appends under m.mu, but the leader forces off-mutex under GroupCommit
+// — and a record that slips into the fresh slab after the swap belongs
+// to the NEXT batch. Reading lastLSN after the swap would cover it with
+// this batch's watermark and ack its commit without its bytes ever
+// reaching disk.
+func (l *SegmentedLog) takeBatch() (batch []byte, first, recs, high uint64) {
 	l.appendMu.Lock()
 	batch, first, recs = l.slab, l.slabFirst, l.slabRecs
+	if recs > 0 {
+		// LSNs are assigned contiguously under appendMu, so the slab
+		// covers exactly [first, first+recs-1].
+		high = first + recs - 1
+	}
 	l.slab = l.spare[:0]
 	l.spare = nil
 	l.slabFirst, l.slabRecs = 0, 0
 	l.appendMu.Unlock()
-	return batch, first, recs
+	return batch, first, recs, high
 }
 
 // recycleBatch returns a drained batch buffer for reuse as the next
@@ -290,8 +311,7 @@ func (l *SegmentedLog) Flush() error {
 		if l.window > 0 {
 			time.Sleep(l.window) // accumulate followers into the batch
 		}
-		batch, first, recs := l.takeBatch()
-		high := l.lastLSN.Load()
+		batch, first, recs, high := l.takeBatch()
 		err := l.writeBatch(batch, first)
 		l.recycleBatch(batch)
 		l.stateMu.Lock()
@@ -304,8 +324,12 @@ func (l *SegmentedLog) Flush() error {
 		if recs > 0 {
 			l.forces++
 			l.batchRecs += recs
+			// Advance the watermark to exactly the batch's high LSN — an
+			// empty batch leaves it alone, and it never retreats.
+			if high > l.durableLSN {
+				l.durableLSN = high
+			}
 		}
-		l.durableLSN = high
 		l.cond.Broadcast()
 	}
 }
@@ -380,15 +404,20 @@ func (l *SegmentedLog) acquireWriter() {
 	l.stateMu.Unlock()
 }
 
-// releaseWriter drops leadership, recording err as poison if non-nil,
-// and marks everything drained so far as settled.
-func (l *SegmentedLog) releaseWriter(err error) {
+// releaseWriter drops leadership. A non-nil err is recorded as poison;
+// otherwise high — the highest LSN the operation actually drained and
+// settled, 0 for none — advances the durability watermark. The caller
+// reports what it drained rather than this function reading lastLSN,
+// because appends concurrent with the operation land in the fresh slab:
+// marking them settled here would let a later Flush no-op over records
+// that were never written.
+func (l *SegmentedLog) releaseWriter(err error, high uint64) {
 	l.stateMu.Lock()
 	l.inFlight = false
 	if err != nil {
 		l.poisonLocked(err)
-	} else {
-		l.durableLSN = l.lastLSN.Load()
+	} else if high > l.durableLSN {
+		l.durableLSN = high
 	}
 	l.cond.Broadcast()
 	l.stateMu.Unlock()
@@ -404,22 +433,27 @@ func (l *SegmentedLog) releaseWriter(err error) {
 // failure mode the crash matrix's buffered group-commit sweep catches.
 func (l *SegmentedLog) ForceDurable() error {
 	l.acquireWriter()
-	err := l.forceDurable()
-	l.releaseWriter(err)
+	high, err := l.forceDurable()
+	l.releaseWriter(err, high)
 	return err
 }
 
-func (l *SegmentedLog) forceDurable() error {
+// forceDurable drains and fsyncs, returning the high LSN of the batch
+// it drained (0 for an empty one) for the release watermark.
+func (l *SegmentedLog) forceDurable() (uint64, error) {
 	if l.poisoned.Load() {
-		return l.perr
+		return 0, l.perr
 	}
-	batch, first, _ := l.takeBatch()
+	batch, first, _, high := l.takeBatch()
 	err := l.writeBatch(batch, first)
 	l.recycleBatch(batch)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	return l.cur.Sync()
+	if err := l.cur.Sync(); err != nil {
+		return 0, err
+	}
+	return high, nil
 }
 
 // Truncate drops the fully-applied chain after a quiescent checkpoint:
@@ -431,22 +465,25 @@ func (l *SegmentedLog) forceDurable() error {
 // recovery and swept on the next truncation-free open.
 func (l *SegmentedLog) Truncate() error {
 	l.acquireWriter()
-	err := l.truncateChain()
-	l.releaseWriter(err)
+	high, err := l.truncateChain()
+	l.releaseWriter(err, high)
 	return err
 }
 
-func (l *SegmentedLog) truncateChain() error {
+// truncateChain performs the cutover, returning the high LSN of the
+// pending batch it drained into the old chain (0 for an empty one) so
+// the release can settle exactly those records.
+func (l *SegmentedLog) truncateChain() (uint64, error) {
 	if l.poisoned.Load() {
-		return l.perr
+		return 0, l.perr
 	}
 	// Drain whatever is still pending into the old chain first, so the
 	// cutover never discards an appended record.
-	batch, first, _ := l.takeBatch()
+	batch, first, _, high := l.takeBatch()
 	err := l.writeBatch(batch, first)
 	l.recycleBatch(batch)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	// Seal the old chain before the new segment's header can become
 	// durable: if a crash lands between the two, recovery must find the
@@ -454,7 +491,7 @@ func (l *SegmentedLog) truncateChain() error {
 	// gap where buffered records evaporated (the crash matrix sweeps this
 	// boundary).
 	if err := l.cur.Sync(); err != nil {
-		return err
+		return 0, err
 	}
 	l.appendMu.Lock()
 	next := l.nextLSN
@@ -462,19 +499,19 @@ func (l *SegmentedLog) truncateChain() error {
 	seq := l.curSeq + 1
 	f, err := createSegment(l.fsys, l.dir, seq, next)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	old := l.man
 	l.man = &manifest{Segments: []manifestSegment{{Seq: seq, FirstLSN: next}}}
 	if err := writeManifest(l.fsys, l.dir, l.man); err != nil {
 		f.Close()
 		l.man = old
-		return err
+		return 0, err
 	}
 	// The manifest now starts at the new segment: the old chain is dead
 	// regardless of whether these deletes all land before a crash.
 	if err := l.cur.Close(); err != nil {
-		return err
+		return 0, err
 	}
 	l.cur, l.curSeq, l.curSize = f, seq, segHeaderSize
 	var firstErr error
@@ -488,7 +525,7 @@ func (l *SegmentedLog) truncateChain() error {
 			firstErr = err
 		}
 	}
-	return firstErr
+	return high, firstErr
 }
 
 // Close drains the pending batch and closes the chain.
@@ -496,8 +533,11 @@ func (l *SegmentedLog) Close() error {
 	l.acquireWriter()
 	l.closed.Store(true)
 	var err error
+	var high uint64
 	if !l.poisoned.Load() {
-		batch, first, _ := l.takeBatch()
+		var batch []byte
+		var first uint64
+		batch, first, _, high = l.takeBatch()
 		err = l.writeBatch(batch, first)
 		l.recycleBatch(batch)
 	}
@@ -507,7 +547,7 @@ func (l *SegmentedLog) Close() error {
 		}
 		l.cur = nil
 	}
-	l.releaseWriter(err)
+	l.releaseWriter(err, high)
 	return err
 }
 
@@ -529,10 +569,13 @@ func (l *SegmentedLog) BatchedRecords() uint64 {
 }
 
 // CurrentSegment reports the active segment's sequence number, for
-// tests asserting rotation behaviour.
+// tests asserting rotation behaviour. It drains nothing, so it releases
+// with high 0 — the durability watermark must not move (an observer
+// marking pending slab records settled would let a later Flush no-op
+// over them).
 func (l *SegmentedLog) CurrentSegment() uint64 {
 	l.acquireWriter()
 	seq := l.curSeq
-	l.releaseWriter(nil)
+	l.releaseWriter(nil, 0)
 	return seq
 }

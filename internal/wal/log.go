@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/faultfs"
@@ -62,6 +63,13 @@ func OpenFileFS(fsys faultfs.FS, path string, syncOnFlush bool) (*FileLog, error
 	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	// The open may have just created the file; its directory entry must
+	// be durable before any commit forced into it is acked, or a crash
+	// can drop the whole log while every record in it was "fsynced".
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
 	}
 	// Find the end of the intact prefix and the next LSN.
 	var nextLSN uint64 = 1

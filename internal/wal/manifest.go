@@ -147,5 +147,13 @@ func writeManifest(fsys faultfs.FS, dir string, m *manifest) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return fsys.Rename(tmp, filepath.Join(dir, manifestName))
+	if err := fsys.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	// The rename itself is only a volatile directory update until the
+	// directory is fsynced; without this a crash can roll the directory
+	// back to the old manifest even though the new one was "renamed into
+	// place", undoing a truncation cutover or segment-chain extension
+	// the caller already acted on.
+	return fsys.SyncDir(dir)
 }

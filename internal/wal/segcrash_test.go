@@ -110,6 +110,63 @@ func TestCrashAtRotationBoundary(t *testing.T) {
 	}
 }
 
+// TestCrashAtDirectorySyncBoundaries sweeps a crash across every
+// directory fsync the chain issues — after each segment creation and
+// after each manifest rename, inside Open and inside every rotation.
+// In DropUnsynced mode the crash deletes the not-yet-dir-synced entry
+// (the new segment file, or the manifest rename rolls back), which is
+// exactly the failure the plain crash matrix could not model before
+// MemFS tracked directory-entry durability. Whatever survives, recovery
+// must return exactly the acked prefix: the rotation's dir syncs run
+// before the batch write, so the in-flight batch can never be on disk.
+func TestCrashAtDirectorySyncBoundaries(t *testing.T) {
+	swept := 0
+	for nth := 1; nth < 200; nth++ {
+		mfs := faultfs.NewMem()
+		mfs.SetScript(faultfs.NewScript(faultfs.Rule{
+			Op: faultfs.OpSyncDir, Nth: nth, Action: faultfs.ActCrash, Keep: -1,
+		}))
+		acked := 0
+		l, err := OpenSegmentedFS(mfs, "/db", testSegOpts(true))
+		if err == nil {
+			for acked < 60 && tryCommitOne(l, acked+1) {
+				acked++
+			}
+		}
+		if !mfs.Crashed() {
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			break // nth exceeds the SyncDirs a 60-txn run issues
+		}
+		swept++
+		for _, mode := range []faultfs.CrashMode{faultfs.KeepAll, faultfs.DropUnsynced} {
+			img := mfs.CrashImage(mode)
+			st, rerr := RecoverDirFS(img, "/db", RecoverOptions{Parallel: 4})
+			if rerr != nil {
+				t.Fatalf("syncdir #%d %v: %v", nth, mode, rerr)
+			}
+			checkRecoveredRange(t, st, 1, acked)
+			if want := uint64(3*acked + 1); st.NextLSN != want {
+				t.Fatalf("syncdir #%d %v: NextLSN = %d, want %d (exact acked prefix)",
+					nth, mode, st.NextLSN, want)
+			}
+			// The survivor must stay adoptable and writable.
+			l2, rerr := OpenSegmentedFS(img, "/db", testSegOpts(true))
+			if rerr != nil {
+				t.Fatalf("syncdir #%d %v: reopen: %v", nth, mode, rerr)
+			}
+			appendCommitted(t, l2, acked+1, 1)
+			if err := l2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if swept < 4 {
+		t.Fatalf("swept only %d directory-sync crash points; rotation boundaries not exercised", swept)
+	}
+}
+
 // TestCrashAtTruncationCutover: a crash on the truncation's manifest
 // cutover rename leaves the old manifest authoritative, so recovery must
 // return the entire pre-truncation chain — the new, still-unpublished

@@ -374,6 +374,121 @@ func TestGroupCommitEarlierBatchStaysAcked(t *testing.T) {
 	}
 }
 
+// TestBatchWatermarkExcludesPostDrainAppends pins the lost-durability
+// race fix: the batch's high LSN is captured inside takeBatch while the
+// append latch is held, so a record that lands in the fresh slab after
+// the swap — reachable, because the force leader runs off the append
+// latch — is NOT covered by the batch's durability watermark. Reading
+// lastLSN after the swap instead would cover it, and that committer's
+// Flush would return success without its record ever being written.
+func TestBatchWatermarkExcludesPostDrainAppends(t *testing.T) {
+	mfs := faultfs.NewMem()
+	l, err := OpenSegmentedFS(mfs, "/db", testSegOpts(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(&Record{Type: TBegin, TID: xid.TID(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, first, recs, high := l.takeBatch()
+	// A racing committer appends while the leader is off the latch.
+	lsn, err := l.Append(&Record{Type: TBegin, TID: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 || recs != 3 || high != 3 {
+		t.Fatalf("takeBatch = first %d recs %d high %d, want 1/3/3", first, recs, high)
+	}
+	if high >= lsn {
+		t.Fatalf("batch watermark %d covers the post-drain append at LSN %d", high, lsn)
+	}
+	// Write the drained records so Close's drain keeps the chain
+	// LSN-contiguous for any later scan, then recycle the buffer.
+	if err := l.writeBatch(batch, first); err != nil {
+		t.Fatal(err)
+	}
+	l.recycleBatch(batch)
+}
+
+// TestObserverDoesNotSettlePending: CurrentSegment (and any exclusive
+// writer-side operation that drains nothing) must not advance the
+// durability watermark — before the fix it marked the pending slab
+// settled, so the following Flush no-opped and the acked record was
+// missing from the crash image.
+func TestObserverDoesNotSettlePending(t *testing.T) {
+	mfs := faultfs.NewMem()
+	l, err := OpenSegmentedFS(mfs, "/db", testSegOpts(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Type: TBegin, TID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Type: TUpdate, TID: 1, OID: 7, Kind: KindCreate, After: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Type: TCommit, TIDs: []xid.TID{1}}); err != nil {
+		t.Fatal(err)
+	}
+	_ = l.CurrentSegment() // must not mark the three pending records durable
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash right after the acked Flush: the commit must be on disk.
+	st, err := RecoverDirFS(mfs.CrashImage(faultfs.DropUnsynced), "/db", RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(st.Objects[7]) != "x" {
+		t.Fatalf("acked commit missing after CurrentSegment+Flush: objects %v", st.Objects)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriterReleaseSettlesOnlyDrainedRecords: ForceDurable and Truncate
+// settle exactly the records they drained. A record appended while the
+// operation held leadership (appends stay enabled — only forces are
+// serialized) must still be written by the next Flush, not silently
+// marked durable at release.
+func TestWriterReleaseSettlesOnlyDrainedRecords(t *testing.T) {
+	mfs := faultfs.NewMem()
+	l, err := OpenSegmentedFS(mfs, "/db", testSegOpts(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Type: TBegin, TID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// White-box ForceDurable with an append landing mid-operation.
+	l.acquireWriter()
+	high, ferr := l.forceDurable() // drains TID 1
+	if _, err := l.Append(&Record{Type: TBegin, TID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	l.releaseWriter(ferr, high)
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := RecoverDirFS(mfs.CrashImage(faultfs.DropUnsynced), "/db", RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxTID != 2 {
+		t.Fatalf("recovered MaxTID = %d, want 2 (mid-operation append must survive the next Flush)", st.MaxTID)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestSegmentedAppendAllocFree: the enqueue fast path must not allocate
 // once the batch slab has warmed up — committers on the fast path pay a
 // latch and a memcpy, nothing else.
