@@ -84,6 +84,10 @@ const (
 	OpWrite = xid.OpWrite
 	// OpIncr is the commutative counter-increment operation (§5 extension).
 	OpIncr = xid.OpIncr
+	// OpDecr is the commutative counter-decrement operation (§5 extension);
+	// it commutes with OpIncr and itself but conflicts with reads and
+	// writes. Bounded escrow accounting charges it against the lower bound.
+	OpDecr = xid.OpDecr
 	// OpAll is every operation (the permit wildcard).
 	OpAll = xid.OpAll
 )
@@ -154,6 +158,9 @@ var (
 	ErrDeadlock = core.ErrDeadlock
 	// ErrLockTimeout reports a lock wait that exceeded Config.LockTimeout.
 	ErrLockTimeout = core.ErrLockTimeout
+	// ErrEscrow reports an Add whose delta can never be admitted within
+	// the counter's declared escrow bounds.
+	ErrEscrow = core.ErrEscrow
 	// ErrDependencyCycle reports a rejected commit-blocking dependency
 	// cycle.
 	ErrDependencyCycle = core.ErrDependencyCycle

@@ -10,6 +10,7 @@
 //	assetbench -baseline FILE      # write the contention sweep as JSON
 //	assetbench -resil-baseline F   # write the overload sweep as JSON
 //	assetbench -walgc-baseline F   # write the group-commit sweep as JSON
+//	assetbench -hotkey-baseline F  # write the hot-key escrow sweep as JSON
 //	assetbench -list               # show the experiment index
 package main
 
@@ -60,9 +61,10 @@ func main() {
 	baseline := flag.String("baseline", "", "write the lock-contention sweep as JSON to this file")
 	resilBaseline := flag.String("resil-baseline", "", "write the admission-control overload sweep as JSON to this file")
 	walgcBaseline := flag.String("walgc-baseline", "", "write the group-commit WAL sweep as JSON to this file")
+	hotkeyBaseline := flag.String("hotkey-baseline", "", "write the hot-key escrow sweep as JSON to this file")
 	flag.Parse()
 
-	if *baseline != "" || *resilBaseline != "" || *walgcBaseline != "" {
+	if *baseline != "" || *resilBaseline != "" || *walgcBaseline != "" || *hotkeyBaseline != "" {
 		start := time.Now()
 		if *baseline != "" {
 			if err := writeBaseline(*baseline, "lock-contention", *quick, bench.LockContention(*quick)); err != nil {
@@ -84,6 +86,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s in %v\n", *walgcBaseline, time.Since(start).Round(time.Millisecond))
+		}
+		if *hotkeyBaseline != "" {
+			if err := writeBaseline(*hotkeyBaseline, "hotkey-escrow", *quick, bench.HotKey(*quick)); err != nil {
+				fmt.Fprintf(os.Stderr, "assetbench: hotkey-baseline: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s in %v\n", *hotkeyBaseline, time.Since(start).Round(time.Millisecond))
 		}
 		return
 	}

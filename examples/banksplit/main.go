@@ -5,6 +5,12 @@
 // abort without dragging down the finished part. A second phase *joins* a
 // helper transaction's work back into the batch.
 //
+// The branch also keeps a reconciled-accounts counter with escrow bounds:
+// the batch increments it once per finished account, and the split
+// delegates both the increment grant and its in-flight escrow reservation
+// to the early-committing transaction — so when the rest of the batch
+// aborts, only the split-off increments survive.
+//
 //	go run ./examples/banksplit
 package main
 
@@ -14,6 +20,7 @@ import (
 
 	asset "repro"
 	"repro/models"
+	"repro/odb"
 )
 
 func main() {
@@ -23,9 +30,11 @@ func main() {
 	}
 	defer m.Close()
 
-	// Ten accounts with 100 units each.
+	// Ten accounts with 100 units each, plus a branch-level counter of
+	// reconciled accounts (escrow bounds [0, nAccounts]).
 	const nAccounts = 10
 	accounts := make([]asset.OID, nAccounts)
+	var reconciled odb.BoundedCounter
 	if err := models.Atomic(m, func(tx *asset.Tx) error {
 		for i := range accounts {
 			var err error
@@ -33,7 +42,9 @@ func main() {
 				return err
 			}
 		}
-		return nil
+		var err error
+		reconciled, err = odb.NewBoundedCounter(tx, 0, 0, nAccounts)
+		return err
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -45,23 +56,31 @@ func main() {
 	fmt.Println("phase 1: batch reconciliation splits off its finished half")
 	var early asset.TID
 	batch, err := m.Initiate(func(tx *asset.Tx) error {
-		// Reconcile the first half.
+		// Reconcile the first half, bumping the reconciled counter per
+		// account under a commuting increment grant.
 		for i := 0; i < nAccounts/2; i++ {
 			if err := tx.Write(accounts[i], []byte("bal=100 reconciled")); err != nil {
 				return err
 			}
+			if err := reconciled.Add(tx, 1); err != nil {
+				return err
+			}
 		}
-		// Split: delegate the finished accounts to a new transaction that
-		// can commit immediately.
+		// Split: delegate the finished accounts — and the counter, whose
+		// in-flight +5 escrow reservation moves with its grant — to a new
+		// transaction that can commit immediately.
 		var err error
 		early, err = models.Split(tx, func(s *asset.Tx) error { return nil },
-			accounts[:nAccounts/2]...)
+			append(append([]asset.OID{}, accounts[:nAccounts/2]...), reconciled.Oid)...)
 		if err != nil {
 			return err
 		}
 		// Keep working on the second half...
 		for i := nAccounts / 2; i < nAccounts; i++ {
 			if err := tx.Write(accounts[i], []byte("bal=100 SUSPECT")); err != nil {
+				return err
+			}
+			if err := reconciled.Add(tx, 1); err != nil {
 				return err
 			}
 		}
@@ -80,6 +99,21 @@ func main() {
 	}
 	fmt.Printf("  account 0 (split off, committed): %q\n", balance(0))
 	fmt.Printf("  account 9 (kept, rolled back):    %q\n", balance(9))
+	if err := models.Atomic(m, func(tx *asset.Tx) error {
+		n, err := reconciled.Value(tx)
+		if err != nil {
+			return err
+		}
+		// The delegated +5 committed with `early`; the batch's own +5 was
+		// discarded when it aborted.
+		fmt.Printf("  reconciled counter: %d (split-off increments only)\n", n)
+		if n != nAccounts/2 {
+			return fmt.Errorf("want %d reconciled, got %d", nAccounts/2, n)
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("phase 2: a helper's work is joined into the main transaction")
 	mainTxn, err := m.Initiate(func(tx *asset.Tx) error {

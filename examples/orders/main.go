@@ -19,8 +19,8 @@ import (
 
 type shop struct {
 	db        *odb.Database
-	stock     odb.Counter // widgets on hand
-	balance   odb.Counter // customer account, cents
+	stock     odb.BoundedCounter // widgets on hand; escrow lower bound 0 rejects over-reservation
+	balance   odb.BoundedCounter // customer account, cents; escrow lower bound 0 rejects overdrafts
 	shipments *odb.Collection
 }
 
@@ -36,10 +36,10 @@ func main() {
 	}
 	s := &shop{db: db}
 	err = models.Atomic(m, func(tx *asset.Tx) error {
-		if s.stock, err = odb.NewCounter(tx, 5); err != nil {
+		if s.stock, err = odb.NewBoundedCounter(tx, 5, 0, 1_000); err != nil {
 			return err
 		}
-		if s.balance, err = odb.NewCounter(tx, 300); err != nil {
+		if s.balance, err = odb.NewBoundedCounter(tx, 300, 0, 1_000_000); err != nil {
 			return err
 		}
 		s.shipments, err = db.Collection(tx, "shipments")
@@ -49,9 +49,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Three orders: the first succeeds, the second fails at shipping (and
+	// Four orders: the first succeeds, the second fails at shipping (and
 	// compensates the charge and the stock reservation), the third
-	// succeeds again — proving the compensations restored a clean state.
+	// succeeds again — proving the compensations restored a clean state —
+	// and the fourth asks for more widgets than remain, so the stock
+	// counter's escrow lower bound rejects the reservation outright.
 	for i, o := range []struct {
 		id          string
 		qty, price  uint64
@@ -61,6 +63,7 @@ func main() {
 		{"order-1", 2, 100, true, "plain success"},
 		{"order-2", 1, 100, false, "carrier rejects: compensate charge + stock"},
 		{"order-3", 1, 100, true, "succeeds on the compensated state"},
+		{"order-4", 5, 100, true, "insufficient stock: escrow bound rejects"},
 	} {
 		res := placeOrder(m, s, o.id, o.qty, o.price, o.shippingOK)
 		fmt.Printf("%d. %-8s (%s)\n   committed=%v compensated=%v err=%v\n",
@@ -87,29 +90,14 @@ func main() {
 func placeOrder(m *asset.Manager, s *shop, id string, qty, price uint64, shippingOK bool) *models.SagaResult {
 	saga := models.NewSaga(m).
 		Step("reserve-stock",
-			func(tx *asset.Tx) error {
-				onHand, err := s.stock.Value(tx)
-				if err != nil {
-					return err
-				}
-				if onHand < qty {
-					return fmt.Errorf("only %d on hand", onHand)
-				}
-				return s.stock.Sub(tx, qty)
-			},
+			// No read-then-check: a read lock on the hot stock counter
+			// would conflict with every other order's increment grant. The
+			// escrow lower bound IS the check — a Sub that could drive the
+			// counter below 0 fails with asset.ErrEscrow.
+			func(tx *asset.Tx) error { return s.stock.Sub(tx, qty) },
 			func(tx *asset.Tx) error { return s.stock.Add(tx, qty) }).
 		Step("charge",
-			func(tx *asset.Tx) error {
-				bal, err := s.balance.Value(tx)
-				if err != nil {
-					return err
-				}
-				total := qty * price
-				if bal < total {
-					return fmt.Errorf("insufficient funds: %d < %d", bal, total)
-				}
-				return s.balance.Sub(tx, total)
-			},
+			func(tx *asset.Tx) error { return s.balance.Sub(tx, qty*price) },
 			func(tx *asset.Tx) error { return s.balance.Add(tx, qty*price) }).
 		Step("ship",
 			func(tx *asset.Tx) error {

@@ -147,6 +147,37 @@ func TestRegistryOrderWithNewNamedExperiment(t *testing.T) {
 	}
 }
 
+// TestRegistryHotkeyOrdering pins the HOTKEY experiment's place in the
+// registry: present and retrievable case-insensitively, slotted into the
+// named group alphabetically (HOTKEY < LOCK < RESIL < WALGC), and after
+// every numeric experiment — the order baseline tooling that walks All()
+// depends on for stable output.
+func TestRegistryHotkeyOrdering(t *testing.T) {
+	exps := All()
+	idx := make(map[string]int, len(exps))
+	for i, e := range exps {
+		idx[e.ID] = i
+	}
+	want := []string{"HOTKEY", "LOCK", "RESIL", "WALGC"}
+	for _, id := range want {
+		if _, ok := idx[id]; !ok {
+			t.Fatalf("%s missing from All()", id)
+		}
+	}
+	for i := 1; i < len(want); i++ {
+		if idx[want[i-1]] >= idx[want[i]] {
+			t.Fatalf("named group out of order: %s (index %d) not before %s (index %d)",
+				want[i-1], idx[want[i-1]], want[i], idx[want[i]])
+		}
+	}
+	if idx["E14"] >= idx["HOTKEY"] {
+		t.Fatalf("numeric E14 (index %d) must precede named HOTKEY (index %d)", idx["E14"], idx["HOTKEY"])
+	}
+	if e, ok := Get("hotkey"); !ok || e.ID != "HOTKEY" {
+		t.Fatalf("case-insensitive Get(hotkey) = %v, %v", e.ID, ok)
+	}
+}
+
 func parseNum(id string, n *int) (int, error) {
 	var v int
 	for _, c := range id[1:] {

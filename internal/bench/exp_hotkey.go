@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	asset "repro"
+	"repro/internal/wal"
+	"repro/internal/workload"
+	"repro/models"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "HOTKEY",
+		Title:  "Zipf hot-key counters: exclusive RMW vs bounded escrow increments",
+		Anchor: "§5 commutativity",
+		Run:    runHotkey,
+	})
+}
+
+// HotkeyPoint is one measured cell of the hot-key sweep; the slice of
+// points is what assetbench -hotkey-baseline serializes into
+// BENCH_hotkey_baseline.json.
+type HotkeyPoint struct {
+	Mode       string  `json:"mode"` // "exclusive" (write-lock RMW) | "escrow" (bounded Add)
+	Counters   int     `json:"counters"`
+	Workers    int     `json:"workers"`
+	TxnsPerSec float64 `json:"txns_per_sec"`
+	P99Micros  float64 `json:"p99_us"`
+	Errors     uint64  `json:"errors"`
+}
+
+// hotkeyInit is the seeded value of every counter; escrow bounds are
+// [0, 2*hotkeyInit], wide enough that the ±1 workload never trips
+// ErrEscrow — the sweep measures lock-mode commutativity, not bound
+// pressure.
+const hotkeyInit = uint64(1) << 20
+
+// HotKey runs the hot-key counter sweep: every transaction adjusts
+// keysPerTxn distinct counters drawn from a Zipf distribution (so one
+// counter absorbs most of the traffic), alternating +1/-1 deltas, then
+// spends `think` doing the rest of its (simulated) work before
+// committing — strict two-phase locking holds the counter grants across
+// that work.
+//
+//   - exclusive: each adjustment is a read-modify-write under a write
+//     lock, the pre-escrow idiom. Whichever worker holds the hot
+//     counter's write lock blocks every other transaction that needs it
+//     for its entire think time, so the hot key serializes the workload.
+//   - escrow: each adjustment is tx.Add on a counter with declared
+//     escrow bounds. Increment/decrement grants commute, so every
+//     worker's think time overlaps through the hot counter.
+//
+// Keys are visited in sorted order so the exclusive arm cannot
+// deadlock; its retry budget exists only for robustness.
+func HotKey(quick bool) []HotkeyPoint {
+	dur := pick(quick, 80*time.Millisecond, 500*time.Millisecond)
+	think := pick(quick, 100*time.Microsecond, 200*time.Microsecond)
+	counters := pick(quick, 16, 64)
+	workerCounts := pick(quick, []int{1, 8}, []int{1, 4, 8, 16})
+	const keysPerTxn = 2
+	const skew = 1.5
+
+	var out []HotkeyPoint
+	for _, workers := range workerCounts {
+		for _, mode := range []string{"exclusive", "escrow"} {
+			m, err := memManager()
+			if err != nil {
+				return out
+			}
+			oids, err := seedHotCounters(m, counters, mode == "escrow")
+			if err != nil {
+				m.Close()
+				return out
+			}
+			gens := make([]workload.Generator, workers)
+			for i := range gens {
+				gens[i] = workload.NewZipf(int64(i+1), uint64(counters), skew)
+			}
+			res := workload.RunClosed(workers, dur, func(wkr, i int) error {
+				keys := pickDistinct(gens[wkr], keysPerTxn, counters)
+				delta := int64(1)
+				if (wkr+i)%2 == 1 {
+					delta = -1
+				}
+				if mode == "escrow" {
+					return models.Atomic(m, func(tx *asset.Tx) error {
+						for _, k := range keys {
+							if err := tx.Add(oids[k], delta); err != nil {
+								return err
+							}
+						}
+						time.Sleep(think)
+						return nil
+					})
+				}
+				return models.AtomicRetry(m, 10, func(tx *asset.Tx) error {
+					for _, k := range keys {
+						err := tx.Update(oids[k], func(b []byte) []byte {
+							return wal.EncodeCounter(wal.DecodeCounter(b) + uint64(delta))
+						})
+						if err != nil {
+							return err
+						}
+					}
+					time.Sleep(think)
+					return nil
+				})
+			})
+			m.Close()
+			out = append(out, HotkeyPoint{
+				Mode:       mode,
+				Counters:   counters,
+				Workers:    workers,
+				TxnsPerSec: res.Throughput(),
+				P99Micros:  float64(res.Lat.Percentile(0.99)) / float64(time.Microsecond),
+				Errors:     res.Errors,
+			})
+		}
+	}
+	return out
+}
+
+// seedHotCounters creates n counters at hotkeyInit and, for the escrow
+// arm, declares bounds [0, 2*hotkeyInit] on each.
+func seedHotCounters(m *asset.Manager, n int, escrow bool) ([]asset.OID, error) {
+	oids := make([]asset.OID, 0, n)
+	err := models.Atomic(m, func(tx *asset.Tx) error {
+		for i := 0; i < n; i++ {
+			oid, err := tx.Create(wal.EncodeCounter(hotkeyInit))
+			if err != nil {
+				return err
+			}
+			if escrow {
+				if err := tx.DeclareEscrow(oid, 0, 2*hotkeyInit); err != nil {
+					return err
+				}
+			}
+			oids = append(oids, oid)
+		}
+		return nil
+	})
+	return oids, err
+}
+
+// pickDistinct draws k distinct keys from gen (range [0,n)) and returns
+// them sorted ascending, the deadlock-free visit order.
+func pickDistinct(gen workload.Generator, k, n int) []int {
+	if k > n {
+		k = n
+	}
+	keys := make([]int, 0, k)
+draw:
+	for len(keys) < k {
+		c := int(gen.Next()) % n
+		for _, have := range keys {
+			if have == c {
+				continue draw
+			}
+		}
+		keys = append(keys, c)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func runHotkey(w io.Writer, quick bool) error {
+	points := HotKey(quick)
+	var t Table
+	t.Headers = []string{"workers", "mode", "txn/s", "p99", "errs", "vs exclusive"}
+	base := make(map[int]float64)
+	for _, p := range points {
+		if p.Mode == "exclusive" {
+			base[p.Workers] = p.TxnsPerSec
+		}
+	}
+	for _, p := range points {
+		speedup := "-"
+		if b := base[p.Workers]; b > 0 && p.Mode == "escrow" {
+			speedup = fmt.Sprintf("%.2fx", p.TxnsPerSec/b)
+		}
+		t.Add(p.Workers, p.Mode,
+			fmt.Sprintf("%.0f", p.TxnsPerSec),
+			time.Duration(p.P99Micros*float64(time.Microsecond)).Round(time.Microsecond/10),
+			p.Errors, speedup)
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "  (2 Zipf-drawn counters per txn + think time under 2PL; exclusive serializes on the hot key's write lock, escrow grants commute)")
+	return nil
+}

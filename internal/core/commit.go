@@ -286,6 +286,10 @@ func (m *Manager) commitGroupLocked(group []*txn) {
 		member.undo = nil
 		member.setSt(xid.StatusCommitted)
 		m.deps.RemoveNode(member.id)
+		// Fold the member's escrow reservations into their ledgers before
+		// the locks drop: a waiter admitted by the freed headroom must see
+		// the committed value the fold produces.
+		m.locks.EscrowCommit(member.id)
 		m.locks.ReleaseAll(member.id)
 		m.waits.RemoveNode(member.id)
 		m.releaseSlot(member)
@@ -454,6 +458,9 @@ func (m *Manager) abortLocked(t *txn, reason error) {
 			m.log.Append(&wal.Record{Type: wal.TUndo, TID: ur.tid, OID: rec.oid, Kind: wal.KindDelete})
 			m.cache.Delete(rec.oid)
 			m.dirty[rec.oid] = dirtyDelete
+			// The object never existed; any escrow bounds declared for it
+			// (a rolled-back bounded-counter creation) go with it.
+			m.locks.DropEscrow(rec.oid)
 		case wal.KindDelete:
 			m.log.Append(&wal.Record{Type: wal.TUndo, TID: ur.tid, OID: rec.oid, Kind: wal.KindCreate, After: rec.before})
 			m.cache.Install(rec.oid, rec.before)

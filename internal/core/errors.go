@@ -63,6 +63,10 @@ var (
 	// ErrLockTimeout is returned when a lock request exceeded
 	// Config.LockTimeout.
 	ErrLockTimeout = lock.ErrTimeout
+	// ErrEscrow is returned by Add on a bounds-declared counter when the
+	// delta can never be admitted within the declared escrow bounds
+	// (re-exported from the lock manager).
+	ErrEscrow = lock.ErrEscrow
 	// ErrDependencyCycle is returned by FormDependency when the dependency
 	// would deadlock the commit protocol.
 	ErrDependencyCycle = dep.ErrCycle

@@ -215,15 +215,80 @@ func (tx *Tx) CreateAt(oid xid.OID, data []byte) error {
 	return nil
 }
 
-// Add atomically adds delta (mod 2^64) to an 8-byte counter object under an
-// increment lock. Increment locks commute with each other, so concurrent
-// transactions can update the same hot counter without conflicting — the §5
-// "future work" extension of the paper (semantics-based concurrency:
-// commutative class operations). Undo is logical (the delta is subtracted),
-// so an abort does not clobber concurrent increments.
-func (tx *Tx) Add(oid xid.OID, delta uint64) error {
+// Add atomically adds a signed delta (mod 2^64) to an 8-byte counter
+// object under a commutative increment/decrement lock. The commuting
+// modes let concurrent transactions update the same hot counter without
+// conflicting — the §5 "future work" extension of the paper
+// (semantics-based concurrency: commutative class operations). Undo is
+// logical (the inverse delta is applied), so an abort does not clobber
+// concurrent deltas; the WAL carries the delta itself, never a physical
+// before-image, which concurrent deltas would make stale.
+//
+// When the counter has declared escrow bounds (DeclareEscrow), the delta
+// is first reserved against them: the request blocks while other in-flight
+// reservations exhaust the headroom and fails with ErrEscrow when the
+// bounds can never admit it.
+func (tx *Tx) Add(oid xid.OID, delta int64) error {
+	return tx.AddCtx(nil, oid, delta)
+}
+
+// AddCtx is Add bounded by an explicit per-request context (nil uses the
+// transaction's own), with LockCtx's abandonment semantics: if ctx dies
+// while the reservation is parked, no mode is granted, nothing is
+// reserved, and the error wraps lock.ErrContext plus the context's error.
+func (tx *Tx) AddCtx(ctx context.Context, oid xid.OID, delta int64) error {
 	m, t := tx.m, tx.t
-	if err := m.locks.LockCtx(t.lockCtx(), t.id, oid, xid.OpIncr); err != nil {
+	if ctx == nil {
+		ctx = t.lockCtx()
+	}
+	if err := m.locks.EscrowReserveCtx(ctx, t.id, oid, delta); err != nil {
+		return mapLockErr(err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Failure past this point must back the reservation out: its delta
+	// never reaches the cache, so folding it at commit would diverge the
+	// escrow ledger from the stored counter.
+	if err := t.checkRunning(); err != nil {
+		m.locks.EscrowUnreserve(t.id, oid, delta)
+		m.dropStrayLocksLocked(t)
+		return err
+	}
+	obj := m.cache.Object(oid)
+	if obj == nil {
+		m.locks.EscrowUnreserve(t.id, oid, delta)
+		return fmt.Errorf("%w: %v", ErrNoObject, oid)
+	}
+	obj.Lat.Lock()
+	defer obj.Lat.Unlock()
+	if len(obj.Data()) != 8 {
+		m.locks.EscrowUnreserve(t.id, oid, delta)
+		return fmt.Errorf("core: Add on %v: object is %d bytes, want an 8-byte counter", oid, len(obj.Data()))
+	}
+	img := wal.EncodeCounter(uint64(delta))
+	lsn, err := m.log.Append(&wal.Record{
+		Type: wal.TUpdate, TID: t.id, OID: oid, Kind: wal.KindDelta, After: img,
+	})
+	if err != nil {
+		m.locks.EscrowUnreserve(t.id, oid, delta)
+		return err
+	}
+	t.undo = append(t.undo, undoRec{lsn: lsn, oid: oid, kind: wal.KindDelta, before: img})
+	obj.SetData(wal.EncodeCounter(wal.DecodeCounter(obj.Data()) + uint64(delta)))
+	return nil
+}
+
+// DeclareEscrow declares inclusive bounds [lo, hi] for an 8-byte counter:
+// from now on every Add on it is escrow-checked, so the committed value
+// can never leave the bounds no matter how concurrent deltas resolve. The
+// current committed value seeds the lock manager's ledger; the caller must
+// hold a write lock on the object (the creator's implicit lock after
+// Create suffices), which keeps escrow traffic out until declaration
+// lands. Bounds are runtime state: re-declare after reopening a store.
+// Deleting the object (or rolling back its creation) clears them.
+func (tx *Tx) DeclareEscrow(oid xid.OID, lo, hi uint64) error {
+	m, t := tx.m, tx.t
+	if err := m.locks.LockCtx(t.lockCtx(), t.id, oid, xid.OpWrite); err != nil {
 		return mapLockErr(err)
 	}
 	m.mu.Lock()
@@ -232,25 +297,14 @@ func (tx *Tx) Add(oid xid.OID, delta uint64) error {
 		m.dropStrayLocksLocked(t)
 		return err
 	}
-	obj := m.cache.Object(oid)
-	if obj == nil {
+	data, ok := m.cache.Read(oid)
+	if !ok {
 		return fmt.Errorf("%w: %v", ErrNoObject, oid)
 	}
-	obj.Lat.Lock()
-	defer obj.Lat.Unlock()
-	if len(obj.Data()) != 8 {
-		return fmt.Errorf("core: Add on %v: object is %d bytes, want an 8-byte counter", oid, len(obj.Data()))
+	if len(data) != 8 {
+		return fmt.Errorf("core: DeclareEscrow on %v: object is %d bytes, want an 8-byte counter", oid, len(data))
 	}
-	img := wal.EncodeCounter(delta)
-	lsn, err := m.log.Append(&wal.Record{
-		Type: wal.TUpdate, TID: t.id, OID: oid, Kind: wal.KindDelta, After: img,
-	})
-	if err != nil {
-		return err
-	}
-	t.undo = append(t.undo, undoRec{lsn: lsn, oid: oid, kind: wal.KindDelta, before: img})
-	obj.SetData(wal.EncodeCounter(wal.DecodeCounter(obj.Data()) + delta))
-	return nil
+	return m.locks.DeclareEscrow(oid, wal.DecodeCounter(data), lo, hi)
 }
 
 // ReadCounter reads an 8-byte counter object under a read lock.
@@ -287,5 +341,8 @@ func (tx *Tx) Delete(oid xid.OID) error {
 	}
 	t.undo = append(t.undo, undoRec{lsn: lsn, oid: oid, kind: wal.KindDelete, before: before})
 	m.cache.Delete(oid)
+	// Escrow bounds do not survive the object: deletion clears the
+	// declaration (an aborted delete reinstates the object unbounded).
+	m.locks.DropEscrow(oid)
 	return nil
 }

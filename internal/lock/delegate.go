@@ -97,8 +97,11 @@ func (m *Manager) shardIndex(s *lockShard) int {
 
 // delegateOneLocked moves from's LRD on oid into to's lock list, merging
 // with any lock to already holds there, and reports whether a lock moved.
-// Caller holds s.lat; the txnState latches nest inside it, taken one at a
-// time.
+// Any escrow reservation from holds on the object moves with the lock —
+// the delegatee inherits the in-flight delta along with the undo
+// responsibility the caller transfers — unless the delegatee is dead, in
+// which case both are dropped. Caller holds s.lat; the txnState latches
+// nest inside it, taken one at a time.
 func (m *Manager) delegateOneLocked(fromTS, toTS *txnState, s *lockShard, oid xid.OID) bool {
 	od := s.ods[oid]
 	if od == nil {
@@ -110,6 +113,7 @@ func (m *Manager) delegateOneLocked(fromTS, toTS *txnState, s *lockShard, oid xi
 	}
 	fromTS.lat.Lock()
 	delete(fromTS.locks, oid)
+	delete(fromTS.escrows, oid)
 	fromTS.lat.Unlock()
 	if existing := od.ownerReq(toTS.tid); existing != nil {
 		// Merge: the union of modes. Suspension is sticky — clearing it just
@@ -131,6 +135,7 @@ func (m *Manager) delegateOneLocked(fromTS, toTS *txnState, s *lockShard, oid xi
 			}
 		}
 		existing.suspended = suspended
+		m.moveReservationLocked(od, fromTS.tid, toTS)
 	} else {
 		toTS.lat.Lock()
 		if toTS.dead {
@@ -138,16 +143,56 @@ func (m *Manager) delegateOneLocked(fromTS, toTS *txnState, s *lockShard, oid xi
 			// the moved lock must not outlive it. Drop it instead.
 			toTS.lat.Unlock()
 			od.dropGranted(gl)
+			if od.esc != nil {
+				od.esc.settle(fromTS.tid, false)
+			}
 		} else {
 			gl.tid = toTS.tid
 			toTS.locks[oid] = gl
 			toTS.lat.Unlock()
+			m.moveReservationLocked(od, fromTS.tid, toTS)
 		}
 	}
 	// Blocked requests were waiting on `from`; their blocker is now `to`
 	// (or gone).
 	od.cond.Broadcast()
 	return true
+}
+
+// moveReservationLocked re-tags from's escrow reservation on od to the
+// delegatee, merging with any reservation the delegatee already holds
+// there, and records it in the delegatee's reservation index. The
+// in-flight sums are unchanged — the delta merely changes owner. If the
+// delegatee died in the window, the reservation is discarded like an
+// abort. Caller holds od's shard latch.
+func (m *Manager) moveReservationLocked(od *objDesc, from xid.TID, toTS *txnState) {
+	if od.esc == nil {
+		return
+	}
+	r := od.esc.holders[from]
+	if r == nil {
+		return
+	}
+	delete(od.esc.holders, from)
+	toTS.lat.Lock()
+	if toTS.dead {
+		toTS.lat.Unlock()
+		od.esc.infPos -= r.pos
+		od.esc.infNeg -= r.neg
+		return
+	}
+	tr := od.esc.holders[toTS.tid]
+	if tr == nil {
+		od.esc.holders[toTS.tid] = r
+	} else {
+		tr.pos += r.pos
+		tr.neg += r.neg
+	}
+	if toTS.escrows == nil {
+		toTS.escrows = make(map[xid.OID]*objDesc)
+	}
+	toTS.escrows[od.oid] = od
+	toTS.lat.Unlock()
 }
 
 // reassignGrantor rewrites PDs of the form (from, tk, op) to (to, tk, op)

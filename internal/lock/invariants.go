@@ -33,6 +33,13 @@ import (
 //     registered pending request. (Assumes the graph is used by this
 //     manager alone, as in the lock-level test harnesses; the full system
 //     also records commit-dependency waits in the same graph.)
+//  6. Escrow accounting: every declared ledger's in-flight sums equal the
+//     sums over its holder records; a bounded ledger keeps both worst-case
+//     inequalities (val+infPos <= hi, val-infNeg >= lo, so the committed
+//     value can never leave [lo, hi] whatever the in-flight reservations
+//     resolve to); every reservation is held by a live transaction that
+//     holds a granted increment/decrement-mode lock on the object and
+//     indexes the reservation, and vice versa.
 //
 // The intended use is at quiescent points of a concurrent workload (no
 // Lock/Delegate/Permit/ReleaseAll in flight); it is safe, but noisier, to
@@ -126,6 +133,45 @@ func (m *Manager) CheckInvariants() []string {
 					report("object %v: pending request by %v not in its wait set", oid, req.tid)
 				}
 			}
+			if e := od.esc; e != nil {
+				var sumPos, sumNeg uint64
+				for tid, r := range e.holders {
+					sumPos += r.pos
+					sumNeg += r.neg
+					ts := tsOf(tid)
+					if ts == nil {
+						report("object %v: escrow reservation by terminated txn %v", oid, tid)
+						continue
+					}
+					gl := od.ownerReq(tid)
+					if gl == nil || !gl.mode.Has(xid.OpIncr) && !gl.mode.Has(xid.OpDecr) {
+						report("object %v: escrow reservation by %v without an incr/decr grant", oid, tid)
+					}
+					ts.lat.Lock()
+					indexed := ts.escrows[oid] == od
+					ts.lat.Unlock()
+					if !indexed {
+						report("object %v: escrow reservation by %v missing from its index", oid, tid)
+					}
+				}
+				if sumPos != e.infPos || sumNeg != e.infNeg {
+					report("object %v: escrow in-flight sums (+%d/-%d) disagree with holders (+%d/-%d)",
+						oid, e.infPos, e.infNeg, sumPos, sumNeg)
+				}
+				if e.bounded {
+					if e.val < e.lo || e.val > e.hi {
+						report("object %v: escrow value %d outside bounds [%d,%d]", oid, e.val, e.lo, e.hi)
+					}
+					if e.infPos > e.hi-e.val {
+						report("object %v: escrow over-reserved high: val %d + inflight %d > hi %d",
+							oid, e.val, e.infPos, e.hi)
+					}
+					if e.infNeg > e.val-e.lo {
+						report("object %v: escrow over-reserved low: val %d - inflight %d < lo %d",
+							oid, e.val, e.infNeg, e.lo)
+					}
+				}
+			}
 			for _, p := range od.permits {
 				if p.isDead() {
 					report("object %v: dead PD (%v→%v) still chained", oid, p.grantor, p.grantee)
@@ -179,6 +225,15 @@ func (m *Manager) CheckInvariants() []string {
 			}
 			if !found {
 				report("txn %v: wait-set request on %v not pending", ts.tid, req.od.oid)
+			}
+		}
+		for oid, od := range ts.escrows {
+			if od.oid != oid {
+				report("txn %v: escrow index entry for %v points at od %v", ts.tid, oid, od.oid)
+				continue
+			}
+			if od.esc == nil || od.esc.holders[ts.tid] == nil {
+				report("txn %v: escrow index entry for %v without a ledger reservation", ts.tid, oid)
 			}
 		}
 		for _, p := range ts.byGrantor {

@@ -96,6 +96,9 @@ type lockReq struct {
 	victim    bool  // waiter was chosen as deadlock victim
 	timedOut  bool  // waiter exceeded Options.WaitTimeout
 	ctxErr    error // waiter's context was cancelled or expired
+	escrow    bool  // request carries an escrow reservation of delta
+	delta     int64 // reserved delta (meaningful when escrow)
+	escNever  bool  // escrow test concluded the reservation can never be admitted
 }
 
 // objDesc is the object descriptor (OD) of Figure 1: granted and pending
@@ -106,7 +109,8 @@ type objDesc struct {
 	granted []*lockReq
 	pending []*lockReq // FIFO
 	permits []*permit
-	cond    *sync.Cond // on the shard latch; signalled on release/suspension change
+	esc     *escrowState // bounded escrow ledger; nil when not declared
+	cond    *sync.Cond   // on the shard latch; signalled on release/suspension change
 }
 
 // permit is the permit descriptor (PD): grantor allows grantee (NilTID =
@@ -211,6 +215,14 @@ func (m *Manager) Lock(tid xid.TID, oid xid.OID, mode xid.OpSet) error {
 // still applies as a backstop when both are configured. A background (or
 // never-cancellable) context adds no overhead over Lock.
 func (m *Manager) LockCtx(ctx context.Context, tid xid.TID, oid xid.OID, mode xid.OpSet) error {
+	return m.acquire(ctx, tid, oid, mode, 0, false)
+}
+
+// acquire is the shared body of LockCtx and EscrowReserveCtx. An escrow
+// request additionally runs the bounds-admission test at grant time and
+// records its reservation atomically with the grant; it can fail with
+// ErrEscrow when the test proves the reservation can never be admitted.
+func (m *Manager) acquire(ctx context.Context, tid xid.TID, oid xid.OID, mode xid.OpSet, delta int64, escrow bool) error {
 	if mode == 0 {
 		return fmt.Errorf("lock: empty mode requested on %v", oid)
 	}
@@ -223,15 +235,18 @@ func (m *Manager) LockCtx(ctx context.Context, tid xid.TID, oid xid.OID, mode xi
 	od := s.od(oid)
 
 	own := od.ownerReq(tid)
-	// Fast path: own unsuspended covering lock (§4.2 step 1a).
-	if own != nil && !own.suspended && own.mode.Has(mode) {
+	// Fast path: own unsuspended covering lock (§4.2 step 1a). An escrow
+	// request on an object with a declared ledger cannot take it — the
+	// reservation must still pass admission — but with no ledger the
+	// reservation is vacuous and the covering mode suffices.
+	if own != nil && !own.suspended && own.mode.Has(mode) && (!escrow || od.esc == nil) {
 		s.lat.Unlock()
 		return nil
 	}
 
 	// Enqueue a pending/upgrading request and register it with the
 	// transaction so cancel/victim marking can find it without a table scan.
-	req := &lockReq{tid: tid, od: od, mode: mode, status: statusPending}
+	req := &lockReq{tid: tid, od: od, mode: mode, status: statusPending, escrow: escrow, delta: delta}
 	if own != nil {
 		req.status = statusUpgrading
 	}
@@ -303,6 +318,11 @@ func (m *Manager) LockCtx(ctx context.Context, tid xid.TID, oid xid.OID, mode xi
 		if req.timedOut && len(blockers) > 0 {
 			return exit(ErrTimeout)
 		}
+		if req.escNever {
+			// The escrow test proved no resolution of the other holders'
+			// reservations can admit this delta within the declared bounds.
+			return exit(ErrEscrow)
+		}
 		if len(blockers) == 0 {
 			// Grant: install first, then suspend the permitted conflicting
 			// locks. The order matters: installGrant refuses (returns false)
@@ -316,7 +336,7 @@ func (m *Manager) LockCtx(ctx context.Context, tid xid.TID, oid xid.OID, mode xi
 			m.removePending(od, req)
 			ts.unregisterWait(req)
 			clearEdges()
-			granted := m.installGrant(ts, od, tid, mode)
+			granted := m.installGrant(ts, od, tid, mode, delta, escrow)
 			if granted {
 				for _, gl := range permitted {
 					gl.suspended = true
@@ -396,30 +416,61 @@ func (m *Manager) tryGrant(req *lockReq) (blockers []xid.TID, permitted []*lockR
 	if len(blockers) > 0 {
 		return blockers, nil
 	}
+	// Mode-compatible escrow request: run the bounds-admission test. A
+	// failing test blocks on the other reservation holders — any of their
+	// terminations (commit of a helpful delta, abort of a competing one)
+	// frees headroom and broadcasts the cond — unless no resolution of
+	// theirs could ever admit the delta, which fails fast via escNever.
+	if req.escrow && od.esc != nil {
+		ok, never, holders := od.esc.admit(req.tid, req.delta)
+		if !ok {
+			if never {
+				req.escNever = true
+				return nil, nil
+			}
+			return holders, nil
+		}
+	}
 	return nil, permitted
 }
 
 // installGrant merges the granted mode into the requester's LRD on the OD
 // chain (creating one if needed) and clears any suspension (§4.2 step 2).
-// It reports false — installing nothing — if the transaction's state was
-// torn down by a concurrent ReleaseAll, in which case a new grant would
-// leak. Caller holds the shard latch.
-func (m *Manager) installGrant(ts *txnState, od *objDesc, tid xid.TID, mode xid.OpSet) bool {
+// An escrow grant also records its reservation in the OD's ledger and the
+// transaction's reservation index under the same txnState-latch hold, so a
+// concurrent ReleaseAll either sees both the grant and the reservation in
+// its snapshot or neither. It reports false — installing nothing — if the
+// transaction's state was torn down by a concurrent ReleaseAll, in which
+// case a new grant would leak. Caller holds the shard latch.
+func (m *Manager) installGrant(ts *txnState, od *objDesc, tid xid.TID, mode xid.OpSet, delta int64, escrow bool) bool {
+	reserve := escrow && od.esc != nil
 	// Re-look up rather than trusting the caller's possibly-stale own
 	// pointer: a delegation may have handed us a lock while we slept.
-	if gl := od.ownerReq(tid); gl != nil {
+	if gl := od.ownerReq(tid); gl != nil && !reserve {
 		gl.mode = gl.mode.Union(mode)
 		gl.suspended = false
 		return true
 	}
-	gl := &lockReq{tid: tid, od: od, mode: mode, status: statusGranted}
 	ts.lat.Lock()
 	if ts.dead {
 		ts.lat.Unlock()
 		return false
 	}
-	od.granted = append(od.granted, gl)
-	ts.locks[od.oid] = gl
+	if gl := od.ownerReq(tid); gl != nil {
+		gl.mode = gl.mode.Union(mode)
+		gl.suspended = false
+	} else {
+		gl := &lockReq{tid: tid, od: od, mode: mode, status: statusGranted}
+		od.granted = append(od.granted, gl)
+		ts.locks[od.oid] = gl
+	}
+	if reserve {
+		od.esc.reserve(tid, delta)
+		if ts.escrows == nil {
+			ts.escrows = make(map[xid.OID]*objDesc)
+		}
+		ts.escrows[od.oid] = od
+	}
 	ts.lat.Unlock()
 	return true
 }
@@ -509,9 +560,11 @@ func (m *Manager) HeldObjects(tid xid.TID) []xid.OID {
 
 // ReleaseAll implements §4.2 commit step 6 / abort step 3: drop every lock
 // tid holds and every permission given by or to tid, then wake waiters.
-// The transaction's state is snapshotted and marked dead under its latch,
-// then each affected shard is visited in turn — at most one shard latch
-// held at a time.
+// Escrow reservations still indexed here are discarded — the abort half of
+// reservation settlement; the commit path folds them into the ledger via
+// EscrowCommit first, which clears the index. The transaction's state is
+// snapshotted and marked dead under its latch, then each affected shard is
+// visited in turn — at most one shard latch held at a time.
 func (m *Manager) ReleaseAll(tid xid.TID) {
 	ts, ok := m.txns.Get(uint64(tid))
 	if ok {
@@ -522,11 +575,24 @@ func (m *Manager) ReleaseAll(tid xid.TID) {
 			locks = append(locks, gl)
 		}
 		permits := append(ts.byGrantor, ts.byGrantee...)
-		ts.locks, ts.waits = nil, nil
+		escrows := make([]*objDesc, 0, len(ts.escrows))
+		for _, od := range ts.escrows {
+			escrows = append(escrows, od)
+		}
+		ts.locks, ts.waits, ts.escrows = nil, nil, nil
 		ts.byGrantor, ts.byGrantee = nil, nil
 		ts.lat.Unlock()
 		m.txns.Delete(uint64(tid))
 
+		for _, od := range escrows {
+			s := od.home
+			s.lat.Lock()
+			if od.esc != nil {
+				od.esc.settle(tid, false)
+				od.cond.Broadcast()
+			}
+			s.lat.Unlock()
+		}
 		for _, gl := range locks {
 			s := gl.od.home
 			s.lat.Lock()

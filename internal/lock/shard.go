@@ -102,6 +102,11 @@ type txnState struct {
 	// so CancelWaits and victim marking touch exactly the shards involved
 	// instead of scanning the whole table.
 	waits map[*lockReq]bool
+	// escrows indexes the objects this transaction holds escrow
+	// reservations on (lazily allocated), so settlement at termination
+	// touches exactly the shards involved. Kept in step with the OD
+	// ledgers: installGrant adds, delegation moves, settlement clears.
+	escrows map[xid.OID]*objDesc
 	// Permit descriptors naming this transaction as grantor / grantee.
 	// Dead descriptors linger and are skipped; ReleaseAll drops them all.
 	byGrantor []*permit

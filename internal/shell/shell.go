@@ -330,7 +330,7 @@ func (s *Shell) addCmd(args []string) error {
 	if err != nil {
 		return fmt.Errorf("bad delta %q", args[2])
 	}
-	return s.do(t, func(tx *asset.Tx) error { return tx.Add(oid, uint64(n)) })
+	return s.do(t, func(tx *asset.Tx) error { return tx.Add(oid, n) })
 }
 
 func (s *Shell) permitCmd(args []string) error {

@@ -154,8 +154,19 @@ func (rp *replayer) apply(r *Record) {
 		delete(rp.pending, r.TID)
 		delete(rp.began, r.TID)
 	case TUndo:
-		// Undo installations change live (possibly committed) state and are
-		// redone unconditionally in log order.
+		// Physical undo installations change live (possibly committed)
+		// state — an aborter's before-image may deliberately clobber a
+		// permitted cooperator's later committed write — and are redone
+		// unconditionally in log order. A logical inverse delta is the
+		// exception: it is not idempotent, and the forward delta it
+		// cancels is never part of replayed state (checkpoints are
+		// quiescent, so the base holds no uncommitted effects, and the
+		// aborter's forward op is still pending here — TAbort discards
+		// it). Redoing it would subtract the delta a second time, so the
+		// pair cancels by dropping both sides.
+		if r.Kind == KindDelta {
+			return
+		}
 		rp.install(r.OID, r.Kind, r.After)
 	case TCheckpoint:
 		// No-op during replay: Recover already skipped the prefix.

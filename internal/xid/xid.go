@@ -51,16 +51,21 @@ func (o OID) String() string {
 // the permit(ti, tj) form ("any conflicting operation").
 type OpSet uint32
 
-// Elementary operations. OpIncr is the §5 "future work" extension: a
-// class-specific commutative operation (escrow-style counter increment)
-// that is compatible with itself but conflicts with reads and writes.
+// Elementary operations. OpIncr and OpDecr are the §5 "future work"
+// extension: class-specific commutative operations (escrow-style counter
+// increment/decrement). Addition commutes regardless of sign, so the two
+// modes are compatible with each other and with themselves, but conflict
+// with reads and writes; the sign distinction matters to bounded escrow
+// accounting, which charges increments against the upper bound and
+// decrements against the lower.
 const (
 	OpRead  OpSet = 1 << iota // read the object
 	OpWrite                   // update the object
 	OpIncr                    // commutative increment (semantic locking)
+	OpDecr                    // commutative decrement (semantic locking)
 
 	// OpAll is every operation; it is the permit wildcard.
-	OpAll = OpRead | OpWrite | OpIncr
+	OpAll = OpRead | OpWrite | OpIncr | OpDecr
 )
 
 // Has reports whether s contains every operation in ops.
@@ -75,17 +80,19 @@ func (s OpSet) Intersect(o OpSet) OpSet { return s & o }
 func (s OpSet) Union(o OpSet) OpSet { return s | o }
 
 // Conflicts reports whether an operation in s conflicts with an operation
-// in o on the same object. Reads are compatible with reads, increments
-// commute with increments, and every other combination conflicts.
+// in o on the same object. Reads are compatible with reads, increments and
+// decrements commute with each other, and every other combination
+// conflicts.
 func (s OpSet) Conflicts(o OpSet) bool {
 	if s == 0 || o == 0 {
 		return false
 	}
 	u := s.Union(o)
-	return u != OpRead && u != OpIncr
+	return u != OpRead && u&^(OpIncr|OpDecr) != 0
 }
 
-// String renders the set from the letters r, w, and i, or "-" when empty.
+// String renders the set from the letters r, w, i, and d, or "-" when
+// empty.
 func (s OpSet) String() string {
 	if s == 0 {
 		return "-"
@@ -99,6 +106,9 @@ func (s OpSet) String() string {
 	}
 	if s.Has(OpIncr) {
 		b = append(b, 'i')
+	}
+	if s.Has(OpDecr) {
+		b = append(b, 'd')
 	}
 	return string(b)
 }

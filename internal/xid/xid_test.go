@@ -73,8 +73,10 @@ func TestOpSetString(t *testing.T) {
 		OpRead:          "r",
 		OpWrite:         "w",
 		OpIncr:          "i",
+		OpDecr:          "d",
 		OpRead | OpIncr: "ri",
-		OpAll:           "rwi",
+		OpIncr | OpDecr: "id",
+		OpAll:           "rwid",
 	}
 	for s, want := range cases {
 		if got := s.String(); got != want {

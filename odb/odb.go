@@ -357,14 +357,45 @@ func NewCounter(tx *asset.Tx, v uint64) (Counter, error) {
 
 // Add increments the counter by delta (mod 2^64) under a commuting
 // increment lock.
-func (c Counter) Add(tx *asset.Tx, delta uint64) error { return tx.Add(c.Oid, delta) }
+func (c Counter) Add(tx *asset.Tx, delta uint64) error { return tx.Add(c.Oid, int64(delta)) }
 
-// Sub decrements the counter by delta.
-func (c Counter) Sub(tx *asset.Tx, delta uint64) error { return tx.Add(c.Oid, -delta) }
+// Sub decrements the counter by delta under a commuting decrement lock.
+func (c Counter) Sub(tx *asset.Tx, delta uint64) error { return tx.Add(c.Oid, -int64(delta)) }
 
 // Value reads the counter under a read lock (conflicts with in-flight
 // increments, so it sees only committed values).
 func (c Counter) Value(tx *asset.Tx) (uint64, error) { return tx.ReadCounter(c.Oid) }
+
+// BoundedCounter is a Counter with declared escrow bounds: the committed
+// value can never leave [Lo, Hi]. Concurrent deltas still commute; a delta
+// that would overdraw the bounds — even in the worst case over in-flight
+// reservations — blocks until headroom frees, or fails with
+// asset.ErrEscrow when no in-flight resolution could admit it. The classic
+// use is inventory or account balances that must not go negative.
+type BoundedCounter struct {
+	Counter
+	Lo, Hi uint64
+}
+
+// NewBoundedCounter creates a counter initialized to v with escrow bounds
+// [lo, hi] inside tx. Bounds are runtime state, not persisted: after
+// reopening a store, re-declare them with Declare.
+func NewBoundedCounter(tx *asset.Tx, v, lo, hi uint64) (BoundedCounter, error) {
+	c, err := NewCounter(tx, v)
+	if err != nil {
+		return BoundedCounter{}, err
+	}
+	b := BoundedCounter{Counter: c, Lo: lo, Hi: hi}
+	return b, tx.DeclareEscrow(c.Oid, lo, hi)
+}
+
+// Declare re-declares the counter's escrow bounds from its current
+// committed value (after reopening a store, say). The caller's transaction
+// takes a write lock on the counter for the declaration, serializing it
+// against in-flight deltas.
+func (b BoundedCounter) Declare(tx *asset.Tx) error {
+	return tx.DeclareEscrow(b.Oid, b.Lo, b.Hi)
+}
 
 func counterImage(v uint64) []byte {
 	b := make([]byte, 8)
