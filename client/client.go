@@ -1,0 +1,612 @@
+// Package client is the fault-tolerant ASSET client: it speaks the
+// internal/rpc protocol to an assetd server and hides network failure
+// behind the same error-classification contract local code gets from
+// core.
+//
+// The machinery, bottom up:
+//
+//   - Every request gets a session-unique ID and stays in the pending
+//     table until its response arrives or its context dies. A
+//     retransmit ticker re-sends unanswered requests (the server
+//     deduplicates, so at-least-once delivery is safe), and the request
+//     piggybacks an ack watermark that licenses the server to prune its
+//     completed-request table.
+//   - Connections are expendable; the session is not. When a
+//     connection dies — or a heartbeat probe times out, which is how a
+//     one-way partition is detected — the client redials and resumes
+//     the session by token. Responses to retransmitted requests carry
+//     the original verdicts.
+//   - If the lease expired while the client was away, in-flight commits
+//     are not blindly retried: the client opens a fresh session and,
+//     when the server's epoch proves it is the same incarnation, asks
+//     for the recorded status of each in-doubt transaction. A changed
+//     epoch means the verdict is unlearnable: ErrUnknownOutcome,
+//     terminal by design.
+//   - Run drives transaction bodies through core.Retry — the same
+//     backoff engine local transactions use — with transport errors
+//     (ErrConnLost) and lease expiries classified retryable, and server
+//     overload hints flooring the backoff.
+//
+// Latch order: Client.mu (2) is outermost, the per-connection write
+// latch (3) inside it; neither is ever held across a blocking read,
+// dial, or backoff sleep.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/xid"
+)
+
+// Options configures a client.
+type Options struct {
+	// Dial opens a transport connection to the server (required).
+	Dial func(ctx context.Context) (net.Conn, error)
+	// RetransmitEvery is the resend cadence for unanswered requests and
+	// the redial cadence while disconnected; 0 means 25ms.
+	RetransmitEvery time.Duration
+	// HeartbeatEvery is the lease-renewal cadence; 0 derives a third of
+	// the server's lease TTL from the handshake.
+	HeartbeatEvery time.Duration
+	// ProbeTimeout bounds how long an unanswered heartbeat is tolerated
+	// before the connection is declared dead (one-way partitions leave
+	// the socket "healthy" while eating every response); 0 derives from
+	// HeartbeatEvery.
+	ProbeTimeout time.Duration
+	// HandshakeTimeout bounds the synchronous hello exchange on a fresh
+	// connection; 0 means 2s. Lower it together with RetransmitEvery: a
+	// hello frame the network eats stalls the whole client (the dial
+	// path is single-flight) until this deadline expires and the redial
+	// loop tries again.
+	HandshakeTimeout time.Duration
+}
+
+// handshakeTimeout returns the configured hello deadline.
+func (c *Client) handshakeTimeout() time.Duration {
+	if c.opts.HandshakeTimeout > 0 {
+		return c.opts.HandshakeTimeout
+	}
+	return 2 * time.Second
+}
+
+// Client is a fault-tolerant connection to one assetd server. Safe for
+// concurrent use.
+type Client struct {
+	opts Options
+
+	// mu guards the session/connection state and the pending table.
+	// Never held across dial, frame I/O on the read path, or sleeps.
+	//asset:latch order=2
+	mu      sync.Mutex
+	conn    *cliConn
+	dialing chan struct{} // single-flight redial; nil when idle
+	sess    uint64
+	epoch   uint64
+	ttl     time.Duration
+	nextReq uint64
+	pending map[uint64]*call
+	closed  bool
+
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+// call is one in-flight request.
+type call struct {
+	req  *rpc.Request
+	done chan *rpc.Response // buffered(1)
+}
+
+// cliConn serializes frame writes on one transport connection.
+type cliConn struct {
+	//asset:latch order=3
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (c *cliConn) send(req *rpc.Request) error {
+	payload := rpc.EncodeRequest(req)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return rpc.WriteFrame(c.c, payload)
+}
+
+// Dial connects to the server and establishes a session.
+func Dial(ctx context.Context, opts Options) (*Client, error) {
+	if opts.Dial == nil {
+		return nil, errors.New("client: Options.Dial is required")
+	}
+	if opts.RetransmitEvery <= 0 {
+		opts.RetransmitEvery = 25 * time.Millisecond
+	}
+	c := &Client{
+		opts:    opts,
+		pending: make(map[uint64]*call),
+		closeCh: make(chan struct{}),
+	}
+	if _, err := c.ensureConn(ctx); err != nil {
+		return nil, err
+	}
+	c.wg.Add(2)
+	go c.retransmitLoop()
+	go c.heartbeatLoop()
+	return c, nil
+}
+
+// Close ends the session (best-effort Bye) and fails every pending call
+// with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	sess := c.sess
+	pend := c.drainPendingLocked()
+	c.mu.Unlock()
+	close(c.closeCh)
+	if conn != nil && sess != 0 {
+		conn.send(&rpc.Request{Op: rpc.OpBye}) //nolint:errcheck
+	}
+	for _, cl := range pend {
+		failCall(cl, fmt.Errorf("client: closed: %w", core.ErrClosed))
+	}
+	if conn != nil {
+		conn.c.Close()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+func (c *Client) drainPendingLocked() []*call {
+	out := make([]*call, 0, len(c.pending))
+	for _, cl := range c.pending {
+		out = append(out, cl)
+	}
+	c.pending = make(map[uint64]*call)
+	return out
+}
+
+func failCall(cl *call, err error) {
+	var resp rpc.Response
+	resp.SetError(err, 0)
+	select {
+	case cl.done <- &resp:
+	default:
+	}
+}
+
+// Session returns the current session token (0 before the first
+// successful handshake).
+func (c *Client) Session() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sess
+}
+
+// Epoch returns the server incarnation the client last spoke to.
+func (c *Client) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// ensureConn returns a live connection, redialing (single-flight) if
+// necessary. A failed redial round returns ErrConnLost — retryable, so
+// Run-level backoff paces reconnection storms.
+func (c *Client) ensureConn(ctx context.Context) (*cliConn, error) {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("client: closed: %w", core.ErrClosed)
+		}
+		if c.conn != nil {
+			conn := c.conn
+			c.mu.Unlock()
+			return conn, nil
+		}
+		if c.dialing == nil {
+			done := make(chan struct{})
+			c.dialing = done
+			c.mu.Unlock()
+			err := c.redial(ctx)
+			c.mu.Lock()
+			c.dialing = nil
+			c.mu.Unlock()
+			close(done)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		done := c.dialing
+		c.mu.Unlock()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("client: dial wait: %w", ctx.Err())
+		case <-c.closeCh:
+			return nil, fmt.Errorf("client: closed: %w", core.ErrClosed)
+		}
+	}
+}
+
+// redial opens a transport connection and runs the session handshake,
+// resuming the current session when possible and resolving in-doubt
+// requests when not.
+func (c *Client) redial(ctx context.Context) error {
+	c.mu.Lock()
+	token := c.sess
+	c.mu.Unlock()
+	nc, err := c.opts.Dial(ctx)
+	if err != nil {
+		return fmt.Errorf("client: dial: %w: %w", core.ErrConnLost, err)
+	}
+	conn := &cliConn{c: nc}
+	resp, err := c.hello(conn, token)
+	if err != nil {
+		if errors.Is(err, core.ErrLeaseExpired) && token != 0 {
+			// The session died while we were away. Open a fresh one and
+			// resolve what was in flight.
+			nc.Close()
+			return c.resumeExpired(ctx)
+		}
+		nc.Close()
+		return err
+	}
+	c.adopt(conn, resp)
+	return nil
+}
+
+// hello performs the handshake on conn; the response carries session
+// token, epoch, and lease TTL.
+func (c *Client) hello(conn *cliConn, token uint64) (*rpc.Response, error) {
+	c.mu.Lock()
+	c.nextReq++
+	req := &rpc.Request{ReqID: c.nextReq, Op: rpc.OpHello, Other: token, Mode: c.epoch}
+	c.mu.Unlock()
+	if err := conn.send(req); err != nil {
+		return nil, fmt.Errorf("client: handshake send: %w: %w", core.ErrConnLost, err)
+	}
+	// The handshake is the one synchronous exchange: nothing else is in
+	// flight on this connection yet.
+	conn.c.SetReadDeadline(time.Now().Add(c.handshakeTimeout())) //nolint:errcheck
+	payload, err := rpc.ReadFrame(conn.c)
+	conn.c.SetReadDeadline(time.Time{}) //nolint:errcheck
+	if err != nil {
+		return nil, fmt.Errorf("client: handshake read: %w: %w", core.ErrConnLost, err)
+	}
+	resp, err := rpc.DecodeResponse(payload)
+	if err != nil {
+		return nil, fmt.Errorf("client: handshake decode: %w: %w", core.ErrConnLost, err)
+	}
+	if rerr := resp.Err(); rerr != nil {
+		return resp, rerr
+	}
+	return resp, nil
+}
+
+// adopt installs a freshly handshaken connection, starts its read loop,
+// and retransmits everything pending (the server deduplicates).
+func (c *Client) adopt(conn *cliConn, helloResp *rpc.Response) {
+	c.mu.Lock()
+	if c.closed {
+		// Close ran while this redial was in flight; it cannot have seen
+		// this connection, so installing it would leak a readLoop blocked
+		// past Close's wg.Wait.
+		c.mu.Unlock()
+		conn.c.Close()
+		return
+	}
+	c.sess = helloResp.TID
+	c.epoch = helloResp.Val
+	c.ttl = time.Duration(helloResp.Aux) * time.Microsecond
+	c.conn = conn
+	resend := c.pendingSnapshotLocked()
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go c.readLoop(conn)
+	for _, cl := range resend {
+		conn.send(cl.req) //nolint:errcheck
+	}
+}
+
+// resumeExpired handles a dead session: a new session is opened, and
+// in-doubt work is resolved — committed-or-not is learned from the
+// server when its epoch proves continuity, declared unknown when not.
+func (c *Client) resumeExpired(ctx context.Context) error {
+	c.mu.Lock()
+	oldEpoch := c.epoch
+	c.sess = 0
+	pend := c.drainPendingLocked()
+	c.mu.Unlock()
+
+	nc, err := c.opts.Dial(ctx)
+	if err != nil {
+		c.failAfterExpiry(pend, oldEpoch, 0)
+		return fmt.Errorf("client: dial after lease expiry: %w: %w", core.ErrConnLost, err)
+	}
+	conn := &cliConn{c: nc}
+	resp, err := c.hello(conn, 0)
+	if err != nil {
+		nc.Close()
+		c.failAfterExpiry(pend, oldEpoch, 0)
+		return err
+	}
+	c.adopt(conn, resp)
+	c.failAfterExpiry(pend, oldEpoch, resp.Val)
+
+	// In-doubt commits: with epoch continuity the server still knows
+	// every verdict durably decided (descriptors are not reaped), so ask.
+	if resp.Val == oldEpoch {
+		c.resolveInDoubt(ctx, pend)
+	}
+	return nil
+}
+
+// failAfterExpiry resolves calls stranded by a lease expiry. Commits are
+// handled by resolveInDoubt when the epoch held; everything else — and
+// every commit whose verdict is unlearnable — fails here.
+func (c *Client) failAfterExpiry(pend []*call, oldEpoch, newEpoch uint64) {
+	for _, cl := range pend {
+		if cl.req.Op == rpc.OpCommit && newEpoch != 0 && newEpoch == oldEpoch {
+			continue // resolveInDoubt owns it
+		}
+		if cl.req.Op == rpc.OpCommit {
+			failCall(cl, fmt.Errorf("client: commit verdict lost with session (server epoch changed): %w",
+				core.ErrUnknownOutcome))
+			continue
+		}
+		failCall(cl, fmt.Errorf("client: request outlived its session: %w", core.ErrLeaseExpired))
+	}
+}
+
+// resolveInDoubt learns the verdict of each in-doubt commit via a status
+// query on the new session. Committed resolves to success — the decision
+// was made and must not be re-executed; anything else resolves to
+// ErrLeaseExpired (the transaction died with the session; a retry is a
+// fresh transaction).
+func (c *Client) resolveInDoubt(ctx context.Context, pend []*call) {
+	for _, cl := range pend {
+		if cl.req.Op != rpc.OpCommit {
+			continue
+		}
+		st, err := c.Status(ctx, xid.TID(cl.req.TID))
+		switch {
+		case err != nil:
+			failCall(cl, fmt.Errorf("client: commit verdict unresolved: %w: %w", core.ErrUnknownOutcome, err))
+		case st == xid.StatusCommitted:
+			cl.done <- &rpc.Response{ReqID: cl.req.ReqID, Status: byte(st)}
+		default:
+			failCall(cl, fmt.Errorf("client: transaction %v died with its session (status %v): %w",
+				xid.TID(cl.req.TID), st, core.ErrLeaseExpired))
+		}
+	}
+}
+
+func (c *Client) pendingSnapshotLocked() []*call {
+	out := make([]*call, 0, len(c.pending))
+	for _, cl := range c.pending {
+		out = append(out, cl)
+	}
+	return out
+}
+
+// readLoop drains responses from one connection and routes them to
+// pending calls; it exits when the connection dies.
+func (c *Client) readLoop(conn *cliConn) {
+	defer c.wg.Done()
+	for {
+		payload, err := rpc.ReadFrame(conn.c)
+		if err != nil {
+			c.dropConn(conn)
+			return
+		}
+		resp, err := rpc.DecodeResponse(payload)
+		if err != nil {
+			c.dropConn(conn)
+			return
+		}
+		c.mu.Lock()
+		cl := c.pending[resp.ReqID]
+		if cl != nil {
+			delete(c.pending, resp.ReqID)
+		}
+		c.mu.Unlock()
+		if cl != nil {
+			select {
+			case cl.done <- resp:
+			default:
+			}
+		}
+		// Responses for unknown request IDs (abandoned, duplicated, or
+		// already answered) are dropped.
+	}
+}
+
+// resetSession forgets a dead session: the token is cleared and the
+// connection retired, so the next operation's redial performs a fresh
+// (token-0) handshake instead of a doomed resume.
+func (c *Client) resetSession() {
+	c.mu.Lock()
+	c.sess = 0
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if conn != nil {
+		conn.c.Close()
+	}
+}
+
+// dropConn retires a dead connection; the next operation (or the
+// retransmit tick) redials.
+func (c *Client) dropConn(conn *cliConn) {
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	c.mu.Unlock()
+	conn.c.Close()
+}
+
+// ackWatermarkLocked computes the highest request ID below which every
+// response has been received or abandoned — the server may prune its
+// completed table up to here.
+func (c *Client) ackWatermarkLocked() uint64 {
+	low := c.nextReq + 1
+	for id := range c.pending {
+		if id < low {
+			low = id
+		}
+	}
+	return low - 1
+}
+
+// roundTrip sends one request and waits for its response. Delivery is
+// at-least-once (the retransmit loop re-sends through redials); the
+// server's dedup table makes execution at-most-once per request ID.
+func (c *Client) roundTrip(ctx context.Context, req *rpc.Request) (*rpc.Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	conn, err := c.ensureConn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cl := &call{req: req, done: make(chan *rpc.Response, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: closed: %w", core.ErrClosed)
+	}
+	c.nextReq++
+	req.ReqID = c.nextReq
+	// Enter the pending table before computing the ack watermark: the
+	// request must count itself as outstanding, or it would ack its own
+	// ID and license the server to drop the very verdict it is awaiting.
+	c.pending[req.ReqID] = cl
+	req.Ack = c.ackWatermarkLocked()
+	c.mu.Unlock()
+	if err := conn.send(req); err != nil {
+		// The request stays pending; redial + retransmit will carry it.
+		c.dropConn(conn)
+	}
+	select {
+	case resp := <-cl.done:
+		if rerr := resp.Err(); rerr != nil {
+			if errors.Is(rerr, core.ErrLeaseExpired) {
+				// The session is dead on the server; stop presenting its
+				// token so the next attempt opens a fresh session. (Decided
+				// verdicts are safe: the server answers retransmits from its
+				// completed table even on dead sessions, so a lease error on
+				// a commit means the commit never executed.)
+				c.resetSession()
+			}
+			return resp, rerr
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.abandon(req.ReqID)
+		return nil, fmt.Errorf("client: %v abandoned: %w", req.Op, ctx.Err())
+	case <-c.closeCh:
+		c.abandon(req.ReqID)
+		return nil, fmt.Errorf("client: closed: %w", core.ErrClosed)
+	}
+}
+
+// abandon removes a call whose waiter gave up and tells the server to
+// cancel the work (best effort, fire-and-forget).
+func (c *Client) abandon(reqID uint64) {
+	c.mu.Lock()
+	delete(c.pending, reqID)
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		conn.send(&rpc.Request{Op: rpc.OpCancel, Other: reqID}) //nolint:errcheck
+	}
+}
+
+// retransmitLoop re-sends unanswered requests and keeps redialing while
+// disconnected — the engine that turns lost frames into mere latency.
+func (c *Client) retransmitLoop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.opts.RetransmitEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.closeCh:
+			return
+		case <-tick.C:
+		}
+		c.mu.Lock()
+		conn := c.conn
+		resend := c.pendingSnapshotLocked()
+		c.mu.Unlock()
+		if conn == nil {
+			if len(resend) == 0 {
+				continue
+			}
+			// Bounded single redial attempt per tick; failures roll over.
+			ctx, cancel := context.WithTimeout(context.Background(), c.opts.RetransmitEvery*4)
+			c.ensureConn(ctx) //nolint:errcheck
+			cancel()
+			continue
+		}
+		for _, cl := range resend {
+			if conn.send(cl.req) != nil {
+				c.dropConn(conn)
+				break
+			}
+		}
+	}
+}
+
+// heartbeatLoop renews the session lease and doubles as the liveness
+// probe: an unanswered heartbeat means the connection is dead even if
+// the transport looks healthy (one-way partition), so it is retired.
+func (c *Client) heartbeatLoop() {
+	defer c.wg.Done()
+	for {
+		c.mu.Lock()
+		ttl := c.ttl
+		c.mu.Unlock()
+		every := c.opts.HeartbeatEvery
+		if every <= 0 {
+			every = ttl / 3
+			if every <= 0 {
+				every = 500 * time.Millisecond
+			}
+		}
+		probe := c.opts.ProbeTimeout
+		if probe <= 0 {
+			probe = every
+		}
+		select {
+		case <-c.closeCh:
+			return
+		case <-time.After(every):
+		}
+		c.mu.Lock()
+		conn := c.conn
+		c.mu.Unlock()
+		if conn == nil {
+			continue // retransmit loop owns redialing
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), probe)
+		_, err := c.roundTrip(ctx, &rpc.Request{Op: rpc.OpHeartbeat})
+		cancel()
+		if err != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, core.ErrConnLost)) {
+			c.dropConn(conn)
+		}
+	}
+}

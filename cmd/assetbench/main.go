@@ -11,6 +11,7 @@
 //	assetbench -resil-baseline F   # write the overload sweep as JSON
 //	assetbench -walgc-baseline F   # write the group-commit sweep as JSON
 //	assetbench -hotkey-baseline F  # write the hot-key escrow sweep as JSON
+//	assetbench -rpc-baseline FILE  # write the remote-path sweep as JSON
 //	assetbench -list               # show the experiment index
 package main
 
@@ -62,9 +63,10 @@ func main() {
 	resilBaseline := flag.String("resil-baseline", "", "write the admission-control overload sweep as JSON to this file")
 	walgcBaseline := flag.String("walgc-baseline", "", "write the group-commit WAL sweep as JSON to this file")
 	hotkeyBaseline := flag.String("hotkey-baseline", "", "write the hot-key escrow sweep as JSON to this file")
+	rpcBaseline := flag.String("rpc-baseline", "", "write the remote-path (local vs networked vs chaos) sweep as JSON to this file")
 	flag.Parse()
 
-	if *baseline != "" || *resilBaseline != "" || *walgcBaseline != "" || *hotkeyBaseline != "" {
+	if *baseline != "" || *resilBaseline != "" || *walgcBaseline != "" || *hotkeyBaseline != "" || *rpcBaseline != "" {
 		start := time.Now()
 		if *baseline != "" {
 			if err := writeBaseline(*baseline, "lock-contention", *quick, bench.LockContention(*quick)); err != nil {
@@ -93,6 +95,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s in %v\n", *hotkeyBaseline, time.Since(start).Round(time.Millisecond))
+		}
+		if *rpcBaseline != "" {
+			if err := writeBaseline(*rpcBaseline, "rpc-remote-path", *quick, bench.RPCSweep(*quick)); err != nil {
+				fmt.Fprintf(os.Stderr, "assetbench: rpc-baseline: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s in %v\n", *rpcBaseline, time.Since(start).Round(time.Millisecond))
 		}
 		return
 	}

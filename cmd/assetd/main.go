@@ -1,0 +1,69 @@
+// Command assetd serves an ASSET database over the wire protocol:
+// clients (package repro/client) connect over TCP, open leased sessions,
+// and run extended transactions remotely with exactly-once commit
+// decisions.
+//
+// Usage:
+//
+//	assetd -addr :7468                   # in-memory database
+//	assetd -addr :7468 -dir mydb -sync   # durable database (recovered at start)
+//
+// The server keeps terminated transaction descriptors (reaping off) so a
+// reconnecting client can learn the verdict of a commit whose response
+// was lost; restart the server to shed them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	asset "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7468", "listen address")
+	dir := flag.String("dir", "", "database directory (empty = in-memory)")
+	sync := flag.Bool("sync", false, "fsync on every commit")
+	group := flag.Bool("group", false, "group commit (batched log forces)")
+	lease := flag.Duration("lease", 2*time.Second, "session lease TTL (heartbeat deadline)")
+	maxLive := flag.Int("max-live", 0, "admission limit on concurrently running transactions (0 = unlimited)")
+	deadline := flag.Duration("deadline", 0, "per-transaction deadline enforced by the watchdog (0 = none)")
+	flag.Parse()
+
+	m, err := asset.Open(asset.Config{
+		Dir:         *dir,
+		SyncCommits: *sync,
+		GroupCommit: *group,
+		MaxLive:     *maxLive,
+		TxnDeadline: *deadline,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "assetd:", err)
+		os.Exit(1)
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		m.Close()
+		fmt.Fprintln(os.Stderr, "assetd:", err)
+		os.Exit(1)
+	}
+	srv := server.Serve(m, lis, server.Config{LeaseTTL: *lease})
+	fmt.Printf("assetd: serving on %s (lease %v, epoch %#x)\n", lis.Addr(), *lease, srv.Epoch())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("assetd: shutting down")
+	srv.Close()
+	if err := m.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "assetd:", err)
+		os.Exit(1)
+	}
+}

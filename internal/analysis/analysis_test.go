@@ -335,6 +335,16 @@ func TestLatchRegistry(t *testing.T) {
 		got[c.Name] = attrs
 	}
 	want := map[string]string{
+		// The networked tier's latches order before every engine latch:
+		// client and server dispatch hold their session/connection state
+		// only around queue and table manipulation, never across a core
+		// call that could take an engine latch inward of them.
+		"client.Client.mu":  "order=2",
+		"client.cliConn.mu": "order=3",
+		"server.Server.mu":  "order=4",
+		"server.session.mu": "order=6",
+		"server.srvConn.mu": "order=8",
+
 		"core.Manager.mu":    "order=10",
 		"lock.lockShard.lat": "order=20 spin",
 		"htab.shard.mu":      "order=30",

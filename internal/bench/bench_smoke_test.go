@@ -178,6 +178,37 @@ func TestRegistryHotkeyOrdering(t *testing.T) {
 	}
 }
 
+// TestRegistryRPCOrdering pins the RPC experiment's place in the
+// registry: present and retrievable case-insensitively, slotted into the
+// named group alphabetically (HOTKEY < LOCK < RESIL < RPC < WALGC), and
+// after every numeric experiment — so baseline tooling that walks All()
+// keeps stable output with the remote-path sweep included.
+func TestRegistryRPCOrdering(t *testing.T) {
+	exps := All()
+	idx := make(map[string]int, len(exps))
+	for i, e := range exps {
+		idx[e.ID] = i
+	}
+	want := []string{"HOTKEY", "LOCK", "RESIL", "RPC", "WALGC"}
+	for _, id := range want {
+		if _, ok := idx[id]; !ok {
+			t.Fatalf("%s missing from All()", id)
+		}
+	}
+	for i := 1; i < len(want); i++ {
+		if idx[want[i-1]] >= idx[want[i]] {
+			t.Fatalf("named group out of order: %s (index %d) not before %s (index %d)",
+				want[i-1], idx[want[i-1]], want[i], idx[want[i]])
+		}
+	}
+	if idx["E14"] >= idx["RPC"] {
+		t.Fatalf("numeric E14 (index %d) must precede named RPC (index %d)", idx["E14"], idx["RPC"])
+	}
+	if e, ok := Get("rpc"); !ok || e.ID != "RPC" {
+		t.Fatalf("case-insensitive Get(rpc) = %v, %v", e.ID, ok)
+	}
+}
+
 func parseNum(id string, n *int) (int, error) {
 	var v int
 	for _, c := range id[1:] {

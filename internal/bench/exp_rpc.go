@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	asset "repro"
+	"repro/client"
+	"repro/internal/faultnet"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "RPC",
+		Title:  "Remote transaction path: local vs networked commit, goodput under injected faults",
+		Anchor: "§5 client/server architecture (assetd sessions)",
+		Run:    runRPC,
+	})
+}
+
+// RPCPoint is one measured cell of the remote-path sweep; the slice of
+// points is what assetbench -rpc-baseline serializes into
+// BENCH_rpc_baseline.json.
+type RPCPoint struct {
+	Arm           string  `json:"arm"` // local | remote | remote+chaos
+	Workers       int     `json:"workers"`
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+	P50Micros     float64 `json:"p50_us"`
+	P99Millis     float64 `json:"p99_ms"`
+	Errors        uint64  `json:"errors"` // Run engagements that exhausted retries
+	Faults        int     `json:"faults"` // chaos arm: script faults actually fired
+}
+
+// rpcFaultEvery is the chaos arm's injection rate: roughly one scripted
+// fault (drop/dup/delay/reorder/disconnect/short partition) per this
+// many wire messages. The fabric moves hundreds of thousands of messages
+// a second, so even this sparse a script fires dozens of faults per
+// sweep cell; denser scripts (the torture tests run 1-in-30) saturate
+// the client with detect-and-recover stalls and measure recovery
+// latency rather than goodput under plausible flakiness.
+const rpcFaultEvery = 2000
+
+// RPCSweep measures what the wire costs. Each worker runs closed-loop
+// single-write transactions against its own object (no lock conflicts, so
+// the protocol — not the lock table — is what's being measured) through
+// three arms: "local" calls the embedded engine directly and is the
+// floor; "remote" runs the same workload through a leased client session
+// over an in-process faultnet fabric with no faults, isolating pure
+// framing/dispatch overhead; "remote+chaos" turns on a seeded random
+// fault script and reports the goodput the retransmit + retry machinery
+// salvages. Latencies are whole Run engagements, so chaos-arm p99 shows
+// retransmit and backoff stalls, not just smooth-path RPC cost.
+func RPCSweep(quick bool) []RPCPoint {
+	dur := pick(quick, 60*time.Millisecond, 400*time.Millisecond)
+	workerCounts := pick(quick, []int{1, 4}, []int{1, 4, 16})
+
+	var out []RPCPoint
+	for _, workers := range workerCounts {
+		for _, arm := range []string{"local", "remote", "remote+chaos"} {
+			out = append(out, rpcCell(arm, workers, dur))
+		}
+	}
+	return out
+}
+
+func rpcCell(arm string, workers int, dur time.Duration) RPCPoint {
+	m, err := asset.Open(asset.Config{ReapTerminated: true})
+	if err != nil {
+		panic(err) // in-memory open cannot fail
+	}
+	defer m.Close()
+	objs, err := seedObjects(m, workers, 64)
+	if err != nil {
+		panic(err)
+	}
+	payload := []byte("rpc-bench-payload")
+	// Generous attempt budget with short backoff: the chaos arm is
+	// measuring how much goodput survives faults, so an engagement should
+	// fail only when the script is genuinely relentless.
+	opts := asset.RunOptions{MaxAttempts: 12, BaseBackoff: 200 * time.Microsecond, MaxBackoff: 5 * time.Millisecond}
+
+	var res workload.Result
+	var faults int
+	switch arm {
+	case "local":
+		res = workload.RunClosed(workers, dur, func(w, i int) error {
+			return asset.Run(context.Background(), m, opts, func(tx *asset.Tx) error {
+				return tx.Write(objs[w], payload)
+			})
+		})
+
+	default: // remote, remote+chaos
+		fabric := faultnet.New()
+		defer fabric.Close()
+		lis, err := fabric.Listen("assetd")
+		if err != nil {
+			panic(err)
+		}
+		srv := server.Serve(m, lis, server.Config{LeaseTTL: 2 * time.Second})
+		defer srv.Close()
+
+		cli, err := client.Dial(context.Background(), client.Options{
+			Dial: func(ctx context.Context) (net.Conn, error) {
+				return fabric.DialContext(ctx, "assetd")
+			},
+			RetransmitEvery: 3 * time.Millisecond,
+			// Aggressive probing: with the default lease-derived cadence a
+			// one-way loss during a handshake or probe stalls the session
+			// for ~a second, and the chaos arm would measure detection
+			// latency instead of retry goodput.
+			HeartbeatEvery:   20 * time.Millisecond,
+			ProbeTimeout:     25 * time.Millisecond,
+			HandshakeTimeout: 30 * time.Millisecond,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer cli.Close()
+
+		var script *faultnet.Script
+		if arm == "remote+chaos" {
+			// Seeded script: the same fault sequence every run, so two
+			// baselines differ by code, not dice.
+			script = faultnet.RandomScript(1, rpcFaultEvery)
+			fabric.SetScript(script)
+		}
+		res = workload.RunClosed(workers, dur, func(w, i int) error {
+			return cli.Run(context.Background(), opts, func(ctx context.Context, tx *client.Tx) error {
+				return tx.Write(ctx, objs[w], payload)
+			})
+		})
+		// Heal before teardown so Close handshakes don't fight the script.
+		fabric.SetScript(nil)
+		faults = script.Fired()
+	}
+
+	goodput := 0.0
+	if res.Wall > 0 {
+		goodput = float64(res.Ops-res.Errors) / res.Wall.Seconds()
+	}
+	return RPCPoint{
+		Arm:           arm,
+		Workers:       workers,
+		GoodputPerSec: goodput,
+		P50Micros:     float64(res.Lat.Percentile(0.50)) / float64(time.Microsecond),
+		P99Millis:     float64(res.Lat.Percentile(0.99)) / float64(time.Millisecond),
+		Errors:        res.Errors,
+		Faults:        faults,
+	}
+}
+
+func runRPC(w io.Writer, quick bool) error {
+	points := RPCSweep(quick)
+	var t Table
+	t.Headers = []string{"arm", "workers", "goodput/s", "p50", "p99", "errs", "faults", "vs local"}
+	base := make(map[int]float64)
+	for _, p := range points {
+		if p.Arm == "local" {
+			base[p.Workers] = p.GoodputPerSec
+		}
+	}
+	for _, p := range points {
+		vs := "-"
+		if p.Arm != "local" {
+			if b := base[p.Workers]; b > 0 {
+				vs = fmt.Sprintf("%.2fx", p.GoodputPerSec/b)
+			}
+		}
+		t.Add(p.Arm, p.Workers,
+			fmt.Sprintf("%.0f", p.GoodputPerSec),
+			time.Duration(p.P50Micros*float64(time.Microsecond)).Round(time.Microsecond),
+			time.Duration(p.P99Millis*float64(time.Millisecond)).Round(10*time.Microsecond),
+			p.Errors, p.Faults, vs)
+	}
+	t.Fprint(w)
+	fmt.Fprintf(w, "  (single-write txns, one object per worker; chaos arm injects ~1 fault per %d wire messages)\n", rpcFaultEvery)
+	return nil
+}

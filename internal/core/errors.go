@@ -56,6 +56,22 @@ var (
 	// — see Retryable — and wraps its own give-up error with it so callers
 	// can distinguish "lost every race" from terminal failures.
 	ErrRetryable = errors.New("core: retryable transaction failure")
+	// ErrLeaseExpired is returned by the networked tier when a session's
+	// lease lapsed (heartbeats stopped reaching the server) and its live
+	// transactions were handed to the watchdog for abort. Retryable: a
+	// fresh session can re-run the transaction body.
+	ErrLeaseExpired = errors.New("core: session lease expired")
+	// ErrConnLost classifies transport failures (dial refused, connection
+	// reset, read/write on a dead conn) in the networked tier. Retryable:
+	// the client reconnects and either resumes or re-attempts.
+	ErrConnLost = errors.New("core: connection lost")
+	// ErrUnknownOutcome is returned when a commit was sent but its verdict
+	// can no longer be learned — the server restarted (epoch changed)
+	// before the client heard the decision, so the transaction may have
+	// durably committed or aborted. Terminal, NOT retryable: blindly
+	// re-running could double-apply; the caller must reconcile from
+	// durable state.
+	ErrUnknownOutcome = errors.New("core: transaction outcome unknown")
 
 	// ErrDeadlock is returned to deadlock victims (re-exported from the
 	// lock manager so callers need only this package).

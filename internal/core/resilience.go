@@ -182,19 +182,26 @@ type RunOptions struct {
 	// error is retried when Retryable(err) OR the package-level Retryable
 	// reports true.
 	Retryable func(error) bool
+	// RetryAfter, when non-nil, extracts a server-supplied backoff floor
+	// from an error (e.g. the retry-after hint an overloaded server sends
+	// with ErrOverload). A positive return floors the next backoff sleep.
+	RetryAfter func(error) time.Duration
 }
 
 // Retryable reports whether err is worth a fresh attempt: deadlock
-// victims, lock and transaction deadline expiries, admission sheds, and
-// anything explicitly tagged ErrRetryable. Context expiry and logic errors
-// are terminal.
+// victims, lock and transaction deadline expiries, admission sheds,
+// networked-tier transport drops and lease expiries, and anything
+// explicitly tagged ErrRetryable. Context expiry, logic errors, and
+// unknown commit outcomes are terminal.
 func Retryable(err error) bool {
 	return err != nil && (errors.Is(err, ErrRetryable) ||
 		errors.Is(err, ErrDeadlock) ||
 		errors.Is(err, ErrLockTimeout) ||
 		errors.Is(err, ErrOverload) ||
 		errors.Is(err, ErrTxnDeadline) ||
-		errors.Is(err, ErrTooManyTxns))
+		errors.Is(err, ErrTooManyTxns) ||
+		errors.Is(err, ErrLeaseExpired) ||
+		errors.Is(err, ErrConnLost))
 }
 
 // Run executes fn as a transaction (initiate, begin, commit) and
@@ -205,6 +212,19 @@ func Retryable(err error) bool {
 // abort when it dies. Terminal errors (and ctx expiry) return immediately;
 // exhausting the budget returns the last error wrapped with ErrRetryable.
 func (m *Manager) Run(ctx context.Context, opts RunOptions, fn TxnFunc) error {
+	return Retry(ctx, opts, func() { m.stats.retries.Add(1) }, func(ctx context.Context) error {
+		return m.runOnce(ctx, opts, fn)
+	})
+}
+
+// Retry is the engine beneath Manager.Run — and beneath the networked
+// client's Run, which retries whole sessions through the same policy. It
+// drives attempt until success, a terminal error, ctx expiry, or the
+// attempt budget runs dry, sleeping capped exponential backoff with full
+// jitter between attempts; a RetryAfter hint (e.g. from an overloaded
+// server) floors the sleep. onRetry, if non-nil, runs before each
+// re-attempt (Manager.Run counts retry stats there).
+func Retry(ctx context.Context, opts RunOptions, onRetry func(), attempt func(context.Context) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -221,16 +241,25 @@ func (m *Manager) Run(ctx context.Context, opts RunOptions, fn TxnFunc) error {
 		maxB = 64 * time.Millisecond
 	}
 	var err error
-	for attempt := 0; attempt < attempts; attempt++ {
-		if attempt > 0 {
-			m.stats.retries.Add(1)
-			backoff := base << uint(min(attempt-1, 20))
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			if onRetry != nil {
+				onRetry()
+			}
+			backoff := base << uint(min(try-1, 20))
 			if backoff <= 0 || backoff > maxB {
 				backoff = maxB
 			}
 			// Full jitter decorrelates retrying victims so they do not
 			// re-collide in lockstep.
 			backoff = backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+			if opts.RetryAfter != nil {
+				// An explicit server hint floors the jittered sleep: backing
+				// off less than the server asked would re-shed immediately.
+				if floor := opts.RetryAfter(err); floor > backoff {
+					backoff = floor
+				}
+			}
 			timer := time.NewTimer(backoff)
 			select {
 			case <-timer.C:
@@ -242,7 +271,7 @@ func (m *Manager) Run(ctx context.Context, opts RunOptions, fn TxnFunc) error {
 		if cerr := ctx.Err(); cerr != nil {
 			return errors.Join(cerr, err)
 		}
-		err = m.runOnce(ctx, opts, fn)
+		err = attempt(ctx)
 		if err == nil {
 			return nil
 		}

@@ -1,0 +1,464 @@
+// Package faultnet is the pluggable network beneath the ASSET RPC tier,
+// plus a deterministic fault-injection implementation of it — the network
+// sibling of internal/faultfs.
+//
+// Production code dials real TCP. Tests run on a Network, an in-process
+// message-switched fabric whose connections satisfy net.Conn: every
+// Write is one message, messages flow through a per-direction queue, and
+// a Script can delay, drop, duplicate, reorder, or truncate any message,
+// partition a direction, or hard-disconnect a connection — all at exact
+// message counts, so every network failure is reproducible and a failing
+// sweep index replays exactly.
+//
+// The message granularity matches the RPC framing discipline: the wire
+// protocol writes one frame per Write call, so "drop message 17" means
+// "lose exactly the 17th frame on the wire", and a truncation models a
+// connection dying mid-frame (the CRC'd framing must detect the stump).
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Errors surfaced by the fabric.
+var (
+	// ErrRefused is returned by Dial when nothing listens on the address.
+	ErrRefused = errors.New("faultnet: connection refused")
+	// ErrClosed is returned by operations on a closed connection,
+	// listener, or network.
+	ErrClosed = errors.New("faultnet: closed")
+	// ErrDisconnected is returned by reads and writes after an injected
+	// hard disconnect.
+	ErrDisconnected = errors.New("faultnet: connection reset by fault injection")
+)
+
+// Network is an in-process fabric of listeners and connections sharing
+// one fault script and one global message counter.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	script    *Script
+	msgs      int
+	conns     int
+	closed    bool
+}
+
+// New creates an empty fabric.
+func New() *Network {
+	return &Network{listeners: make(map[string]*Listener)}
+}
+
+// SetScript installs (or clears, with nil) the fault script. The global
+// message counter keeps running across SetScript calls.
+func (n *Network) SetScript(s *Script) {
+	n.mu.Lock()
+	n.script = s
+	n.mu.Unlock()
+}
+
+// Messages reports how many messages have entered the fabric since New —
+// the sweep domain: a fault-free dry run's count bounds the Nth of every
+// deterministic rule.
+func (n *Network) Messages() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.msgs
+}
+
+// Listen claims addr on the fabric.
+func (n *Network) Listen(addr string) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, taken := n.listeners[addr]; taken {
+		return nil, fmt.Errorf("faultnet: address %s already in use", addr)
+	}
+	l := &Listener{net: n, addr: addr, backlog: make(chan *Conn, 16)}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to addr, returning the client half of the connection.
+func (n *Network) Dial(addr string) (net.Conn, error) {
+	return n.DialContext(context.Background(), addr)
+}
+
+// DialContext is Dial bounded by a context.
+func (n *Network) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	l := n.listeners[addr]
+	n.conns++
+	id := n.conns
+	n.mu.Unlock()
+	if l == nil {
+		return nil, ErrRefused
+	}
+	cli, srv := newPair(n, id, addr)
+	select {
+	case l.backlog <- srv:
+		return cli, nil
+	case <-l.done():
+		cli.Close()
+		return nil, ErrRefused
+	case <-ctx.Done():
+		cli.Close()
+		return nil, ctx.Err()
+	}
+}
+
+// Close shuts the whole fabric down: every listener stops accepting and
+// future dials fail.
+func (n *Network) Close() {
+	n.mu.Lock()
+	ls := make([]*Listener, 0, len(n.listeners))
+	for _, l := range n.listeners {
+		ls = append(ls, l)
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+}
+
+// decide routes one message through the script; it runs under no latch of
+// the caller.
+func (n *Network) decide(dir Direction, connID int) (Rule, bool) {
+	n.mu.Lock()
+	n.msgs++
+	s := n.script
+	n.mu.Unlock()
+	return s.decide(dir, connID)
+}
+
+// Listener accepts fabric connections; it satisfies net.Listener.
+type Listener struct {
+	net     *Network
+	addr    string
+	backlog chan *Conn
+
+	mu     sync.Mutex
+	closed bool
+	doneCh chan struct{}
+}
+
+func (l *Listener) done() chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.doneCh == nil {
+		l.doneCh = make(chan struct{})
+	}
+	return l.doneCh
+}
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done():
+		return nil, ErrClosed
+	}
+}
+
+// Close stops the listener and releases its address.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	if l.doneCh == nil {
+		l.doneCh = make(chan struct{})
+	}
+	close(l.doneCh)
+	l.mu.Unlock()
+	l.net.mu.Lock()
+	if l.net.listeners[l.addr] == l {
+		delete(l.net.listeners, l.addr)
+	}
+	l.net.mu.Unlock()
+	return nil
+}
+
+// Addr returns the listening address.
+func (l *Listener) Addr() net.Addr { return fabricAddr(l.addr) }
+
+type fabricAddr string
+
+func (a fabricAddr) Network() string { return "faultnet" }
+func (a fabricAddr) String() string  { return string(a) }
+
+// half is one direction of a connection: a queue of delivered messages
+// feeding the peer's reads.
+type half struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    [][]byte
+	pos      int // read offset into queue[0]
+	held     []byte
+	holding  bool // a reordered message awaits the next send
+	cut      bool // one-way partition: drop everything from now on
+	healAt   time.Time
+	closed   bool // writer half closed (EOF after drain)
+	reset    bool // hard disconnect (error immediately)
+	deadline time.Time
+}
+
+func newHalf() *half {
+	h := &half{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// Conn is one endpoint of a fabric connection. Writes enqueue onto out
+// (the peer's in); reads drain in.
+type Conn struct {
+	net    *Network
+	id     int
+	addr   string
+	dir    Direction // direction of this endpoint's writes
+	in     *half
+	out    *half
+	closed sync.Once
+}
+
+// newPair builds the two endpoints of a connection. The client endpoint
+// writes in direction ClientToServer.
+func newPair(n *Network, id int, addr string) (cli, srv *Conn) {
+	a, b := newHalf(), newHalf()
+	cli = &Conn{net: n, id: id, addr: addr, dir: ClientToServer, in: b, out: a}
+	srv = &Conn{net: n, id: id, addr: addr, dir: ServerToClient, in: a, out: b}
+	return cli, srv
+}
+
+// ConnID returns the fabric-wide connection number (1-based dial order),
+// which scripts can match on.
+func (c *Conn) ConnID() int { return c.id }
+
+// Write sends p as one message, subject to the script. The returned
+// length is always len(p) unless the connection is down: like a kernel
+// socket buffer, a fabric write succeeds as soon as the message is
+// queued, even if a fault later eats it.
+func (c *Conn) Write(p []byte) (int, error) {
+	msg := append([]byte(nil), p...)
+	rule, ok := c.net.decide(c.dir, c.id)
+	if !ok {
+		if err := c.out.deliver(msg); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	switch rule.Kind {
+	case Drop:
+		c.out.observeHeal() // a decided drop still lets timed cuts heal
+		return len(p), nil
+	case Dup:
+		if err := c.out.deliver(msg); err != nil {
+			return 0, err
+		}
+		if err := c.out.deliver(append([]byte(nil), msg...)); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	case Reorder:
+		// Hold this message; it is delivered after the next one on the
+		// same half (or on close, if no successor ever comes).
+		c.out.hold(msg)
+		return len(p), nil
+	case Truncate:
+		keep := rule.Keep
+		if keep > len(msg) {
+			keep = len(msg)
+		}
+		c.out.deliver(msg[:keep])
+		c.disconnect()
+		return 0, ErrDisconnected
+	case Partition:
+		c.out.cutFor(rule.Duration)
+		return len(p), nil // the message itself is the first casualty
+	case Disconnect:
+		c.disconnect()
+		return 0, ErrDisconnected
+	case Delay:
+		d := rule.Duration
+		out := c.out
+		time.AfterFunc(d, func() { out.deliver(msg) })
+		return len(p), nil
+	}
+	if err := c.out.deliver(msg); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// deliver queues a message for the peer, first flushing any held
+// (reordered) predecessor *after* it — the swap that Reorder promised.
+func (h *half) deliver(msg []byte) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.reset {
+		return ErrDisconnected
+	}
+	if h.closed {
+		return ErrClosed
+	}
+	if h.cut {
+		if h.healAt.IsZero() || time.Now().Before(h.healAt) {
+			return nil // partitioned: silently dropped
+		}
+		h.cut = false
+	}
+	h.queue = append(h.queue, msg)
+	if h.holding {
+		h.queue = append(h.queue, h.held)
+		h.held, h.holding = nil, false
+	}
+	h.cond.Broadcast()
+	return nil
+}
+
+// observeHeal lets a timed partition heal even when the current message
+// was consumed by another rule.
+func (h *half) observeHeal() {
+	h.mu.Lock()
+	if h.cut && !h.healAt.IsZero() && !time.Now().Before(h.healAt) {
+		h.cut = false
+	}
+	h.mu.Unlock()
+}
+
+func (h *half) hold(msg []byte) {
+	h.mu.Lock()
+	if h.holding {
+		// Two consecutive reorders: release the earlier one first.
+		h.queue = append(h.queue, h.held)
+		h.cond.Broadcast()
+	}
+	h.held, h.holding = msg, true
+	h.mu.Unlock()
+}
+
+func (h *half) cutFor(d time.Duration) {
+	h.mu.Lock()
+	h.cut = true
+	if d > 0 {
+		h.healAt = time.Now().Add(d)
+	} else {
+		h.healAt = time.Time{}
+	}
+	h.mu.Unlock()
+}
+
+// Read drains the inbound queue, blocking until data, EOF, disconnect, or
+// the read deadline.
+func (c *Conn) Read(p []byte) (int, error) {
+	h := c.in
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if h.reset {
+			return 0, ErrDisconnected
+		}
+		if len(h.queue) > 0 {
+			msg := h.queue[0]
+			n := copy(p, msg[h.pos:])
+			h.pos += n
+			if h.pos >= len(msg) {
+				h.queue = h.queue[1:]
+				h.pos = 0
+			}
+			return n, nil
+		}
+		if h.closed {
+			return 0, io.EOF
+		}
+		if !h.deadline.IsZero() {
+			now := time.Now()
+			if !now.Before(h.deadline) {
+				return 0, os.ErrDeadlineExceeded
+			}
+			// Wake ourselves when the deadline passes; Broadcast is
+			// harmless if the read completed meanwhile.
+			t := time.AfterFunc(h.deadline.Sub(now), h.cond.Broadcast)
+			h.cond.Wait()
+			t.Stop()
+			continue
+		}
+		h.cond.Wait()
+	}
+}
+
+// disconnect models an RST: both halves error immediately, queued data
+// included.
+func (c *Conn) disconnect() {
+	for _, h := range []*half{c.in, c.out} {
+		h.mu.Lock()
+		h.reset = true
+		if h.holding {
+			h.held, h.holding = nil, false
+		}
+		h.cond.Broadcast()
+		h.mu.Unlock()
+	}
+}
+
+// Close closes this endpoint: the peer drains what was delivered and then
+// reads EOF; our own reads fail.
+func (c *Conn) Close() error {
+	c.closed.Do(func() {
+		c.out.mu.Lock()
+		c.out.closed = true
+		if c.out.holding {
+			// A held reordered message with no successor flushes on close.
+			c.out.queue = append(c.out.queue, c.out.held)
+			c.out.held, c.out.holding = nil, false
+		}
+		c.out.cond.Broadcast()
+		c.out.mu.Unlock()
+
+		c.in.mu.Lock()
+		c.in.closed = true
+		c.in.cond.Broadcast()
+		c.in.mu.Unlock()
+	})
+	return nil
+}
+
+// LocalAddr identifies the endpoint.
+func (c *Conn) LocalAddr() net.Addr { return fabricAddr(fmt.Sprintf("%s/#%d/%s", c.addr, c.id, c.dir)) }
+
+// RemoteAddr identifies the peer.
+func (c *Conn) RemoteAddr() net.Addr { return fabricAddr(c.addr) }
+
+// SetDeadline sets both read and write deadlines.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.SetReadDeadline(t)
+	return c.SetWriteDeadline(t)
+}
+
+// SetReadDeadline bounds future (and in-flight) reads.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.in.mu.Lock()
+	c.in.deadline = t
+	c.in.cond.Broadcast()
+	c.in.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline is accepted and ignored: fabric writes never block.
+func (c *Conn) SetWriteDeadline(time.Time) error { return nil }

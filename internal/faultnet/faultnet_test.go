@@ -1,0 +1,385 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipe dials a fresh connection pair on a fabric with one listener.
+func pipe(t *testing.T, n *Network) (cli, srv net.Conn) {
+	t.Helper()
+	l, err := n.Listen("asset")
+	if err != nil {
+		l2, ok := n.listeners["asset"]
+		if !ok {
+			t.Fatalf("listen: %v", err)
+		}
+		_ = l2
+	}
+	if l == nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- c
+	}()
+	cli, err = n.Dial("asset")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	srv = <-done
+	if srv == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { cli.Close(); srv.Close(); l.Close() })
+	return cli, srv
+}
+
+func send(t *testing.T, c net.Conn, msg string) {
+	t.Helper()
+	if _, err := c.Write([]byte(msg)); err != nil {
+		t.Fatalf("write %q: %v", msg, err)
+	}
+}
+
+func recv(t *testing.T, c net.Conn) string {
+	t.Helper()
+	buf := make([]byte, 256)
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return string(buf[:n])
+}
+
+func TestPlainDelivery(t *testing.T) {
+	n := New()
+	cli, srv := pipe(t, n)
+	send(t, cli, "hello")
+	if got := recv(t, srv); got != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	send(t, srv, "world")
+	if got := recv(t, cli); got != "world" {
+		t.Fatalf("got %q", got)
+	}
+	if n.Messages() != 2 {
+		t.Fatalf("messages = %d, want 2", n.Messages())
+	}
+}
+
+func TestDialRefusedAndClosedListener(t *testing.T) {
+	n := New()
+	if _, err := n.Dial("nobody"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial to nothing: %v", err)
+	}
+	l, err := n.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := l.Accept(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("accept on closed: %v", err)
+	}
+	// Address is released for reuse.
+	if _, err := n.Listen("a"); err != nil {
+		t.Fatalf("relisten: %v", err)
+	}
+}
+
+func TestCloseGivesEOFAfterDrain(t *testing.T) {
+	n := New()
+	cli, srv := pipe(t, n)
+	send(t, cli, "last words")
+	cli.Close()
+	if got := recv(t, srv); got != "last words" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := srv.Read(make([]byte, 8)); err != io.EOF {
+		t.Fatalf("after drain: %v, want EOF", err)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	n := New()
+	n.SetScript(NewScript(Rule{Dir: ClientToServer, Nth: 1, Kind: Drop}))
+	cli, srv := pipe(t, n)
+	send(t, cli, "eaten")
+	send(t, cli, "kept")
+	if got := recv(t, srv); got != "kept" {
+		t.Fatalf("got %q, want the dropped message gone", got)
+	}
+}
+
+func TestDup(t *testing.T) {
+	n := New()
+	n.SetScript(NewScript(Rule{Nth: 1, Kind: Dup}))
+	cli, srv := pipe(t, n)
+	send(t, cli, "twice")
+	if got := recv(t, srv); got != "twice" {
+		t.Fatalf("first copy %q", got)
+	}
+	if got := recv(t, srv); got != "twice" {
+		t.Fatalf("second copy %q", got)
+	}
+}
+
+func TestReorderSwapsAdjacentMessages(t *testing.T) {
+	n := New()
+	n.SetScript(NewScript(Rule{Dir: ClientToServer, Nth: 1, Kind: Reorder}))
+	cli, srv := pipe(t, n)
+	send(t, cli, "first")
+	send(t, cli, "second")
+	if got := recv(t, srv); got != "second" {
+		t.Fatalf("got %q, want the later message first", got)
+	}
+	if got := recv(t, srv); got != "first" {
+		t.Fatalf("got %q, want the held message released", got)
+	}
+}
+
+func TestReorderFlushesOnClose(t *testing.T) {
+	n := New()
+	n.SetScript(NewScript(Rule{Nth: 1, Kind: Reorder}))
+	cli, srv := pipe(t, n)
+	send(t, cli, "orphan")
+	cli.Close()
+	if got := recv(t, srv); got != "orphan" {
+		t.Fatalf("got %q, want held message flushed at close", got)
+	}
+}
+
+func TestTruncateDeliversStumpThenResets(t *testing.T) {
+	n := New()
+	n.SetScript(NewScript(Rule{Nth: 1, Kind: Truncate, Keep: 3}))
+	cli, srv := pipe(t, n)
+	if _, err := cli.Write([]byte("abcdef")); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("write: %v, want ErrDisconnected", err)
+	}
+	buf := make([]byte, 16)
+	// The stump may or may not be readable depending on reset ordering;
+	// what matters is the connection errors out, never delivering a
+	// complete message.
+	nr, err := srv.Read(buf)
+	if err == nil && !bytes.Equal(buf[:nr], []byte("abc")) {
+		t.Fatalf("read %q, want the 3-byte stump or an error", buf[:nr])
+	}
+	if err == nil {
+		if _, err = srv.Read(buf); err == nil {
+			t.Fatal("second read succeeded on reset connection")
+		}
+	}
+	if _, err := cli.Write([]byte("more")); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("write after reset: %v", err)
+	}
+}
+
+func TestPartitionDropsUntilHeal(t *testing.T) {
+	n := New()
+	n.SetScript(NewScript(Rule{Dir: ClientToServer, Nth: 1, Kind: Partition, Duration: 30 * time.Millisecond}))
+	cli, srv := pipe(t, n)
+	send(t, cli, "casualty") // triggers the cut and is lost
+	send(t, cli, "also lost")
+	// Server sees nothing while the partition holds.
+	srv.SetReadDeadline(time.Now().Add(10 * time.Millisecond))
+	if _, err := srv.Read(make([]byte, 8)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read during partition: %v", err)
+	}
+	srv.SetReadDeadline(time.Time{})
+	time.Sleep(35 * time.Millisecond)
+	send(t, cli, "after heal")
+	if got := recv(t, srv); got != "after heal" {
+		t.Fatalf("got %q after heal", got)
+	}
+	// The reverse direction was never cut.
+	send(t, srv, "reverse")
+	if got := recv(t, cli); got != "reverse" {
+		t.Fatalf("reverse direction: %q", got)
+	}
+}
+
+func TestDisconnectResetsBothSides(t *testing.T) {
+	n := New()
+	n.SetScript(NewScript(Rule{Nth: 2, Kind: Disconnect}))
+	cli, srv := pipe(t, n)
+	send(t, cli, "ok")
+	if got := recv(t, srv); got != "ok" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := cli.Write([]byte("boom")); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := srv.Read(make([]byte, 8)); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("server read: %v", err)
+	}
+	if _, err := cli.Read(make([]byte, 8)); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("client read: %v", err)
+	}
+}
+
+func TestDelayHoldsDelivery(t *testing.T) {
+	n := New()
+	n.SetScript(NewScript(Rule{Nth: 1, Kind: Delay, Duration: 20 * time.Millisecond}))
+	cli, srv := pipe(t, n)
+	start := time.Now()
+	send(t, cli, "late")
+	if got := recv(t, srv); got != "late" {
+		t.Fatalf("got %q", got)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~20ms", d)
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	n := New()
+	cli, _ := pipe(t, n)
+	cli.SetReadDeadline(time.Now().Add(15 * time.Millisecond))
+	start := time.Now()
+	_, err := cli.Read(make([]byte, 8))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read: %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("deadline took %v", d)
+	}
+	// Clearing the deadline unblocks future reads that get data.
+	cli.SetReadDeadline(time.Time{})
+}
+
+func TestPartialReadsReassembleMessage(t *testing.T) {
+	n := New()
+	cli, srv := pipe(t, n)
+	send(t, cli, "abcdefgh")
+	var got []byte
+	buf := make([]byte, 3)
+	for len(got) < 8 {
+		nr, err := srv.Read(buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		got = append(got, buf[:nr]...)
+	}
+	if string(got) != "abcdefgh" {
+		t.Fatalf("reassembled %q", got)
+	}
+}
+
+func TestEveryMatchRuleAndScriptCounters(t *testing.T) {
+	s := NewScript(Rule{Kind: Drop}) // Nth 0: every message
+	n := New()
+	n.SetScript(s)
+	cli, srv := pipe(t, n)
+	for i := 0; i < 5; i++ {
+		send(t, cli, "x")
+	}
+	if s.Seen() != 5 || s.Fired() != 5 {
+		t.Fatalf("seen=%d fired=%d, want 5/5", s.Seen(), s.Fired())
+	}
+	srv.SetReadDeadline(time.Now().Add(5 * time.Millisecond))
+	if _, err := srv.Read(make([]byte, 8)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read: %v", err)
+	}
+}
+
+func TestRandomScriptDeterministic(t *testing.T) {
+	run := func(seed int64) []string {
+		s := RandomScript(seed, 3)
+		for i := 0; i < 200; i++ {
+			s.decide(ClientToServer, 1)
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return append([]string(nil), s.log...)
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("no faults drawn in 200 messages at 1/3 odds")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %d vs %d faults", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault streams")
+	}
+}
+
+func TestConcurrentTrafficUnderRace(t *testing.T) {
+	n := New()
+	n.SetScript(RandomScript(7, 10))
+	l, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var wg sync.WaitGroup
+	// Echo server: one goroutine per accepted conn.
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 64)
+				for {
+					nr, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:nr]); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := n.Dial("srv")
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+			buf := make([]byte, 64)
+			for j := 0; j < 50; j++ {
+				if _, err := c.Write([]byte("ping")); err != nil {
+					return
+				}
+				if _, err := c.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,202 @@
+package faultnet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Direction names one side of a connection's traffic; scripts can target
+// a fault at client→server messages, server→client messages, or both.
+type Direction int
+
+const (
+	// Both matches messages in either direction (rule matching only; a
+	// Conn's own dir is always one of the two concrete directions).
+	Both Direction = iota
+	// ClientToServer matches messages written by the dialing endpoint.
+	ClientToServer
+	// ServerToClient matches messages written by the accepting endpoint.
+	ServerToClient
+)
+
+func (d Direction) String() string {
+	switch d {
+	case ClientToServer:
+		return "c2s"
+	case ServerToClient:
+		return "s2c"
+	default:
+		return "both"
+	}
+}
+
+// Kind is the injected network fault.
+type Kind int
+
+const (
+	// Delay holds the message for Duration before delivering it.
+	Delay Kind = iota
+	// Drop silently loses the message; the writer still sees success,
+	// exactly as a kernel that buffered a frame the wire then ate.
+	Drop
+	// Dup delivers the message twice back to back.
+	Dup
+	// Reorder holds the message and delivers it after the next one on
+	// the same direction (a pairwise swap).
+	Reorder
+	// Truncate delivers only the first Keep bytes of the message and
+	// hard-disconnects the connection — the mid-frame cut the CRC'd
+	// framing must detect.
+	Truncate
+	// Partition cuts this direction (messages silently dropped, reads
+	// hang) starting with this message; Duration > 0 heals the cut after
+	// that long, 0 leaves it cut forever.
+	Partition
+	// Disconnect resets the connection: both sides' reads and writes
+	// fail immediately.
+	Disconnect
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Delay:
+		return "delay"
+	case Drop:
+		return "drop"
+	case Dup:
+		return "dup"
+	case Reorder:
+		return "reorder"
+	case Truncate:
+		return "truncate"
+	case Partition:
+		return "partition"
+	case Disconnect:
+		return "disconnect"
+	default:
+		return "?"
+	}
+}
+
+// Rule triggers one fault at an exact point in the message stream.
+type Rule struct {
+	Dir  Direction // which traffic it can match (Both = either)
+	Conn int       // connection ID to match, 0 = any
+	Nth  int       // fire on the Nth matching message (1-based); 0 = every match
+	Kind Kind
+	Keep     int           // Truncate: bytes delivered before the cut
+	Duration time.Duration // Delay: hold time; Partition: heal-after (0 = forever)
+}
+
+func (r Rule) matches(dir Direction, connID int, seen int) bool {
+	if r.Dir != Both && r.Dir != dir {
+		return false
+	}
+	if r.Conn != 0 && r.Conn != connID {
+		return false
+	}
+	return r.Nth == 0 || r.Nth == seen
+}
+
+// Script is an ordered rule list evaluated against every message entering
+// the fabric. Counting is per-script and global across connections (like
+// faultfs Script's op counter): the Nth message the script sees, not the
+// Nth on some particular conn — which is what makes a sweep index
+// meaningful across a whole protocol exchange. Each rule fires at most
+// once unless Nth is 0.
+type Script struct {
+	mu    sync.Mutex
+	rules []Rule
+	rnd   func(dir Direction, connID int) (Rule, bool) // RandomScript generator
+	seen  int
+	fired []bool
+	log   []string
+}
+
+// NewScript builds a script from rules.
+func NewScript(rules ...Rule) *Script {
+	return &Script{rules: rules, fired: make([]bool, len(rules))}
+}
+
+// decide consumes one message event and reports the first matching
+// unfired rule, if any. A nil script matches nothing.
+func (s *Script) decide(dir Direction, connID int) (Rule, bool) {
+	if s == nil {
+		return Rule{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen++
+	if s.rnd != nil {
+		r, ok := s.rnd(dir, connID)
+		if ok {
+			s.log = append(s.log, r.Kind.String())
+		}
+		return r, ok
+	}
+	for i, r := range s.rules {
+		if s.fired[i] && r.Nth != 0 {
+			continue
+		}
+		if r.matches(dir, connID, s.seen) {
+			s.fired[i] = true
+			s.log = append(s.log, r.Kind.String())
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// Fired reports how many faults this script has injected.
+func (s *Script) Fired() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.log)
+}
+
+// Seen reports how many messages this script has been consulted on.
+func (s *Script) Seen() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen
+}
+
+// RandomScript builds a seeded chaos script for torture runs: every
+// message has faultEvery⁻¹ odds of drawing a transient fault (delay,
+// drop, dup, reorder, or a short self-healing partition). Faults that
+// kill the connection outright (truncate, disconnect) are drawn an order
+// of magnitude more rarely so sessions live long enough to make
+// progress. The same seed yields the same script decisions given the
+// same message sequence.
+func RandomScript(seed int64, faultEvery int) *Script {
+	if faultEvery < 2 {
+		faultEvery = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Script{rnd: func(dir Direction, connID int) (Rule, bool) {
+		if rng.Intn(faultEvery) != 0 {
+			return Rule{}, false
+		}
+		switch rng.Intn(12) {
+		case 0, 1, 2:
+			return Rule{Kind: Delay, Duration: time.Duration(rng.Intn(2000)) * time.Microsecond}, true
+		case 3, 4, 5:
+			return Rule{Kind: Drop}, true
+		case 6, 7:
+			return Rule{Kind: Dup}, true
+		case 8, 9:
+			return Rule{Kind: Reorder}, true
+		case 10:
+			return Rule{Kind: Partition, Duration: time.Duration(1+rng.Intn(3)) * time.Millisecond}, true
+		default:
+			return Rule{Kind: Disconnect}, true
+		}
+	}}
+}

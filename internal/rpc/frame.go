@@ -1,0 +1,81 @@
+// Package rpc is the wire protocol of the networked ASSET tier: a
+// length-prefixed, CRC-guarded binary framing with a compact uvarint
+// message codec, plus an error encoding that carries sentinel identity
+// (errors.Is membership) across the connection.
+//
+// Design rules, all driven by fault tolerance:
+//
+//   - One frame per Write call, so the faultnet message faults (drop,
+//     dup, reorder, truncate) operate on exactly one protocol message.
+//   - Every frame is CRC32-checked; a truncated or corrupted frame is
+//     ErrBadFrame, never a misparse. Connections die loudly, not
+//     silently wrong.
+//   - Every request carries a session-unique request ID; the server
+//     remembers completed responses so a retransmitted request (the
+//     client's answer to a lost response) returns the recorded verdict
+//     instead of re-executing — exactly-once decisions over
+//     at-least-once delivery.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame layout: magic byte, uint32 LE payload length, uint32 LE CRC32
+// (IEEE) of the payload, payload.
+const (
+	frameMagic  = 0xA5
+	frameHdrLen = 9
+	// MaxFrame bounds a frame's payload; larger lengths mean a corrupt
+	// header and kill the connection before a bad length allocates GBs.
+	MaxFrame = 1 << 20
+)
+
+// ErrBadFrame reports a corrupt frame: wrong magic, ludicrous length, or
+// CRC mismatch (the signature of a truncate-mid-frame fault).
+var ErrBadFrame = errors.New("rpc: bad frame")
+
+// WriteFrame sends payload as one frame in a single Write call, the
+// contract that makes message-granularity fault injection meaningful.
+func WriteFrame(w io.Writer, payload []byte) error {
+	buf := make([]byte, frameHdrLen+len(payload))
+	buf[0] = frameMagic
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[5:9], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHdrLen:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads and verifies one frame, returning its payload.
+// Transport errors pass through; structural damage is ErrBadFrame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != frameMagic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrBadFrame, hdr[0])
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: length %d exceeds %d", ErrBadFrame, n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		// A short body is how a truncate-mid-frame fault usually lands:
+		// the header arrived, the tail never will.
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: truncated body: %w", ErrBadFrame, err)
+		}
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(payload); got != binary.LittleEndian.Uint32(hdr[5:9]) {
+		return nil, fmt.Errorf("%w: crc mismatch", ErrBadFrame)
+	}
+	return payload, nil
+}

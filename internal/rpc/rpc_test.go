@@ -1,0 +1,225 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("asset"), 1000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("got %q want %q", got, p)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("empty stream: %v", err)
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	frame := func() []byte {
+		var buf bytes.Buffer
+		WriteFrame(&buf, []byte("payload of frame"))
+		return buf.Bytes()
+	}
+	cases := map[string]func([]byte) []byte{
+		"bad magic":    func(b []byte) []byte { b[0] = 0x00; return b },
+		"flipped bit":  func(b []byte) []byte { b[12] ^= 0x40; return b },
+		"bad crc":      func(b []byte) []byte { b[5] ^= 0xFF; return b },
+		"huge length":  func(b []byte) []byte { b[3] = 0xFF; b[4] = 0xFF; return b },
+		"truncated":    func(b []byte) []byte { return b[:len(b)-4] },
+		"short header": func(b []byte) []byte { return b[:5] },
+	}
+	for name, corrupt := range cases {
+		b := corrupt(frame())
+		_, err := ReadFrame(bytes.NewReader(b))
+		if err == nil {
+			t.Fatalf("%s: read succeeded", name)
+		}
+		// Header cut below 9 bytes is an io error; all structural damage
+		// must be ErrBadFrame.
+		if name != "short header" && !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("%s: %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	f := func(reqID, ack, tid, oid, other, mode, lo, hi uint64, delta int64, data []byte) bool {
+		in := &Request{ReqID: reqID, Ack: ack, Op: OpAdd, TID: tid, OID: oid,
+			Other: other, Mode: mode, Delta: delta, Lo: lo, Hi: hi, Data: data}
+		out, err := DecodeRequest(EncodeRequest(in))
+		if err != nil {
+			return false
+		}
+		if len(out.Data) == 0 && len(in.Data) == 0 {
+			out.Data, in.Data = nil, nil
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	f := func(reqID, bits, ra, tid, oid, val, aux uint64, status byte, msg string, data []byte) bool {
+		in := &Response{ReqID: reqID, Bits: bits, RetryAfter: ra, Msg: msg,
+			TID: tid, OID: oid, Val: val, Aux: aux, Status: status, Data: data}
+		out, err := DecodeResponse(EncodeResponse(in))
+		if err != nil {
+			return false
+		}
+		if len(out.Data) == 0 && len(in.Data) == 0 {
+			out.Data, in.Data = nil, nil
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeRequest([]byte{0x01}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short request: %v", err)
+	}
+	if _, err := DecodeResponse([]byte{0x80}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short response: %v", err)
+	}
+	// Valid shape, invalid op.
+	r := EncodeRequest(&Request{Op: Op(200)})
+	if _, err := DecodeRequest(r); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad op: %v", err)
+	}
+	// Claimed bytes length longer than the buffer.
+	if _, err := DecodeResponse([]byte{1, 0, 0, 0xFF}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("overlong bytes: %v", err)
+	}
+}
+
+func TestWireErrorPreservesSentinels(t *testing.T) {
+	// Multi-sentinel identity: an abort caused by manager close must
+	// answer errors.Is for both, plus the generic retryable tag it rode
+	// in with.
+	orig := fmt.Errorf("%w: shutting down: %w", core.ErrAborted, core.ErrClosed)
+	var resp Response
+	resp.SetError(orig, 0)
+	err := resp.Err()
+	if err == nil {
+		t.Fatal("nil error decoded")
+	}
+	for _, want := range []error{core.ErrAborted, core.ErrClosed} {
+		if !errors.Is(err, want) {
+			t.Fatalf("lost sentinel %v across the wire", want)
+		}
+	}
+	for _, not := range []error{core.ErrDeadlock, core.ErrOverload, core.ErrEscrow} {
+		if errors.Is(err, not) {
+			t.Fatalf("gained sentinel %v across the wire", not)
+		}
+	}
+	if err.Error() != orig.Error() {
+		t.Fatalf("message %q, want %q", err.Error(), orig.Error())
+	}
+}
+
+func TestWireErrorRetryableClassification(t *testing.T) {
+	// The PR-3 retry policy must see through the wire encoding: what was
+	// retryable server-side stays retryable client-side, and vice versa.
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{core.ErrDeadlock, true},
+		{core.ErrLockTimeout, true},
+		{fmt.Errorf("%w (MaxLive=4)", core.ErrOverload), true},
+		{core.ErrTxnDeadline, true},
+		{core.ErrLeaseExpired, true},
+		{core.ErrConnLost, true},
+		{core.ErrAborted, false},
+		{core.ErrUnknownOutcome, false},
+		{core.ErrNoObject, false},
+		{errors.New("opaque server failure"), false},
+	}
+	for _, c := range cases {
+		var resp Response
+		resp.SetError(c.err, 0)
+		if got := core.Retryable(resp.Err()); got != c.want {
+			t.Fatalf("Retryable(wire(%v)) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryAfterHint(t *testing.T) {
+	var resp Response
+	resp.SetError(core.ErrOverload, 1500*time.Microsecond)
+	err := resp.Err()
+	if got := RetryAfterHint(err); got != 1500*time.Microsecond {
+		t.Fatalf("hint = %v", got)
+	}
+	if got := RetryAfterHint(fmt.Errorf("wrapped: %w", err)); got != 1500*time.Microsecond {
+		t.Fatalf("wrapped hint = %v", got)
+	}
+	if got := RetryAfterHint(errors.New("plain")); got != 0 {
+		t.Fatalf("plain error hint = %v", got)
+	}
+	out, err2 := DecodeResponse(EncodeResponse(&resp))
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if got := RetryAfterHint(out.Err()); got != 1500*time.Microsecond {
+		t.Fatalf("hint lost in round trip: %v", got)
+	}
+}
+
+func TestSentinelTableStable(t *testing.T) {
+	// The bitmask is wire ABI: position changes silently corrupt error
+	// identity between mismatched builds. Pin the first rows and the
+	// length floor.
+	want := []error{core.ErrAborted, core.ErrAlreadyCommitted, core.ErrNotBegun}
+	for i, s := range want {
+		if Sentinels[i] != s {
+			t.Fatalf("Sentinels[%d] = %v, want %v", i, Sentinels[i], s)
+		}
+	}
+	if len(Sentinels) < 21 {
+		t.Fatalf("sentinel table shrank to %d entries", len(Sentinels))
+	}
+	if len(Sentinels) > 62 {
+		t.Fatal("sentinel table exceeds the 64-bit bitmask")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for o := Op(1); o < opMax; o++ {
+		if !o.Valid() {
+			t.Fatalf("op %d invalid inside range", o)
+		}
+		if s := o.String(); s == "" || s[0] == 'o' && s[1] == 'p' && s[2] == '(' {
+			t.Fatalf("op %d has no name", o)
+		}
+	}
+	if Op(0).Valid() || Op(200).Valid() {
+		t.Fatal("out-of-range op valid")
+	}
+}

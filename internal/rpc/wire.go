@@ -1,0 +1,275 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op identifies a protocol request kind.
+type Op byte
+
+// Protocol operations. Session control first, then the ASSET primitives
+// in paper order, then data operations.
+const (
+	// OpHello opens or resumes a session: Other carries the session
+	// token to resume (0 = new session), Mode the server epoch the
+	// client last saw (0 = none). The response returns the session token
+	// in TID, the server epoch in Val, and the lease TTL in Aux
+	// (microseconds).
+	OpHello Op = 1 + iota
+	// OpHeartbeat renews the session lease; the response's Aux echoes
+	// the remaining TTL in microseconds.
+	OpHeartbeat
+	// OpBye ends the session gracefully, aborting its live transactions.
+	OpBye
+	// OpCancel withdraws an in-flight request: the server cancels the
+	// per-request context of the request named by Other. Fire-and-forget
+	// semantics — the cancelled request itself answers (with its result
+	// or cancellation error), not OpCancel.
+	OpCancel
+
+	// OpInitiate creates a transaction (response TID).
+	OpInitiate
+	// OpBegin begins TID.
+	OpBegin
+	// OpCommit commits TID — the one request whose retransmission
+	// MUST hit the completed-request table, never re-execute.
+	OpCommit
+	// OpAbort aborts TID.
+	OpAbort
+	// OpWait waits for TID to terminate (response Status).
+	OpWait
+	// OpStatus queries TID's status without waiting (response Status) —
+	// the recovery path a reconnecting client uses to learn a verdict
+	// its old session never heard.
+	OpStatus
+	// OpDelegate delegates locks on OID (Mode ops; OID 0 = all) from
+	// TID to Other.
+	OpDelegate
+	// OpPermit grants Other conflict permission on TID's locks.
+	OpPermit
+	// OpFormDep forms a dependency of kind Mode from TID on Other.
+	OpFormDep
+
+	// OpLock acquires Mode on OID for TID.
+	OpLock
+	// OpRead reads OID (response Data).
+	OpRead
+	// OpWrite writes Data to OID.
+	OpWrite
+	// OpCreate creates an object holding Data (response OID).
+	OpCreate
+	// OpDelete deletes OID.
+	OpDelete
+	// OpAdd escrow-adds Delta to counter OID.
+	OpAdd
+	// OpDeclareEscrow declares escrow bounds [Lo, Hi] on OID.
+	OpDeclareEscrow
+	// OpReadCounter reads counter OID (response Val).
+	OpReadCounter
+
+	opMax
+)
+
+var opNames = [...]string{
+	OpHello: "hello", OpHeartbeat: "heartbeat", OpBye: "bye", OpCancel: "cancel",
+	OpInitiate: "initiate", OpBegin: "begin", OpCommit: "commit", OpAbort: "abort",
+	OpWait: "wait", OpStatus: "status", OpDelegate: "delegate", OpPermit: "permit",
+	OpFormDep: "formdep", OpLock: "lock", OpRead: "read", OpWrite: "write",
+	OpCreate: "create", OpDelete: "delete", OpAdd: "add", OpDeclareEscrow: "declare",
+	OpReadCounter: "readcounter",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+// Valid reports whether o is a defined operation.
+func (o Op) Valid() bool { return o > 0 && o < opMax }
+
+// Request is one client→server message. Fields are op-specific (see the
+// Op doc comments); unused fields encode as single zero bytes.
+type Request struct {
+	// ReqID is the session-unique request ID, monotonically increasing
+	// per session. The server's inflight/completed tables key on it.
+	ReqID uint64
+	// Ack is the highest ReqID for which the client has received (and
+	// will never re-ask about) every response — the server's license to
+	// prune its completed-request table up to that point.
+	Ack   uint64
+	Op    Op
+	TID   uint64
+	OID   uint64
+	Other uint64 // peer TID / resumed session token / cancelled ReqID
+	Mode  uint64 // lock OpSet / dep type / hello epoch
+	Delta int64
+	Lo    uint64
+	Hi    uint64
+	Data  []byte
+}
+
+// Response is one server→client message, matched to its request by
+// ReqID. Bits==0 means success; otherwise Bits/Msg/RetryAfter decode to
+// a *WireError (see errors.go).
+type Response struct {
+	ReqID uint64
+	// Bits is the error encoding: 0 success, bit 0 = generic error,
+	// bit i+1 = errors.Is(err, Sentinels[i]).
+	Bits uint64
+	// RetryAfter is a server backoff hint in microseconds, sent with
+	// ErrOverload; the client's retry engine floors its backoff with it.
+	RetryAfter uint64
+	Msg        string
+	TID        uint64 // initiate result / hello session token
+	OID        uint64 // create result
+	Val        uint64 // counter value / hello epoch
+	Aux        uint64 // hello & heartbeat lease TTL (µs)
+	Status     byte   // xid.Status for wait/status
+	Data       []byte
+}
+
+// EncodeRequest serializes r.
+func EncodeRequest(r *Request) []byte {
+	b := make([]byte, 0, 64+len(r.Data))
+	b = binary.AppendUvarint(b, r.ReqID)
+	b = binary.AppendUvarint(b, r.Ack)
+	b = append(b, byte(r.Op))
+	b = binary.AppendUvarint(b, r.TID)
+	b = binary.AppendUvarint(b, r.OID)
+	b = binary.AppendUvarint(b, r.Other)
+	b = binary.AppendUvarint(b, r.Mode)
+	b = binary.AppendVarint(b, r.Delta)
+	b = binary.AppendUvarint(b, r.Lo)
+	b = binary.AppendUvarint(b, r.Hi)
+	b = appendBytes(b, r.Data)
+	return b
+}
+
+// DecodeRequest parses a request payload.
+func DecodeRequest(b []byte) (*Request, error) {
+	d := &decoder{b: b}
+	r := &Request{
+		ReqID: d.u64(),
+		Ack:   d.u64(),
+		Op:    Op(d.byte()),
+		TID:   d.u64(),
+		OID:   d.u64(),
+		Other: d.u64(),
+		Mode:  d.u64(),
+		Delta: d.i64(),
+		Lo:    d.u64(),
+		Hi:    d.u64(),
+		Data:  d.bytes(),
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: request: %w", ErrBadFrame, d.err)
+	}
+	if !r.Op.Valid() {
+		return nil, fmt.Errorf("%w: unknown op %d", ErrBadFrame, r.Op)
+	}
+	return r, nil
+}
+
+// EncodeResponse serializes r.
+func EncodeResponse(r *Response) []byte {
+	b := make([]byte, 0, 64+len(r.Data)+len(r.Msg))
+	b = binary.AppendUvarint(b, r.ReqID)
+	b = binary.AppendUvarint(b, r.Bits)
+	b = binary.AppendUvarint(b, r.RetryAfter)
+	b = appendBytes(b, []byte(r.Msg))
+	b = binary.AppendUvarint(b, r.TID)
+	b = binary.AppendUvarint(b, r.OID)
+	b = binary.AppendUvarint(b, r.Val)
+	b = binary.AppendUvarint(b, r.Aux)
+	b = append(b, r.Status)
+	b = appendBytes(b, r.Data)
+	return b
+}
+
+// DecodeResponse parses a response payload.
+func DecodeResponse(b []byte) (*Response, error) {
+	d := &decoder{b: b}
+	r := &Response{
+		ReqID:      d.u64(),
+		Bits:       d.u64(),
+		RetryAfter: d.u64(),
+		Msg:        string(d.bytes()),
+		TID:        d.u64(),
+		OID:        d.u64(),
+		Val:        d.u64(),
+		Aux:        d.u64(),
+		Status:     d.byte(),
+		Data:       d.bytes(),
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: response: %w", ErrBadFrame, d.err)
+	}
+	return r, nil
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// decoder is a sticky-error cursor over a payload.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.err = fmt.Errorf("short uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.err = fmt.Errorf("short varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.err = fmt.Errorf("short byte")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.b)) < n {
+		d.err = fmt.Errorf("short bytes: want %d have %d", n, len(d.b))
+		return nil
+	}
+	v := d.b[:n:n]
+	d.b = d.b[n:]
+	return v
+}

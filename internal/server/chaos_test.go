@@ -1,0 +1,352 @@
+// The network chaos matrix and the mixed network+disk torture.
+//
+// The matrix sweeps one scripted fault across every message position of a
+// canonical workload × every fault kind, asserting after each cell that
+// the client-observed verdicts match the server's durable state, that
+// counters conserve, and that no locks or transactions are stranded. The
+// torture run layers a seeded random network fault script over a durable
+// manager, crashes the disk mid-run (faultfs crash image), restarts the
+// server as a new incarnation, and checks the acked ≤ applied ≤
+// acked+unknown accounting plus conservation at the end.
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/core"
+	"repro/internal/faultfs"
+	"repro/internal/faultnet"
+	"repro/internal/server"
+	"repro/internal/xid"
+)
+
+// chaosClientOptions are timers compressed for fault tests: fast
+// retransmit so drops cost milliseconds, fast heartbeat so one-way
+// partitions are detected quickly.
+func chaosClientOptions(fabric *faultnet.Network) client.Options {
+	return client.Options{
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			return fabric.DialContext(ctx, "assetd")
+		},
+		RetransmitEvery:  4 * time.Millisecond,
+		HeartbeatEvery:   20 * time.Millisecond,
+		ProbeTimeout:     25 * time.Millisecond,
+		HandshakeTimeout: 40 * time.Millisecond,
+	}
+}
+
+// dialRetry dials through faults: the initial handshake itself is in the
+// sweep's blast radius, so connection setup must retry like everything
+// else.
+func dialRetry(ctx context.Context, opts client.Options) (*client.Client, error) {
+	var lastErr error
+	for {
+		cli, err := client.Dial(ctx, opts)
+		if err == nil {
+			return cli, nil
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("dial never succeeded: %w (last: %v)", ctx.Err(), lastErr)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// chaosWorkload drives the canonical exchange the matrix sweeps: seed two
+// escrow counters, transfer between them twice, and read the result. All
+// through client.Run, so every retryable fault is absorbed by the backoff
+// engine. Returns the seeded oids.
+func chaosWorkload(ctx context.Context, cli *client.Client) (a, b xid.OID, err error) {
+	opts := core.RunOptions{MaxAttempts: 50, BaseBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond}
+	err = cli.Run(ctx, opts, func(ctx context.Context, tx *client.Tx) error {
+		id, err := tx.Create(ctx, counterBytes(40))
+		if err != nil {
+			return err
+		}
+		if err := tx.DeclareEscrow(ctx, id, 0, 1000); err != nil {
+			return err
+		}
+		a = id
+		if id, err = tx.Create(ctx, counterBytes(0)); err != nil {
+			return err
+		}
+		if err := tx.DeclareEscrow(ctx, id, 0, 1000); err != nil {
+			return err
+		}
+		b = id
+		return nil
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("seed: %w", err)
+	}
+	for i := 0; i < 2; i++ {
+		err = cli.Run(ctx, opts, func(ctx context.Context, tx *client.Tx) error {
+			if err := tx.Add(ctx, a, -1); err != nil {
+				return err
+			}
+			return tx.Add(ctx, b, 1)
+		})
+		if err != nil {
+			return a, b, fmt.Errorf("transfer %d: %w", i, err)
+		}
+	}
+	return a, b, nil
+}
+
+// readCounters reads both counters directly on the manager — the durable
+// truth the client's observed verdicts are checked against.
+func readCounters(t *testing.T, m *core.Manager, a, b xid.OID) (va, vb uint64) {
+	t.Helper()
+	err := m.Run(context.Background(), core.RunOptions{}, func(tx *core.Tx) error {
+		var err error
+		if va, err = tx.ReadCounter(a); err != nil {
+			return err
+		}
+		vb, err = tx.ReadCounter(b)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("read counters on manager: %v", err)
+	}
+	return va, vb
+}
+
+// matrixKinds is every fault kind the matrix sweeps, including both the
+// self-healing and the never-healing partition (the latter is recovered
+// by the heartbeat probe declaring the connection dead and redialing).
+var matrixKinds = []faultnet.Rule{
+	{Kind: faultnet.Delay, Duration: 2 * time.Millisecond},
+	{Kind: faultnet.Drop},
+	{Kind: faultnet.Dup},
+	{Kind: faultnet.Reorder},
+	{Kind: faultnet.Truncate, Keep: 5},
+	{Kind: faultnet.Partition, Duration: 15 * time.Millisecond},
+	{Kind: faultnet.Partition}, // never heals: probe + redial recovers
+	{Kind: faultnet.Disconnect},
+}
+
+// TestChaosMatrix sweeps a single scripted fault across every protocol
+// step of the canonical workload × every fault kind. Every cell must end
+// with the workload fully successful (faults are transient or recoverable
+// by redial), counters conserved, exactly the acked number of transfers
+// applied, and no stranded locks or transactions.
+func TestChaosMatrix(t *testing.T) {
+	// Dry run: bound the sweep domain by the fault-free message count.
+	dry := newFixture(t, core.Config{}, server.Config{LeaseTTL: 500 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cli, err := dialRetry(ctx, chaosClientOptions(dry.fabric))
+	if err != nil {
+		t.Fatalf("dry dial: %v", err)
+	}
+	if _, _, err := chaosWorkload(ctx, cli); err != nil {
+		t.Fatalf("dry workload: %v", err)
+	}
+	cli.Close() //nolint:errcheck
+	msgs := dry.fabric.Messages()
+	if msgs < 10 {
+		t.Fatalf("dry run saw only %d messages", msgs)
+	}
+
+	stride := 3
+	if testing.Short() {
+		stride = 7
+	}
+	for _, kind := range matrixKinds {
+		kind := kind
+		name := kind.Kind.String()
+		if kind.Kind == faultnet.Partition && kind.Duration == 0 {
+			name = "partition-forever"
+		}
+		t.Run(name, func(t *testing.T) {
+			for step := 1; step <= msgs; step += stride {
+				rule := kind
+				rule.Nth = step
+				f := newFixture(t, core.Config{}, server.Config{LeaseTTL: 500 * time.Millisecond})
+				f.fabric.SetScript(faultnet.NewScript(rule))
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				cli, err := dialRetry(ctx, chaosClientOptions(f.fabric))
+				if err != nil {
+					cancel()
+					t.Fatalf("step %d: dial: %v", step, err)
+				}
+				a, b, err := chaosWorkload(ctx, cli)
+				if err != nil {
+					cancel()
+					t.Fatalf("step %d: workload: %v", step, err)
+				}
+				cli.Close() //nolint:errcheck
+				cancel()
+				// Client observed both transfers committed; the durable
+				// state must agree exactly (exactly-once, conservation).
+				va, vb := readCounters(t, f.m, a, b)
+				if va+vb != 40 || vb != 2 {
+					t.Fatalf("step %d: counters (%d, %d), want sum 40 and b == 2", step, va, vb)
+				}
+				f.quiesce()
+			}
+		})
+	}
+}
+
+// tortureTally is one worker's accounting: acked transfers were observed
+// committed, unknown ones died with ErrUnknownOutcome (server restarted
+// with the commit in flight), slop is the final attempt a shutdown cut
+// mid-flight (outcome unknowable without blocking shutdown).
+type tortureTally struct {
+	acked, unknown, slop int
+}
+
+// TestChaosTortureMixed is the seeded mixed-fault torture: random network
+// faults over a durable manager, a disk crash (faultfs crash image,
+// harshest mode) with server restart mid-run, concurrent transfer
+// workers throughout. Invariants at the end: counters conserve exactly,
+// and applied transfers land in [acked, acked+unknown+slop] — every
+// acknowledged commit survived the crash, nothing applied twice.
+func TestChaosTortureMixed(t *testing.T) {
+	seeds := []int64{1, 42}
+	phase := 300 * time.Millisecond
+	if testing.Short() {
+		seeds = seeds[:1]
+		phase = 150 * time.Millisecond
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const total = 5000
+			const workers = 4
+
+			mem := faultfs.NewMem()
+			openManager := func(fs *faultfs.MemFS) *core.Manager {
+				m, err := core.Open(core.Config{Dir: "db", FS: fs, SyncCommits: true})
+				if err != nil {
+					t.Fatalf("Open: %v", err)
+				}
+				return m
+			}
+			m1 := openManager(mem)
+
+			// Seed the counters locally; the oids are durable and survive
+			// the crash-restart.
+			var oidA, oidB xid.OID
+			if err := m1.Run(context.Background(), core.RunOptions{}, func(tx *core.Tx) error {
+				var err error
+				if oidA, err = tx.Create(counterBytes(total)); err != nil {
+					return err
+				}
+				oidB, err = tx.Create(counterBytes(0))
+				return err
+			}); err != nil {
+				t.Fatalf("seed: %v", err)
+			}
+
+			fabric := faultnet.New()
+			defer fabric.Close()
+			lis, err := fabric.Listen("assetd")
+			if err != nil {
+				t.Fatalf("Listen: %v", err)
+			}
+			srv1 := server.Serve(m1, lis, server.Config{LeaseTTL: 150 * time.Millisecond})
+			fabric.SetScript(faultnet.RandomScript(seed, 30))
+
+			stopCtx, stop := context.WithCancel(context.Background())
+			defer stop()
+			opts := core.RunOptions{MaxAttempts: 200, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond}
+			tallies := make([]tortureTally, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					dctx, dcancel := context.WithTimeout(stopCtx, 5*time.Second)
+					cli, err := dialRetry(dctx, chaosClientOptions(fabric))
+					dcancel()
+					if err != nil {
+						t.Errorf("worker %d: dial: %v", w, err)
+						return
+					}
+					defer cli.Close() //nolint:errcheck
+					for stopCtx.Err() == nil {
+						err := cli.Run(stopCtx, opts, func(ctx context.Context, tx *client.Tx) error {
+							if err := tx.Add(ctx, oidA, -1); err != nil {
+								return err
+							}
+							return tx.Add(ctx, oidB, 1)
+						})
+						switch {
+						case err == nil:
+							tallies[w].acked++
+						case errors.Is(err, core.ErrUnknownOutcome):
+							tallies[w].unknown++
+						case stopCtx.Err() != nil:
+							// Shutdown cut the attempt; its commit may or may
+							// not have landed.
+							tallies[w].slop++
+						default:
+							// Budget exhausted this round (every constituent
+							// error is commit-did-not-happen class); go again.
+						}
+					}
+				}()
+			}
+
+			time.Sleep(phase)
+
+			// Crash. Closing the server first stops all acking: every
+			// commit acknowledged to any client is already fsynced
+			// (SyncCommits), so it must be in the crash image. The image
+			// drops everything unsynced — the harshest corner.
+			srv1.Close()
+			img := mem.CrashImage(faultfs.DropUnsynced)
+			m1.Close() //nolint:errcheck
+
+			m2 := openManager(img)
+			lis2, err := fabric.Listen("assetd")
+			if err != nil {
+				t.Fatalf("re-Listen: %v", err)
+			}
+			srv2 := server.Serve(m2, lis2, server.Config{LeaseTTL: 150 * time.Millisecond})
+			defer srv2.Close()
+			defer m2.Close() //nolint:errcheck
+
+			time.Sleep(phase)
+			stop()
+			wg.Wait()
+			fabric.SetScript(nil)
+
+			var sum tortureTally
+			for _, tl := range tallies {
+				sum.acked += tl.acked
+				sum.unknown += tl.unknown
+				sum.slop += tl.slop
+			}
+			if sum.acked == 0 {
+				t.Fatalf("no transfer ever succeeded (unknown=%d slop=%d)", sum.unknown, sum.slop)
+			}
+
+			// Let straggler sessions expire and their transactions settle.
+			quiesceManager(t, m2)
+			va, vb := readCounters(t, m2, oidA, oidB)
+			if va+vb != total {
+				t.Fatalf("conservation violated: %d + %d != %d", va, vb, total)
+			}
+			applied := int(vb)
+			if applied < sum.acked || applied > sum.acked+sum.unknown+sum.slop {
+				t.Fatalf("applied %d transfers, want within [acked=%d, acked+unknown+slop=%d]",
+					applied, sum.acked, sum.acked+sum.unknown+sum.slop)
+			}
+			t.Logf("seed %d: acked=%d unknown=%d slop=%d applied=%d faults=%d msgs=%d",
+				seed, sum.acked, sum.unknown, sum.slop, applied, 0, fabric.Messages())
+		})
+	}
+}

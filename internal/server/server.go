@@ -1,0 +1,639 @@
+// Package server is the networked front end of an ASSET manager: assetd
+// sessions speak the internal/rpc protocol over any net.Listener (TCP in
+// production, faultnet in tests) and drive one shared core.Manager.
+//
+// Robustness design, in the order the chaos matrix attacks it:
+//
+//   - Sessions, not connections, own transactions. A connection dying
+//     (drop, partition, reset) leaves the session — and its live
+//     transactions — intact; the client redials and resumes the session
+//     by token, and every response finds its way back on whatever
+//     connection the session currently has.
+//   - Each session holds a lease renewed by heartbeat. When heartbeats
+//     stop (crashed or partitioned client), the lease expires and the
+//     session's live transactions are aborted cleanly: no stranded
+//     locks, no leaked body goroutines, admission slots returned.
+//   - Every request carries a session-unique request ID. Completed
+//     responses are recorded until the client acknowledges them, so a
+//     retransmitted request — the client's answer to a lost response —
+//     returns the recorded verdict instead of executing twice. Commit
+//     in particular is an exactly-once decision over at-least-once
+//     delivery: CommitCtx only ever returns final verdicts, and the
+//     table makes the verdict stable across retries.
+//   - Cancellation is a first-class request (OpCancel): it cancels the
+//     per-request context server-side, which unwinds lock waits via
+//     LockCtx and aborts pre-commit-point commits — the transaction is
+//     always left aborted or intact, never half-committed.
+//
+// Latch order: Server.mu (4) and session.mu (6) are acquired outside —
+// never across — core.Manager calls (Manager.mu is order 10); the
+// per-connection write latch (8) is innermost of the server's own.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/xid"
+)
+
+// Config tunes a server.
+type Config struct {
+	// LeaseTTL is how long a session survives without a heartbeat;
+	// 0 means 2s. Tests compress this to tens of milliseconds.
+	LeaseTTL time.Duration
+	// RetryAfter is the backoff hint attached to ErrOverload responses;
+	// 0 means LeaseTTL/4.
+	RetryAfter time.Duration
+}
+
+// Server serves the ASSET wire protocol on one listener.
+type Server struct {
+	m     *core.Manager
+	lis   net.Listener
+	ttl   time.Duration
+	hint  time.Duration
+	epoch uint64
+
+	// mu guards the session table and the closed flag. Held only for
+	// table surgery, never across manager calls or frame I/O.
+	//asset:latch order=4
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	closed   bool
+
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+// Serve starts serving m's protocol on lis. The caller owns both: Close
+// stops the server but closes neither the manager nor (beyond unblocking
+// Accept) the listener's existing connections.
+func Serve(m *core.Manager, lis net.Listener, cfg Config) *Server {
+	ttl := cfg.LeaseTTL
+	if ttl <= 0 {
+		ttl = 2 * time.Second
+	}
+	hint := cfg.RetryAfter
+	if hint <= 0 {
+		hint = ttl / 4
+	}
+	s := &Server{
+		m:        m,
+		lis:      lis,
+		ttl:      ttl,
+		hint:     hint,
+		epoch:    rand.Uint64() | 1, // nonzero: 0 means "no epoch known"
+		sessions: make(map[uint64]*session),
+		closeCh:  make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.leaseWatch()
+	return s
+}
+
+// Epoch identifies this server incarnation; a client that saw a
+// different epoch knows the server restarted and unlearned verdicts.
+func (s *Server) Epoch() uint64 { return s.epoch }
+
+// Close stops accepting, expires every session (aborting live
+// transactions), and waits for the server's goroutines.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	close(s.closeCh)
+	s.lis.Close()
+	for _, sess := range sessions {
+		s.expire(sess, fmt.Errorf("%w: server shutting down", core.ErrClosed))
+	}
+	s.wg.Wait()
+}
+
+// SessionCounts reports (live, expired) sessions — the "no stranded
+// leases" assertion of the chaos matrix.
+func (s *Server) SessionCounts() (live, expired int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sess := range s.sessions {
+		sess.mu.Lock()
+		if sess.dead {
+			expired++
+		} else {
+			live++
+		}
+		sess.mu.Unlock()
+	}
+	return live, expired
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(nc)
+		}()
+	}
+}
+
+// leaseWatch expires sessions whose lease lapsed. The tick is a quarter
+// TTL so a lease is never honored much past its expiry.
+func (s *Server) leaseWatch() {
+	defer s.wg.Done()
+	tick := time.NewTicker(max(s.ttl/4, time.Millisecond))
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.closeCh:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		var lapsed []*session
+		s.mu.Lock()
+		for _, sess := range s.sessions {
+			sess.mu.Lock()
+			if !sess.dead && now.After(sess.leaseUntil) {
+				lapsed = append(lapsed, sess)
+			}
+			sess.mu.Unlock()
+		}
+		s.mu.Unlock()
+		for _, sess := range lapsed {
+			s.expire(sess, fmt.Errorf("%w: no heartbeat within %v", core.ErrLeaseExpired, s.ttl))
+		}
+	}
+}
+
+// expire kills a session: in-flight requests are cancelled, live
+// transactions aborted, transaction bodies unwound. The session stays in
+// the table marked dead so a resume attempt learns ErrLeaseExpired
+// (rather than being mistaken for an unknown token).
+func (s *Server) expire(sess *session, reason error) {
+	sess.mu.Lock()
+	if sess.dead {
+		sess.mu.Unlock()
+		return
+	}
+	sess.dead = true
+	txns := sess.txns
+	sess.txns = make(map[xid.TID]*itx)
+	// sess.completed is deliberately kept: verdicts already decided must
+	// stay fetchable by retransmission even after the session dies —
+	// expiry strands no locks, but it must also unlearn no decisions.
+	sess.mu.Unlock()
+	sess.cancel(reason)
+	for tid, t := range txns {
+		tid, t := tid, t
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			// Unwind first so the abort reason seen by in-flight work is
+			// the session's death (reason), not a generic abort; then
+			// Abort as the backstop for bodies that finished cleanly.
+			// Abort is a no-op (ErrAlreadyCommitted) for transactions past
+			// the commit point: expiry never rolls back a decided commit.
+			t.unwindWith(reason)
+			s.m.Abort(tid) //nolint:errcheck
+		}()
+	}
+}
+
+// serveConn runs one connection: handshake, then a read loop that
+// dispatches each request on its own goroutine (so a blocked lock wait
+// never stalls heartbeats sharing the connection).
+func (s *Server) serveConn(nc net.Conn) {
+	defer nc.Close()
+	conn := &srvConn{c: nc}
+	sess := s.handshake(conn)
+	if sess == nil {
+		return
+	}
+	for {
+		payload, err := rpc.ReadFrame(nc)
+		if err != nil {
+			// Transport death or a truncated/corrupt frame: drop the
+			// connection. The session survives on its lease; a resumed
+			// connection picks the work back up.
+			return
+		}
+		req, err := rpc.DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		switch req.Op {
+		case rpc.OpHeartbeat:
+			sess.heartbeat(conn, req, s.ttl)
+		case rpc.OpCancel:
+			sess.cancelRequest(req.Other)
+		default:
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				sess.dispatch(conn, req)
+			}()
+		}
+	}
+}
+
+// handshake consumes the OpHello that must open every connection and
+// either creates a session, resumes one by token, or reports why not
+// (expired lease, unknown token, closed server).
+func (s *Server) handshake(conn *srvConn) *session {
+	payload, err := rpc.ReadFrame(conn.c)
+	if err != nil {
+		return nil
+	}
+	req, err := rpc.DecodeRequest(payload)
+	if err != nil || req.Op != rpc.OpHello {
+		return nil
+	}
+	resp := &rpc.Response{ReqID: req.ReqID, Val: s.epoch, Aux: uint64(s.ttl / time.Microsecond)}
+	sess, err := s.resolveSession(req.Other)
+	if err != nil {
+		resp.SetError(err, 0)
+		conn.send(resp) //nolint:errcheck
+		return nil
+	}
+	sess.mu.Lock()
+	sess.conn = conn
+	sess.leaseUntil = time.Now().Add(s.ttl)
+	sess.mu.Unlock()
+	resp.TID = sess.id
+	if conn.send(resp) != nil {
+		return nil
+	}
+	return sess
+}
+
+// resolveSession maps a hello token to a session: 0 creates one, a known
+// live token resumes, a dead or unknown token is an expired lease (an
+// unknown token can only be a session this incarnation already forgot).
+func (s *Server) resolveSession(token uint64) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, core.ErrClosed
+	}
+	if token == 0 {
+		sess := newSession(s)
+		s.sessions[sess.id] = sess
+		return sess, nil
+	}
+	sess := s.sessions[token]
+	if sess == nil {
+		return nil, fmt.Errorf("%w: unknown session %#x", core.ErrLeaseExpired, token)
+	}
+	sess.mu.Lock()
+	dead := sess.dead
+	sess.mu.Unlock()
+	if dead {
+		return nil, fmt.Errorf("%w: session %#x expired", core.ErrLeaseExpired, token)
+	}
+	return sess, nil
+}
+
+// srvConn serializes frame writes on one connection; responses from
+// concurrent dispatch goroutines interleave at frame granularity only.
+type srvConn struct {
+	//asset:latch order=8
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (c *srvConn) send(resp *rpc.Response) error {
+	payload := rpc.EncodeResponse(resp)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return rpc.WriteFrame(c.c, payload)
+}
+
+// session is the unit of fault tolerance: it outlives connections and
+// dies only by Bye, lease expiry, or server close.
+type session struct {
+	id  uint64
+	srv *Server
+
+	ctx       context.Context // parent of every transaction ctx
+	cancelCtx context.CancelCauseFunc
+
+	// mu guards everything below. Held for table surgery and frame
+	// sends only — never across manager calls.
+	//asset:latch order=6
+	mu         sync.Mutex
+	dead       bool
+	leaseUntil time.Time
+	conn       *srvConn
+	txns       map[xid.TID]*itx
+	inflight   map[uint64]context.CancelCauseFunc
+	completed  map[uint64]*rpc.Response
+	acked      uint64
+}
+
+func newSession(s *Server) *session {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	return &session{
+		id:         rand.Uint64() | 1,
+		srv:        s,
+		ctx:        ctx,
+		cancelCtx:  cancel,
+		leaseUntil: time.Now().Add(s.ttl),
+		txns:       make(map[xid.TID]*itx),
+		inflight:   make(map[uint64]context.CancelCauseFunc),
+		completed:  make(map[uint64]*rpc.Response),
+	}
+}
+
+func (sess *session) cancel(reason error) { sess.cancelCtx(reason) }
+
+func (sess *session) heartbeat(conn *srvConn, req *rpc.Request, ttl time.Duration) {
+	resp := &rpc.Response{ReqID: req.ReqID}
+	sess.mu.Lock()
+	if sess.dead {
+		resp.SetError(core.ErrLeaseExpired, 0)
+	} else {
+		sess.leaseUntil = time.Now().Add(ttl)
+		resp.Aux = uint64(ttl / time.Microsecond)
+	}
+	sess.mu.Unlock()
+	conn.send(resp) //nolint:errcheck
+}
+
+// cancelRequest serves OpCancel: cancelling an in-flight request's
+// context. Unknown request IDs (already answered, or the request frame
+// itself was lost) are a silent no-op.
+func (sess *session) cancelRequest(reqID uint64) {
+	sess.mu.Lock()
+	cancel := sess.inflight[reqID]
+	sess.mu.Unlock()
+	if cancel != nil {
+		cancel(fmt.Errorf("server: request %d cancelled by client", reqID))
+	}
+}
+
+// dispatch is the idempotency gate: a completed request replays its
+// recorded response, an executing request stays deduplicated, and only a
+// genuinely new request executes — under a per-request context that
+// OpCancel (or session death) can cancel.
+func (sess *session) dispatch(conn *srvConn, req *rpc.Request) {
+	sess.mu.Lock()
+	if req.Ack > sess.acked {
+		// The client has the responses up to Ack; their verdicts can go.
+		for id := range sess.completed {
+			if id <= req.Ack {
+				delete(sess.completed, id)
+			}
+		}
+		sess.acked = req.Ack
+	}
+	if req.ReqID <= sess.acked {
+		// An acknowledged ID can only be a network ghost — a duplicated,
+		// delayed, or reordered copy of a request whose response the
+		// client already has (or abandoned). Its verdict may already be
+		// pruned, so executing it again would double-apply; at-most-once
+		// means acknowledged IDs are a hard floor.
+		sess.mu.Unlock()
+		return
+	}
+	// Recorded verdicts answer first — even on a dead session. A commit
+	// that was decided before the lease lapsed must keep returning its
+	// decision, never a lease error that would invite a re-run.
+	if resp, ok := sess.completed[req.ReqID]; ok {
+		sess.mu.Unlock()
+		conn.send(resp) //nolint:errcheck
+		return
+	}
+	if sess.dead {
+		sess.mu.Unlock()
+		resp := &rpc.Response{ReqID: req.ReqID}
+		resp.SetError(core.ErrLeaseExpired, 0)
+		conn.send(resp) //nolint:errcheck
+		return
+	}
+	if _, executing := sess.inflight[req.ReqID]; executing {
+		// A retransmit raced the original; the original will answer.
+		sess.mu.Unlock()
+		return
+	}
+	reqCtx, cancel := context.WithCancelCause(sess.ctx)
+	sess.inflight[req.ReqID] = cancel
+	sess.mu.Unlock()
+
+	resp := sess.execute(reqCtx, req)
+	resp.ReqID = req.ReqID
+	cancel(nil)
+
+	sess.mu.Lock()
+	delete(sess.inflight, req.ReqID)
+	if req.ReqID > sess.acked {
+		// Recorded even on a dead session: the verdict may already have
+		// been durably decided, and retransmits must learn it.
+		sess.completed[req.ReqID] = resp
+	}
+	cur := sess.conn
+	sess.mu.Unlock()
+	if cur != nil {
+		// Route to the session's *current* connection: the one the request
+		// arrived on may be long dead. A failed send is fine — the response
+		// is recorded, and the retransmit will fetch it.
+		cur.send(resp) //nolint:errcheck
+	}
+}
+
+// txn returns the session's interactive transaction for tid.
+func (sess *session) txn(tid xid.TID) *itx {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.txns[tid]
+}
+
+// execute performs one request against the manager. Every blocking path
+// observes ctx, so a client cancel (or session death) unwinds it.
+func (sess *session) execute(ctx context.Context, req *rpc.Request) *rpc.Response {
+	m := sess.srv.m
+	resp := &rpc.Response{}
+	tid := xid.TID(req.TID)
+	fail := func(err error) *rpc.Response {
+		var hint time.Duration
+		if errors.Is(err, core.ErrOverload) {
+			hint = sess.srv.hint
+		}
+		resp.SetError(err, hint)
+		return resp
+	}
+	switch req.Op {
+	case rpc.OpInitiate:
+		t := newItx(sess.ctx)
+		id, err := m.InitiateWith(t.body(), core.TxnOptions{})
+		if err != nil {
+			return fail(err)
+		}
+		t.tid = id
+		sess.mu.Lock()
+		if sess.dead {
+			sess.mu.Unlock()
+			m.Abort(id) //nolint:errcheck
+			t.unwind()
+			return fail(core.ErrLeaseExpired)
+		}
+		sess.txns[id] = t
+		sess.mu.Unlock()
+		resp.TID = uint64(id)
+	case rpc.OpBegin:
+		t := sess.txn(tid)
+		if t == nil {
+			return fail(core.ErrUnknownTxn)
+		}
+		if err := t.begin(ctx, m); err != nil {
+			return fail(err)
+		}
+	case rpc.OpCommit:
+		t := sess.txn(tid)
+		if t != nil {
+			if err := t.finishBody(ctx); err != nil {
+				return fail(err)
+			}
+		}
+		err := m.CommitCtx(ctx, tid)
+		sess.forget(tid)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Status = byte(xid.StatusCommitted)
+	case rpc.OpAbort:
+		err := m.Abort(tid)
+		if t := sess.txn(tid); t != nil {
+			t.unwind()
+		}
+		sess.forget(tid)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Status = byte(xid.StatusAborted)
+	case rpc.OpWait:
+		if err := m.WaitCtx(ctx, tid); err != nil {
+			resp.Status = byte(m.StatusOf(tid))
+			return fail(err)
+		}
+		resp.Status = byte(m.StatusOf(tid))
+	case rpc.OpStatus:
+		resp.Status = byte(m.StatusOf(tid))
+	case rpc.OpDelegate:
+		if err := m.Delegate(tid, xid.TID(req.Other), oidsOf(req)...); err != nil {
+			return fail(err)
+		}
+	case rpc.OpPermit:
+		if err := m.Permit(tid, xid.TID(req.Other), oidsOf(req), xid.OpSet(req.Mode)); err != nil {
+			return fail(err)
+		}
+	case rpc.OpFormDep:
+		if err := m.FormDependency(xid.DepType(req.Mode), tid, xid.TID(req.Other)); err != nil {
+			return fail(err)
+		}
+	case rpc.OpLock, rpc.OpRead, rpc.OpWrite, rpc.OpCreate, rpc.OpDelete,
+		rpc.OpAdd, rpc.OpDeclareEscrow, rpc.OpReadCounter:
+		t := sess.txn(tid)
+		if t == nil {
+			return fail(core.ErrUnknownTxn)
+		}
+		if err := t.do(ctx, sess.dataOp(ctx, req, resp)); err != nil {
+			return fail(err)
+		}
+	case rpc.OpBye:
+		sess.bye()
+	default:
+		return fail(fmt.Errorf("server: unsupported op %v", req.Op))
+	}
+	return resp
+}
+
+// dataOp builds the closure a data operation runs inside the transaction
+// body. Operations that can block on locks pre-acquire via the ctx-aware
+// paths (LockCtx, AddCtx) so client cancellation unwinds the wait.
+func (sess *session) dataOp(ctx context.Context, req *rpc.Request, resp *rpc.Response) func(*core.Tx) error {
+	oid := xid.OID(req.OID)
+	return func(tx *core.Tx) error {
+		switch req.Op {
+		case rpc.OpLock:
+			return tx.LockCtx(ctx, oid, xid.OpSet(req.Mode))
+		case rpc.OpRead:
+			if err := tx.LockCtx(ctx, oid, xid.OpRead); err != nil {
+				return err
+			}
+			data, err := tx.Read(oid)
+			resp.Data = data
+			return err
+		case rpc.OpWrite:
+			if err := tx.LockCtx(ctx, oid, xid.OpWrite); err != nil {
+				return err
+			}
+			return tx.Write(oid, req.Data)
+		case rpc.OpCreate:
+			id, err := tx.Create(req.Data)
+			resp.OID = uint64(id)
+			return err
+		case rpc.OpDelete:
+			if err := tx.LockCtx(ctx, oid, xid.OpWrite); err != nil {
+				return err
+			}
+			return tx.Delete(oid)
+		case rpc.OpAdd:
+			return tx.AddCtx(ctx, oid, req.Delta)
+		case rpc.OpDeclareEscrow:
+			return tx.DeclareEscrow(oid, req.Lo, req.Hi)
+		case rpc.OpReadCounter:
+			if err := tx.LockCtx(ctx, oid, xid.OpRead); err != nil {
+				return err
+			}
+			v, err := tx.ReadCounter(oid)
+			resp.Val = v
+			return err
+		}
+		return fmt.Errorf("server: not a data op: %v", req.Op)
+	}
+}
+
+// forget drops tid from the session's transaction table (terminal ops).
+func (sess *session) forget(tid xid.TID) {
+	sess.mu.Lock()
+	delete(sess.txns, tid)
+	sess.mu.Unlock()
+}
+
+// bye ends the session gracefully (client-initiated); live transactions
+// abort exactly as on lease expiry.
+func (sess *session) bye() {
+	sess.srv.expire(sess, fmt.Errorf("%w: session closed by client", core.ErrAborted))
+	sess.srv.mu.Lock()
+	delete(sess.srv.sessions, sess.id)
+	sess.srv.mu.Unlock()
+}
+
+func oidsOf(req *rpc.Request) []xid.OID {
+	if req.OID == 0 {
+		return nil
+	}
+	return []xid.OID{xid.OID(req.OID)}
+}
