@@ -269,7 +269,12 @@ func (c *Client) redial(ctx context.Context) error {
 }
 
 // hello performs the handshake on conn; the response carries session
-// token, epoch, and lease TTL.
+// token, epoch, and lease TTL. The reply is matched by request ID: on a
+// session resume, a dispatch goroutine finishing an old request can race
+// its response onto the new connection ahead of the hello reply (or a
+// fault script can reorder the frames), and adopting such a frame as the
+// handshake would install a garbage token and epoch. Raced responses are
+// routed to their pending waiters instead.
 func (c *Client) hello(conn *cliConn, token uint64) (*rpc.Response, error) {
 	c.mu.Lock()
 	c.nextReq++
@@ -278,22 +283,28 @@ func (c *Client) hello(conn *cliConn, token uint64) (*rpc.Response, error) {
 	if err := conn.send(req); err != nil {
 		return nil, fmt.Errorf("client: handshake send: %w: %w", core.ErrConnLost, err)
 	}
-	// The handshake is the one synchronous exchange: nothing else is in
-	// flight on this connection yet.
+	// The deadline is absolute, so the loop below is bounded even if the
+	// connection keeps yielding non-hello frames.
 	conn.c.SetReadDeadline(time.Now().Add(c.handshakeTimeout())) //nolint:errcheck
-	payload, err := rpc.ReadFrame(conn.c)
-	conn.c.SetReadDeadline(time.Time{}) //nolint:errcheck
-	if err != nil {
-		return nil, fmt.Errorf("client: handshake read: %w: %w", core.ErrConnLost, err)
+	defer conn.c.SetReadDeadline(time.Time{})                    //nolint:errcheck
+	for {
+		payload, err := rpc.ReadFrame(conn.c)
+		if err != nil {
+			return nil, fmt.Errorf("client: handshake read: %w: %w", core.ErrConnLost, err)
+		}
+		resp, err := rpc.DecodeResponse(payload)
+		if err != nil {
+			return nil, fmt.Errorf("client: handshake decode: %w: %w", core.ErrConnLost, err)
+		}
+		if resp.ReqID != req.ReqID {
+			c.deliver(resp)
+			continue
+		}
+		if rerr := resp.Err(); rerr != nil {
+			return resp, rerr
+		}
+		return resp, nil
 	}
-	resp, err := rpc.DecodeResponse(payload)
-	if err != nil {
-		return nil, fmt.Errorf("client: handshake decode: %w: %w", core.ErrConnLost, err)
-	}
-	if rerr := resp.Err(); rerr != nil {
-		return resp, rerr
-	}
-	return resp, nil
 }
 
 // adopt installs a freshly handshaken connection, starts its read loop,
@@ -417,34 +428,64 @@ func (c *Client) readLoop(conn *cliConn) {
 			c.dropConn(conn)
 			return
 		}
-		c.mu.Lock()
-		cl := c.pending[resp.ReqID]
-		if cl != nil {
-			delete(c.pending, resp.ReqID)
-		}
-		c.mu.Unlock()
-		if cl != nil {
-			select {
-			case cl.done <- resp:
-			default:
-			}
-		}
-		// Responses for unknown request IDs (abandoned, duplicated, or
-		// already answered) are dropped.
+		c.deliver(resp)
 	}
 }
 
-// resetSession forgets a dead session: the token is cleared and the
-// connection retired, so the next operation's redial performs a fresh
-// (token-0) handshake instead of a doomed resume.
-func (c *Client) resetSession() {
+// deliver routes a response to its pending call. Responses for unknown
+// request IDs (abandoned, duplicated, or already answered) are dropped.
+func (c *Client) deliver(resp *rpc.Response) {
 	c.mu.Lock()
+	cl := c.pending[resp.ReqID]
+	if cl != nil {
+		delete(c.pending, resp.ReqID)
+	}
+	c.mu.Unlock()
+	if cl != nil {
+		select {
+		case cl.done <- resp:
+		default:
+		}
+	}
+}
+
+// sessionExpired handles a lease-expired verdict observed on a live
+// connection: the server-side session is dead, so pending calls must not
+// be left for the retransmit loop — it would replay them onto a fresh
+// token-0 session where their TIDs are unknown (turning retryable lease
+// expiries into terminal ErrUnknownTxn) and re-execute commits whose
+// verdicts may already be decided. Instead the session is forgotten and
+// the pending table drained exactly as resumeExpired drains it:
+// non-commit calls fail with ErrLeaseExpired, and in-doubt commits are
+// resolved against the server's durable state on a fresh session —
+// when epoch continuity proves the verdicts are still learnable.
+func (c *Client) sessionExpired() {
+	c.mu.Lock()
+	oldEpoch := c.epoch
 	c.sess = 0
 	conn := c.conn
 	c.conn = nil
+	pend := c.drainPendingLocked()
 	c.mu.Unlock()
 	if conn != nil {
 		conn.c.Close()
+	}
+	if len(pend) == 0 {
+		return
+	}
+	// Detached context: the drained calls belong to other goroutines, so
+	// their resolution must not ride the observing caller's deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*c.handshakeTimeout())
+	defer cancel()
+	var newEpoch uint64
+	if _, err := c.ensureConn(ctx); err == nil {
+		c.mu.Lock()
+		newEpoch = c.epoch
+		c.mu.Unlock()
+	}
+	c.failAfterExpiry(pend, oldEpoch, newEpoch)
+	if newEpoch != 0 && newEpoch == oldEpoch {
+		c.resolveInDoubt(ctx, pend)
 	}
 }
 
@@ -505,12 +546,12 @@ func (c *Client) roundTrip(ctx context.Context, req *rpc.Request) (*rpc.Response
 	case resp := <-cl.done:
 		if rerr := resp.Err(); rerr != nil {
 			if errors.Is(rerr, core.ErrLeaseExpired) {
-				// The session is dead on the server; stop presenting its
-				// token so the next attempt opens a fresh session. (Decided
-				// verdicts are safe: the server answers retransmits from its
-				// completed table even on dead sessions, so a lease error on
-				// a commit means the commit never executed.)
-				c.resetSession()
+				// The session is dead on the server; forget it and drain
+				// everything still pending on it. (This call's own verdict is
+				// safe: the server answers retransmits from its completed
+				// table even on dead sessions, so a lease error on a commit
+				// means the commit never executed.)
+				c.sessionExpired()
 			}
 			return resp, rerr
 		}

@@ -66,10 +66,11 @@ var (
 	ErrTimeout = errors.New("lock: wait timed out")
 	// ErrContext is returned by LockCtx when the request's context was
 	// cancelled or its deadline expired; the returned error wraps the
-	// context error, so errors.Is(err, context.Canceled) (or
-	// context.DeadlineExceeded) distinguishes the two. Per-request
-	// deadlines travel in the context, superseding the single global
-	// WaitTimeout for callers that use them.
+	// context's cancellation cause (context.Cause), so errors.Is against
+	// context.Canceled, context.DeadlineExceeded, or a caller-supplied
+	// cause (e.g. a session's lease expiry) classifies the abandonment.
+	// Per-request deadlines travel in the context, superseding the single
+	// global WaitTimeout for callers that use them.
 	ErrContext = errors.New("lock: wait abandoned by context")
 )
 
@@ -226,8 +227,8 @@ func (m *Manager) acquire(ctx context.Context, tid xid.TID, oid xid.OID, mode xi
 	if mode == 0 {
 		return fmt.Errorf("lock: empty mode requested on %v", oid)
 	}
-	if err := ctx.Err(); err != nil {
-		return fmt.Errorf("%w: %w", ErrContext, err)
+	if ctx.Err() != nil {
+		return fmt.Errorf("%w: %w", ErrContext, context.Cause(ctx))
 	}
 	ts := m.txnOf(tid)
 	s := m.shardOf(oid)
@@ -273,7 +274,10 @@ func (m *Manager) acquire(ctx context.Context, tid xid.TID, oid xid.OID, mode xi
 			select {
 			case <-done:
 				s.lat.Lock()
-				req.ctxErr = ctx.Err()
+				// Cause, not Err: a session teardown cancelling the request
+				// carries its reason (e.g. lease expiry) as the cause, and
+				// that reason must survive into the returned error.
+				req.ctxErr = context.Cause(ctx)
 				od.cond.Broadcast()
 				s.lat.Unlock()
 			case <-stop:

@@ -9,6 +9,7 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -875,4 +876,257 @@ func TestServerCloseFailsSessions(t *testing.T) {
 	if st := f.m.StatusOf(tid); st != xid.StatusAborted {
 		t.Fatalf("status after server close = %v, want aborted", st)
 	}
+}
+
+// TestByeReleasesSessionPromptly: Close sends a fire-and-forget Bye with
+// no request ID, which the dispatch dedup gate would silently drop if it
+// ever reached it — so it must be handled before the gate. A dropped Bye
+// leaves the closed client's session holding its transactions and locks
+// until the lease TTL; here the TTL is far beyond the test's patience,
+// so only an honored Bye can explain a prompt release.
+func TestByeReleasesSessionPromptly(t *testing.T) {
+	f := newFixture(t, core.Config{}, server.Config{LeaseTTL: 30 * time.Second})
+	leaver := f.dial(client.Options{})
+	stayer := f.dial(client.Options{})
+	ctx := context.Background()
+
+	var oid xid.OID
+	if err := stayer.Run(ctx, core.RunOptions{}, func(ctx context.Context, tx *client.Tx) error {
+		id, err := tx.Create(ctx, []byte("contested"))
+		oid = id
+		return err
+	}); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+
+	tid, err := leaver.Initiate(ctx)
+	if err != nil {
+		t.Fatalf("Initiate: %v", err)
+	}
+	if err := leaver.Begin(ctx, tid); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	if err := leaver.Tx(tid).Lock(ctx, oid, xid.OpWrite); err != nil {
+		t.Fatalf("Lock: %v", err)
+	}
+	if err := leaver.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// The lock must come free well inside the 30s lease.
+	lctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := stayer.Run(lctx, core.RunOptions{}, func(ctx context.Context, tx *client.Tx) error {
+		return tx.Write(ctx, oid, []byte("taken"))
+	}); err != nil {
+		t.Fatalf("lock after Bye: %v", err)
+	}
+	if st := f.m.StatusOf(tid); st != xid.StatusAborted {
+		t.Fatalf("closed client's txn status = %v, want aborted", st)
+	}
+	// And the session left the table entirely — not lingering on its lease.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		live, expired := f.srv.SessionCounts()
+		if live == 1 && expired == 0 { // the stayer only
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions after Bye: live=%d expired=%d, want 1/0", live, expired)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	f.quiesce()
+}
+
+// TestLeaseExpiryDrainsPendingCalls: when one call observes the
+// session's lease expiry, calls still pending must not be left for the
+// retransmit loop to replay onto the fresh token-0 session — there their
+// TIDs are unknown and a retryable lease expiry would curdle into a
+// terminal ErrUnknownTxn. Two ops park behind a conflicting lock so both
+// are in flight when the lease lapses; whichever response lands first,
+// neither may surface ErrUnknownTxn.
+func TestLeaseExpiryDrainsPendingCalls(t *testing.T) {
+	f := newFixture(t, core.Config{}, server.Config{LeaseTTL: 40 * time.Millisecond})
+	mute := f.dial(client.Options{HeartbeatEvery: time.Hour})
+	healthy := f.dial(client.Options{})
+	ctx := context.Background()
+
+	var oidA, oidB xid.OID
+	if err := healthy.Run(ctx, core.RunOptions{}, func(ctx context.Context, tx *client.Tx) error {
+		a, err := tx.Create(ctx, []byte("a"))
+		if err != nil {
+			return err
+		}
+		b, err := tx.Create(ctx, []byte("b"))
+		oidA, oidB = a, b
+		return err
+	}); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+
+	// The healthy session holds both locks, parking the mute ops.
+	hold, err := healthy.Initiate(ctx)
+	if err != nil {
+		t.Fatalf("Initiate holder: %v", err)
+	}
+	if err := healthy.Begin(ctx, hold); err != nil {
+		t.Fatalf("Begin holder: %v", err)
+	}
+	for _, oid := range []xid.OID{oidA, oidB} {
+		if err := healthy.Tx(hold).Lock(ctx, oid, xid.OpWrite); err != nil {
+			t.Fatalf("holder Lock: %v", err)
+		}
+	}
+
+	tid, err := mute.Initiate(ctx)
+	if err != nil {
+		t.Fatalf("Initiate: %v", err)
+	}
+	if err := mute.Begin(ctx, tid); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	errs := make(chan error, 2)
+	for _, oid := range []xid.OID{oidA, oidB} {
+		oid := oid
+		go func() {
+			octx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			defer cancel()
+			errs <- mute.Tx(tid).Lock(octx, oid, xid.OpWrite)
+		}()
+	}
+	// Both ops are parked; the mute client never heartbeats, so the lease
+	// lapses under them.
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Fatal("parked lock succeeded across lease expiry")
+			}
+			if errors.Is(err, core.ErrUnknownTxn) {
+				t.Fatalf("parked lock = %v, want a lease/abort error, not ErrUnknownTxn", err)
+			}
+			if !errors.Is(err, core.ErrLeaseExpired) && !errors.Is(err, core.ErrAborted) {
+				t.Fatalf("parked lock = %v, want ErrLeaseExpired or ErrAborted", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("parked lock never resolved after lease expiry")
+		}
+	}
+	if err := healthy.Abort(ctx, hold); err != nil {
+		t.Fatalf("Abort holder: %v", err)
+	}
+	f.quiesce()
+}
+
+// TestHandshakeIgnoresRacedResponse: on a resumed connection a dispatch
+// goroutine finishing an old request can race its response ahead of the
+// hello reply. The client must match the handshake by request ID —
+// adopting the raced frame would install a garbage session token and
+// epoch — and deliver the raced response to its waiter. A hand-rolled
+// server forces the exact frame order.
+func TestHandshakeIgnoresRacedResponse(t *testing.T) {
+	const (
+		tok   = uint64(0xA11CE)
+		epoch = uint64(0xE90C4)
+	)
+	ttlUS := uint64(time.Minute / time.Microsecond)
+	fabric := faultnet.New()
+	defer fabric.Close()
+	lis, err := fabric.Listen("fake")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- func() error {
+			// Connection 1: answer the hello, swallow the next request, die.
+			c1, err := lis.Accept()
+			if err != nil {
+				return fmt.Errorf("accept 1: %w", err)
+			}
+			hello1, err := readReq(c1)
+			if err != nil {
+				return fmt.Errorf("read hello 1: %w", err)
+			}
+			if err := writeResp(c1, &rpc.Response{ReqID: hello1.ReqID, TID: tok, Val: epoch, Aux: ttlUS}); err != nil {
+				return fmt.Errorf("send hello 1: %w", err)
+			}
+			op, err := readReq(c1)
+			if err != nil {
+				return fmt.Errorf("read op: %w", err)
+			}
+			c1.Close()
+
+			// Connection 2 (the redial): the old request's response beats
+			// the hello reply onto the wire.
+			c2, err := lis.Accept()
+			if err != nil {
+				return fmt.Errorf("accept 2: %w", err)
+			}
+			defer c2.Close()
+			hello2, err := readReq(c2)
+			if err != nil {
+				return fmt.Errorf("read hello 2: %w", err)
+			}
+			stale := &rpc.Response{ReqID: op.ReqID, TID: 0xDEAD, Status: byte(xid.StatusCommitted)}
+			if err := writeResp(c2, stale); err != nil {
+				return fmt.Errorf("send raced response: %w", err)
+			}
+			if err := writeResp(c2, &rpc.Response{ReqID: hello2.ReqID, TID: tok, Val: epoch, Aux: ttlUS}); err != nil {
+				return fmt.Errorf("send hello 2: %w", err)
+			}
+			// Drain whatever else arrives (retransmits, the Bye) until EOF.
+			for {
+				if _, err := rpc.ReadFrame(c2); err != nil {
+					return nil
+				}
+			}
+		}()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cli, err := client.Dial(ctx, client.Options{
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			return fabric.DialContext(ctx, "fake")
+		},
+		RetransmitEvery: 5 * time.Millisecond,
+		HeartbeatEvery:  time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cli.Close() //nolint:errcheck
+
+	st, err := cli.Status(ctx, 1)
+	if err != nil {
+		t.Fatalf("Status across handshake race: %v", err)
+	}
+	if st != xid.StatusCommitted {
+		t.Fatalf("raced response status = %v, want committed (the stale frame's verdict)", st)
+	}
+	if got := cli.Session(); got != tok {
+		t.Fatalf("session token = %#x, want %#x (handshake adopted a raced frame)", got, tok)
+	}
+	if got := cli.Epoch(); got != epoch {
+		t.Fatalf("epoch = %#x, want %#x", got, epoch)
+	}
+	cli.Close() //nolint:errcheck — unblocks the fake server's drain loop
+	if err := <-srvErr; err != nil {
+		t.Fatalf("fake server: %v", err)
+	}
+}
+
+func readReq(c net.Conn) (*rpc.Request, error) {
+	payload, err := rpc.ReadFrame(c)
+	if err != nil {
+		return nil, err
+	}
+	return rpc.DecodeRequest(payload)
+}
+
+func writeResp(c net.Conn, resp *rpc.Response) error {
+	return rpc.WriteFrame(c, rpc.EncodeResponse(resp))
 }

@@ -138,28 +138,43 @@ func (t *itx) do(ctx context.Context, f func(*core.Tx) error) error {
 // finishBody ends the body's op loop ahead of commit: the transaction
 // must reach StatusCompleted (body returned) before CommitCtx drives the
 // group. Cancellation before the finish op lands leaves the body — and
-// the transaction — running and intact.
+// the transaction — running and intact. A commit racing an in-flight
+// begin waits the begin out (the way unwindWith does) rather than
+// skipping the finish op — skipping would hand CommitCtx a body that
+// never completes.
 func (t *itx) finishBody(ctx context.Context) error {
-	t.mu.Lock()
-	st := t.state
-	if st == stCreated {
-		// Never begun: no body to finish; CommitCtx will say ErrNotBegun.
-		t.state = stDone
-		t.closeGone()
-	}
-	t.mu.Unlock()
-	if st != stRunning {
-		return nil
-	}
-	op := srvOp{finish: true, res: make(chan error, 1)}
-	select {
-	case t.ops <- op:
-		<-op.res
-		return nil
-	case <-t.gone:
-		return nil // already finished (e.g. an earlier commit attempt)
-	case <-ctx.Done():
-		return fmt.Errorf("server: commit abandoned before completion: %w", context.Cause(ctx))
+	for {
+		t.mu.Lock()
+		st := t.state
+		if st == stCreated {
+			// Never begun: no body to finish; CommitCtx will say ErrNotBegun.
+			t.state = stDone
+			t.closeGone()
+		}
+		t.mu.Unlock()
+		switch st {
+		case stCreated, stDone:
+			return nil
+		case stBeginning:
+			select {
+			case <-t.gone:
+				return nil // begin failed; no body ever ran
+			case <-ctx.Done():
+				return fmt.Errorf("server: commit abandoned before completion: %w", context.Cause(ctx))
+			case <-time.After(time.Millisecond):
+			}
+		case stRunning:
+			op := srvOp{finish: true, res: make(chan error, 1)}
+			select {
+			case t.ops <- op:
+				<-op.res
+				return nil
+			case <-t.gone:
+				return nil // already finished (e.g. an earlier commit attempt)
+			case <-ctx.Done():
+				return fmt.Errorf("server: commit abandoned before completion: %w", context.Cause(ctx))
+			}
+		}
 	}
 }
 

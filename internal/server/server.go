@@ -248,6 +248,13 @@ func (s *Server) serveConn(nc net.Conn) {
 			sess.heartbeat(conn, req, s.ttl)
 		case rpc.OpCancel:
 			sess.cancelRequest(req.Other)
+		case rpc.OpBye:
+			// Handled inline, before the dispatch dedup gate: the client
+			// sends Bye fire-and-forget with no request ID, which the gate
+			// would silently drop — leaving the session to linger holding
+			// its transactions and locks until the lease lapsed.
+			sess.bye()
+			return
 		default:
 			s.wg.Add(1)
 			go func() {
@@ -278,13 +285,20 @@ func (s *Server) handshake(conn *srvConn) *session {
 		return nil
 	}
 	sess.mu.Lock()
-	sess.conn = conn
 	sess.leaseUntil = time.Now().Add(s.ttl)
 	sess.mu.Unlock()
 	resp.TID = sess.id
+	// The hello reply goes out before the connection is published: once
+	// sess.conn is set, dispatch goroutines finishing old requests route
+	// their responses here, and one of those frames must not beat the
+	// handshake response onto the wire. (The client matches the reply by
+	// request ID regardless — this ordering keeps the common path clean.)
 	if conn.send(resp) != nil {
 		return nil
 	}
+	sess.mu.Lock()
+	sess.conn = conn
+	sess.mu.Unlock()
 	return sess
 }
 
@@ -517,7 +531,18 @@ func (sess *session) execute(ctx context.Context, req *rpc.Request) *rpc.Respons
 			}
 		}
 		err := m.CommitCtx(ctx, tid)
-		sess.forget(tid)
+		if err == nil || m.StatusOf(tid).Terminated() {
+			// Only a terminal transaction leaves the table: a commit that
+			// failed with the transaction still alive (e.g. ErrNotBegun
+			// racing a begin) must stay tracked, or expiry would never
+			// unwind its body goroutine. A terminal failure (aborted
+			// underneath) unwinds the body here, since forget makes this
+			// the last chance.
+			if t != nil && err != nil {
+				t.unwind()
+			}
+			sess.forget(tid)
+		}
 		if err != nil {
 			return fail(err)
 		}
@@ -561,9 +586,8 @@ func (sess *session) execute(ctx context.Context, req *rpc.Request) *rpc.Respons
 		if err := t.do(ctx, sess.dataOp(ctx, req, resp)); err != nil {
 			return fail(err)
 		}
-	case rpc.OpBye:
-		sess.bye()
 	default:
+		// OpBye never reaches here: serveConn intercepts it pre-dispatch.
 		return fail(fmt.Errorf("server: unsupported op %v", req.Op))
 	}
 	return resp
