@@ -12,6 +12,7 @@
 //	assetbench -walgc-baseline F   # write the group-commit sweep as JSON
 //	assetbench -hotkey-baseline F  # write the hot-key escrow sweep as JSON
 //	assetbench -rpc-baseline FILE  # write the remote-path sweep as JSON
+//	assetbench -dist-baseline FILE # write the distributed-commit sweep as JSON
 //	assetbench -list               # show the experiment index
 package main
 
@@ -64,9 +65,10 @@ func main() {
 	walgcBaseline := flag.String("walgc-baseline", "", "write the group-commit WAL sweep as JSON to this file")
 	hotkeyBaseline := flag.String("hotkey-baseline", "", "write the hot-key escrow sweep as JSON to this file")
 	rpcBaseline := flag.String("rpc-baseline", "", "write the remote-path (local vs networked vs chaos) sweep as JSON to this file")
+	distBaseline := flag.String("dist-baseline", "", "write the distributed-commit (2-node 2PC vs single-node) sweep as JSON to this file")
 	flag.Parse()
 
-	if *baseline != "" || *resilBaseline != "" || *walgcBaseline != "" || *hotkeyBaseline != "" || *rpcBaseline != "" {
+	if *baseline != "" || *resilBaseline != "" || *walgcBaseline != "" || *hotkeyBaseline != "" || *rpcBaseline != "" || *distBaseline != "" {
 		start := time.Now()
 		if *baseline != "" {
 			if err := writeBaseline(*baseline, "lock-contention", *quick, bench.LockContention(*quick)); err != nil {
@@ -102,6 +104,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s in %v\n", *rpcBaseline, time.Since(start).Round(time.Millisecond))
+		}
+		if *distBaseline != "" {
+			if err := writeBaseline(*distBaseline, "dist-2pc", *quick, bench.DistSweep(*quick)); err != nil {
+				fmt.Fprintf(os.Stderr, "assetbench: dist-baseline: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s in %v\n", *distBaseline, time.Since(start).Round(time.Millisecond))
 		}
 		return
 	}

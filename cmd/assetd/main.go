@@ -7,6 +7,14 @@
 //
 //	assetd -addr :7468                   # in-memory database
 //	assetd -addr :7468 -dir mydb -sync   # durable database (recovered at start)
+//	assetd -addr :7468 -dir mydb -sync -coord mydb/coord
+//	                                     # + distributed-commit coordinator role
+//
+// With -coord the node also hosts a transaction coordinator: its durable
+// decision log lives in the given directory, and the server answers
+// verdict queries (OpVerdictQuery) from participants recovering in-doubt
+// prepared groups — querying an undecided group forces a durable abort
+// (presumed abort), so the answer is always final.
 //
 // The server keeps terminated transaction descriptors (reaping off) so a
 // reconnecting client can learn the verdict of a commit whose response
@@ -24,6 +32,7 @@ import (
 
 	asset "repro"
 	"repro/internal/server"
+	"repro/internal/txcoord"
 )
 
 func main() {
@@ -34,7 +43,17 @@ func main() {
 	lease := flag.Duration("lease", 2*time.Second, "session lease TTL (heartbeat deadline)")
 	maxLive := flag.Int("max-live", 0, "admission limit on concurrently running transactions (0 = unlimited)")
 	deadline := flag.Duration("deadline", 0, "per-transaction deadline enforced by the watchdog (0 = none)")
+	coordDir := flag.String("coord", "", "host a distributed-commit coordinator with its decision log in this directory")
 	flag.Parse()
+
+	var coord *txcoord.Coordinator
+	if *coordDir != "" {
+		var err error
+		if coord, err = txcoord.Open(nil, *coordDir); err != nil {
+			fmt.Fprintln(os.Stderr, "assetd:", err)
+			os.Exit(1)
+		}
+	}
 
 	m, err := asset.Open(asset.Config{
 		Dir:         *dir,
@@ -54,14 +73,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "assetd:", err)
 		os.Exit(1)
 	}
-	srv := server.Serve(m, lis, server.Config{LeaseTTL: *lease})
-	fmt.Printf("assetd: serving on %s (lease %v, epoch %#x)\n", lis.Addr(), *lease, srv.Epoch())
+	scfg := server.Config{LeaseTTL: *lease}
+	if coord != nil {
+		scfg.Verdicts = coord
+	}
+	srv := server.Serve(m, lis, scfg)
+	role := ""
+	if coord != nil {
+		role = fmt.Sprintf(", coordinator log in %s", *coordDir)
+	}
+	fmt.Printf("assetd: serving on %s (lease %v, epoch %#x%s)\n", lis.Addr(), *lease, srv.Epoch(), role)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("assetd: shutting down")
 	srv.Close()
+	if coord != nil {
+		if err := coord.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "assetd:", err)
+		}
+	}
 	if err := m.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "assetd:", err)
 		os.Exit(1)

@@ -56,6 +56,14 @@ func main() {
 			fmt.Printf("%6d  %-10s %v -> %v (%s)\n", r.LSN, r.Type, r.TID, r.TID2, scope)
 		case wal.TCommit:
 			fmt.Printf("%6d  %-10s group=%v\n", r.LSN, r.Type, r.TIDs)
+		case wal.TPrepare:
+			fmt.Printf("%6d  %-10s gid=%d group=%v\n", r.LSN, r.Type, r.GID, r.TIDs)
+		case wal.TDecide:
+			verdict := "abort"
+			if r.Commit {
+				verdict = "commit"
+			}
+			fmt.Printf("%6d  %-10s gid=%d verdict=%s\n", r.LSN, r.Type, r.GID, verdict)
 		case wal.TCheckpoint:
 			fmt.Printf("%6d  %-10s\n", r.LSN, r.Type)
 		}
@@ -75,6 +83,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "walinspect: recover: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\n%d records; recovery: %d committed txn(s), %d loser(s), %d object image(s), %d deletion(s), next LSN %d\n",
-		count, len(st.Committed), len(st.Losers), len(st.Objects), len(st.Deleted), st.NextLSN)
+	fmt.Printf("\n%d records; recovery: %d committed txn(s), %d loser(s), %d in-doubt group(s), %d object image(s), %d deletion(s), next LSN %d\n",
+		count, len(st.Committed), len(st.Losers), len(st.InDoubt), len(st.Objects), len(st.Deleted), st.NextLSN)
+	for gid, tids := range st.InDoubt {
+		fmt.Printf("in doubt: gid=%d group=%v (awaiting coordinator verdict)\n", gid, tids)
+	}
 }

@@ -335,6 +335,12 @@ func TestLatchRegistry(t *testing.T) {
 		got[c.Name] = attrs
 	}
 	want := map[string]string{
+		// The distributed-commit coordinator's latch is outermost of all:
+		// it is held only around its decision map and log, never across a
+		// participant (client/network) call, so nothing it guards can ever
+		// wait on anything ordered after it.
+		"txcoord.Coordinator.mu": "order=1",
+
 		// The networked tier's latches order before every engine latch:
 		// client and server dispatch hold their session/connection state
 		// only around queue and table manipulation, never across a core

@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	asset "repro"
+	"repro/client"
+	"repro/internal/faultfs"
+	"repro/internal/faultnet"
+	"repro/internal/server"
+	"repro/internal/txcoord"
+	"repro/internal/wal"
+	"repro/internal/workload"
+	"repro/internal/xid"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "DIST",
+		Title:  "Distributed group commit: 2-node 2PC cost vs the single-node RPC baseline",
+		Anchor: "§3.2.1 form_dependency(GC) across managers (txcoord)",
+		Run:    runDist,
+	})
+}
+
+// DistPoint is one measured cell of the distributed-commit sweep; the
+// slice of points is what assetbench -dist-baseline serializes into
+// BENCH_dist_baseline.json.
+type DistPoint struct {
+	Arm           string  `json:"arm"` // 1node-rpc | 2node-2pc
+	Workers       int     `json:"workers"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	P50Micros     float64 `json:"p50_us"`
+	P99Millis     float64 `json:"p99_ms"`
+	Errors        uint64  `json:"errors"`
+}
+
+// DistSweep measures what spanning managers costs. Both arms run the same
+// logical work — a transfer touching two counters, built interactively
+// over leased sessions on an in-process faultnet fabric — but "1node-rpc"
+// keeps both counters in one manager and commits with a single OpCommit,
+// while "2node-2pc" splits them across two managers GC-linked by a
+// distributed group: two prepares (each forcing a TPrepare record), a
+// coordinator decision-log force, and two verdict deliveries. The ratio
+// is the price of the paper's group-commit dependency once it has to
+// cross a node boundary.
+func DistSweep(quick bool) []DistPoint {
+	dur := pick(quick, 60*time.Millisecond, 400*time.Millisecond)
+	workerCounts := pick(quick, []int{1, 4}, []int{1, 4, 16})
+
+	var out []DistPoint
+	for _, workers := range workerCounts {
+		for _, arm := range []string{"1node-rpc", "2node-2pc"} {
+			out = append(out, distCell(arm, workers, dur))
+		}
+	}
+	return out
+}
+
+// distNode is one served manager plus a dialed client session.
+type distNode struct {
+	m      *asset.Manager
+	fabric *faultnet.Network
+	srv    *server.Server
+	cli    *client.Client
+	oids   []asset.OID
+}
+
+func startDistNode(workers int, init uint64) *distNode {
+	m, err := asset.Open(asset.Config{ReapTerminated: true})
+	if err != nil {
+		panic(err)
+	}
+	fabric := faultnet.New()
+	lis, err := fabric.Listen("assetd")
+	if err != nil {
+		panic(err)
+	}
+	srv := server.Serve(m, lis, server.Config{LeaseTTL: 2 * time.Second})
+	cli, err := client.Dial(context.Background(), client.Options{
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			return fabric.DialContext(ctx, "assetd")
+		},
+		RetransmitEvery: 3 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	n := &distNode{m: m, fabric: fabric, srv: srv, cli: cli}
+	// One counter per worker: disjoint objects, so the protocol — not the
+	// lock table — is what's measured.
+	if err := m.Run(context.Background(), asset.RunOptions{}, func(tx *asset.Tx) error {
+		n.oids = n.oids[:0]
+		for i := 0; i < workers; i++ {
+			oid, err := tx.Create(wal.EncodeCounter(init))
+			if err != nil {
+				return err
+			}
+			n.oids = append(n.oids, oid)
+		}
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (n *distNode) close() {
+	n.cli.Close() //nolint:errcheck
+	n.srv.Close()
+	n.fabric.Close()
+	n.m.Close() //nolint:errcheck
+}
+
+// buildHalf makes one interactive, uncommitted transfer half: the body
+// stays open until the commit path (OpCommit or OpPrepare) finishes it.
+func (n *distNode) buildHalf(ctx context.Context, w int, delta int64) (xid.TID, error) {
+	tid, err := n.cli.Initiate(ctx)
+	if err != nil {
+		return tid, err
+	}
+	if err := n.cli.Begin(ctx, tid); err != nil {
+		return tid, err
+	}
+	return tid, n.cli.Tx(tid).Add(ctx, n.oids[w], delta)
+}
+
+func distCell(arm string, workers int, dur time.Duration) DistPoint {
+	ctx := context.Background()
+	var res workload.Result
+	switch arm {
+	case "1node-rpc":
+		// Both counters on one node; same interactive shape, one commit.
+		a := startDistNode(2*workers, 1<<40)
+		defer a.close()
+		res = workload.RunClosed(workers, dur, func(w, i int) error {
+			tid, err := a.cli.Initiate(ctx)
+			if err != nil {
+				return err
+			}
+			if err := a.cli.Begin(ctx, tid); err != nil {
+				return err
+			}
+			if err := a.cli.Tx(tid).Add(ctx, a.oids[2*w], -1); err != nil {
+				return err
+			}
+			if err := a.cli.Tx(tid).Add(ctx, a.oids[2*w+1], 1); err != nil {
+				return err
+			}
+			return a.cli.Commit(ctx, tid)
+		})
+
+	default: // 2node-2pc
+		a := startDistNode(workers, 1<<40)
+		defer a.close()
+		b := startDistNode(workers, 0)
+		defer b.close()
+		coord, err := txcoord.Open(faultfs.NewMem(), "coord")
+		if err != nil {
+			panic(err)
+		}
+		defer coord.Close() //nolint:errcheck
+		res = workload.RunClosed(workers, dur, func(w, i int) error {
+			tidA, err := a.buildHalf(ctx, w, -1)
+			if err != nil {
+				return err
+			}
+			tidB, err := b.buildHalf(ctx, w, 1)
+			if err != nil {
+				return err
+			}
+			ok, err := coord.CommitGroup(ctx, coord.NewGID(), []txcoord.Member{
+				txcoord.Remote("a", a.cli, tidA),
+				txcoord.Remote("b", b.cli, tidB),
+			})
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("group aborted")
+			}
+			return nil
+		})
+	}
+
+	goodput := 0.0
+	if res.Wall > 0 {
+		goodput = float64(res.Ops-res.Errors) / res.Wall.Seconds()
+	}
+	return DistPoint{
+		Arm:           arm,
+		Workers:       workers,
+		CommitsPerSec: goodput,
+		P50Micros:     float64(res.Lat.Percentile(0.50)) / float64(time.Microsecond),
+		P99Millis:     float64(res.Lat.Percentile(0.99)) / float64(time.Millisecond),
+		Errors:        res.Errors,
+	}
+}
+
+func runDist(w io.Writer, quick bool) error {
+	points := DistSweep(quick)
+	var t Table
+	t.Headers = []string{"arm", "workers", "commits/s", "p50", "p99", "errs", "vs 1node"}
+	base := make(map[int]float64)
+	for _, p := range points {
+		if p.Arm == "1node-rpc" {
+			base[p.Workers] = p.CommitsPerSec
+		}
+	}
+	for _, p := range points {
+		vs := "-"
+		if p.Arm != "1node-rpc" {
+			if b := base[p.Workers]; b > 0 {
+				vs = fmt.Sprintf("%.2fx", p.CommitsPerSec/b)
+			}
+		}
+		t.Add(p.Arm, p.Workers,
+			fmt.Sprintf("%.0f", p.CommitsPerSec),
+			time.Duration(p.P50Micros*float64(time.Microsecond)).Round(time.Microsecond),
+			time.Duration(p.P99Millis*float64(time.Millisecond)).Round(10*time.Microsecond),
+			p.Errors, vs)
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "  (one transfer = two counter deltas; the 2PC arm pays 2 prepares + a coordinator log force + 2 verdict deliveries)")
+	return nil
+}

@@ -60,6 +60,11 @@ func (m *Manager) CommitCtx(ctx context.Context, id xid.TID) error {
 		case xid.StatusInitiated:
 			m.mu.Unlock()
 			return ErrNotBegun
+		case xid.StatusPrepared:
+			// The transaction voted in a distributed commit; only the
+			// coordinator's verdict (Decide) may terminate it.
+			m.mu.Unlock()
+			return fmt.Errorf("%w: %v", ErrPrepared, id)
 		case xid.StatusRunning:
 			// commit blocks until execution completes (§2.1).
 			ch := t.done
@@ -171,7 +176,10 @@ func (m *Manager) examineGroupLocked(t *txn) ([]*txn, *obstacle) {
 		switch member.st() {
 		case xid.StatusInitiated, xid.StatusRunning:
 			return group, &obstacle{id: member.id, waitCh: member.done}
-		case xid.StatusCommitting:
+		case xid.StatusCommitting, xid.StatusPrepared:
+			// Prepared is "committing with the verdict pending": the local
+			// driver waits for the coordinator's decision like it waits for
+			// a batched flush.
 			return group, &obstacle{id: member.id, waitCh: member.term}
 		}
 	}
@@ -191,7 +199,10 @@ func (m *Manager) examineGroupLocked(t *txn) ([]*txn, *obstacle) {
 				continue
 			}
 			if p, ok := m.txns.Get(uint64(e.Other)); ok &&
-				(p.st() == xid.StatusCommitting || p.st() == xid.StatusCommitted) {
+				(p.st() == xid.StatusCommitting || p.st() == xid.StatusCommitted ||
+					p.st() == xid.StatusPrepared) {
+				// A prepared partner counts as committing: it promised a
+				// coordinator it can commit, so it must win the exclusion.
 				for _, other := range group {
 					m.abortLocked(other, fmt.Errorf("%w: excluded by committing partner %v", ErrAborted, p.id))
 				}
@@ -334,6 +345,10 @@ func (m *Manager) Abort(id xid.TID) error {
 		return ErrAlreadyCommitted
 	case xid.StatusAborted:
 		return nil
+	case xid.StatusPrepared:
+		// No unilateral abort once the yes vote is out; the coordinator's
+		// verdict (Decide) is the only terminator.
+		return fmt.Errorf("%w: %v", ErrPrepared, id)
 	}
 	m.abortLocked(t, fmt.Errorf("%w: explicit abort", ErrAborted))
 	return nil
@@ -375,7 +390,19 @@ func (m *Manager) abortTxn(t *txn, reason error) {
 // install every member's before images in one pass, in reverse global LSN
 // order, logging each installation, (3) release locks, drop dependencies,
 // and finalize statuses. Caller holds m.mu.
+//
+// A prepared transaction is exempt: its fate belongs to the coordinator,
+// so every unilateral path — watchdog, context expiry, lease teardown,
+// Close, cascades reaching it — is a silent no-op here. Only the verdict
+// path (Decide, failPrepareLocked) passes includePrepared.
 func (m *Manager) abortLocked(t *txn, reason error) {
+	m.abortCascadeLocked(t, reason, false)
+}
+
+func (m *Manager) abortCascadeLocked(t *txn, reason error, includePrepared bool) {
+	if t.st() == xid.StatusPrepared && !includePrepared {
+		return
+	}
 	// Abort-cause accounting happens here so every path — lock-wait
 	// victims, commit-wait victims, the OnVictim callback, the watchdog,
 	// context watchers — is counted exactly once (per cascade root).
@@ -397,7 +424,8 @@ func (m *Manager) abortLocked(t *txn, reason error) {
 	for len(work) > 0 {
 		u := work[len(work)-1]
 		work = work[:len(work)-1]
-		if u.st().Terminated() || u.st() == xid.StatusAborting {
+		if u.st().Terminated() || u.st() == xid.StatusAborting ||
+			(u.st() == xid.StatusPrepared && !includePrepared) {
 			continue
 		}
 		// abErr strictly before the status store: lock-free readers that
@@ -438,6 +466,9 @@ func (m *Manager) abortLocked(t *txn, reason error) {
 			}{u.id, rec})
 		}
 		u.undo = nil
+		// An aborted in-doubt member's withheld images simply vanish; there
+		// is nothing in the cache to roll back.
+		u.redo = nil
 	}
 	sort.Slice(undos, func(i, j int) bool { return undos[i].rec.lsn > undos[j].rec.lsn })
 	for _, ur := range undos {

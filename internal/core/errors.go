@@ -72,6 +72,14 @@ var (
 	// re-running could double-apply; the caller must reconcile from
 	// durable state.
 	ErrUnknownOutcome = errors.New("core: transaction outcome unknown")
+	// ErrPrepared is returned when an operation would unilaterally decide
+	// the fate of a transaction that has voted in a distributed commit:
+	// once prepared, only the coordinator's verdict (Decide) may terminate
+	// it — explicit aborts, lease expiry, and the watchdog all bounce.
+	ErrPrepared = errors.New("core: transaction prepared, awaiting coordinator verdict")
+	// ErrUnknownGroup is returned by Decide when the group id names no
+	// prepared transactions and no recorded verdict on this manager.
+	ErrUnknownGroup = errors.New("core: unknown distributed commit group")
 
 	// ErrDeadlock is returned to deadlock victims (re-exported from the
 	// lock manager so callers need only this package).

@@ -158,6 +158,15 @@ type Manager struct {
 	backend storage.Backend
 	dirty   map[xid.OID]dirtyKind // committed changes since last checkpoint
 
+	// Distributed-commit participant state, guarded by mu. prepared maps a
+	// group id to its local members (runtime-prepared or recovered in
+	// doubt); verdicts remembers decided groups so retransmitted votes and
+	// verdicts stay idempotent; preparing gates a vote whose TPrepare flush
+	// released mu (group-commit modes) — duplicates and verdicts wait it out.
+	prepared  map[uint64][]xid.TID
+	verdicts  map[uint64]bool
+	preparing map[uint64]chan struct{}
+
 	closed atomic.Bool
 	// closeCh closes when Close begins, waking admission queuers and
 	// stopping the watchdog.
@@ -188,6 +197,9 @@ func Open(cfg Config) (*Manager, error) {
 		cache:        storage.NewCache(),
 		txns:         htab.New[*txn](0),
 		dirty:        make(map[xid.OID]dirtyKind),
+		prepared:     make(map[uint64][]xid.TID),
+		verdicts:     make(map[uint64]bool),
+		preparing:    make(map[uint64]chan struct{}),
 		closeCh:      make(chan struct{}),
 		watchdogDone: make(chan struct{}),
 	}
@@ -277,8 +289,22 @@ func Open(cfg Config) (*Manager, error) {
 			maxOID = oid
 		}
 	}
+	// An in-doubt transaction's created OIDs are in neither the backend nor
+	// st.Objects (their images are withheld), so fold them into the
+	// allocator's floor before SetNextOID or a new create could collide.
+	for _, ops := range st.InDoubtOps {
+		for _, op := range ops {
+			if op.OID > maxOID {
+				maxOID = op.OID
+			}
+		}
+	}
 	m.cache.SetNextOID(maxOID)
 	m.nextTID.Store(uint64(st.MaxTID))
+	if err := m.installInDoubt(st); err != nil {
+		ps.Close()
+		return nil, err
+	}
 	segOpts := wal.SegmentedOptions{
 		SegmentBytes: cfg.WALSegmentBytes,
 		Sync:         cfg.SyncCommits,

@@ -354,12 +354,14 @@ func (m *Manager) Delegate(from, to xid.TID, oids ...xid.OID) error {
 		m.mu.Unlock()
 		return err
 	}
-	if ft.st().Terminated() || ft.st() == xid.StatusCommitting {
+	if ft.st().Terminated() || ft.st() == xid.StatusCommitting || ft.st() == xid.StatusPrepared {
+		// A prepared delegator's undo/lock set is frozen in its TPrepare
+		// promise; moving responsibility now would falsify the vote.
 		m.mu.Unlock()
 		return fmt.Errorf("%w: delegator %v is %v", ErrTerminated, from, ft.st())
 	}
 	tt, _ := m.txns.Get(uint64(to))
-	if tt.st().Terminated() || tt.st() == xid.StatusCommitting {
+	if tt.st().Terminated() || tt.st() == xid.StatusCommitting || tt.st() == xid.StatusPrepared {
 		// A committing delegatee has already written its commit record;
 		// work delegated now would be mis-attributed at recovery.
 		m.mu.Unlock()
@@ -484,6 +486,11 @@ func (m *Manager) FormDependency(typ xid.DepType, ti, tj xid.TID) error {
 	case b.st() == xid.StatusCommitted || b.st() == xid.StatusCommitting:
 		m.mu.Unlock()
 		return fmt.Errorf("%w: dependent %v is already %v", ErrTerminated, tj, b.st())
+	case b.st() == xid.StatusPrepared:
+		// A prepared dependent promised a coordinator it can commit; a new
+		// constraint could invalidate the vote.
+		m.mu.Unlock()
+		return fmt.Errorf("%w: dependent %v", ErrPrepared, tj)
 	}
 	switch {
 	case a.st() == xid.StatusAborted || a.st() == xid.StatusAborting:
@@ -496,6 +503,12 @@ func (m *Manager) FormDependency(typ xid.DepType, ti, tj xid.TID) error {
 	case a.st() == xid.StatusCommitting && typ == xid.DepGC:
 		m.mu.Unlock()
 		return fmt.Errorf("%w: group commit with committing %v", ErrTerminated, ti)
+	case a.st() == xid.StatusPrepared && typ == xid.DepGC:
+		// The prepared supporter's GC closure was fixed by its vote; the
+		// group cannot grow while the verdict is pending. (CD/AD on a
+		// prepared supporter are fine — the dependent waits on its term.)
+		m.mu.Unlock()
+		return fmt.Errorf("%w: group commit with prepared %v", ErrPrepared, ti)
 	case a.st() == xid.StatusCommitted:
 		m.mu.Unlock()
 		switch typ {

@@ -68,6 +68,11 @@ type txn struct {
 	admitted atomic.Bool
 
 	undo []undoRec
+	// redo holds the withheld after-images of a transaction recovered in
+	// doubt (prepared in the WAL, verdict unknown): installed on a commit
+	// verdict, discarded on abort. Empty for ordinary transactions, whose
+	// updates live in the cache and roll back via undo.
+	redo []wal.RedoOp
 }
 
 // lockCtx is the context the transaction's lock requests wait under.

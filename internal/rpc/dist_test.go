@@ -1,0 +1,118 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestDistOpsRoundTrip(t *testing.T) {
+	reqs := []*Request{
+		{ReqID: 1, Op: OpPrepare, Other: 0xfeed, Data: EncodeTIDs([]uint64{3, 5, 900})},
+		{ReqID: 2, Op: OpDecide, Other: 7, Mode: 1},
+		{ReqID: 3, Op: OpDecide, Other: 7, Mode: 0},
+		{ReqID: 4, Op: OpVerdictQuery, Other: 1 << 60},
+	}
+	for _, in := range reqs {
+		out, err := DecodeRequest(EncodeRequest(in))
+		if err != nil {
+			t.Fatalf("%v: %v", in.Op, err)
+		}
+		if len(out.Data) == 0 && len(in.Data) == 0 {
+			out.Data, in.Data = nil, nil
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("%v round trip: %+v vs %+v", in.Op, out, in)
+		}
+	}
+	for _, op := range []Op{OpPrepare, OpDecide, OpVerdictQuery} {
+		if !op.Valid() {
+			t.Fatalf("%v not valid", op)
+		}
+		if op.String() == "" || op.String()[0] == 'o' && op.String()[1] == 'p' {
+			t.Fatalf("%v has no name", op)
+		}
+	}
+}
+
+func TestTIDListRoundTrip(t *testing.T) {
+	lists := [][]uint64{nil, {1}, {1, 2, 3}, {1 << 63, 0, 42}}
+	for _, in := range lists {
+		out, err := DecodeTIDs(EncodeTIDs(in))
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("%v decoded as %v", in, out)
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatalf("%v decoded as %v", in, out)
+			}
+		}
+	}
+	// Every strict prefix of a non-empty encoding must fail with
+	// ErrBadFrame — no silent partial decode.
+	full := EncodeTIDs([]uint64{7, 300, 1 << 40})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeTIDs(full[:cut]); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("truncated tid list at %d decoded: %v", cut, err)
+		}
+	}
+	// An absurd count with no bytes behind it is corrupt, not an
+	// allocation request.
+	if _, err := DecodeTIDs([]byte{0xff, 0xff, 0xff, 0xff, 0x0f}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("huge count decoded: %v", err)
+	}
+	// Trailing garbage is rejected too.
+	if _, err := DecodeTIDs(append(EncodeTIDs([]uint64{1}), 0x00)); !errors.Is(err, ErrBadFrame) {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// FuzzDecodeTIDs drives the tid-list decoder with corrupt inputs: any
+// successful decode must be canonical (re-encoding reproduces the input
+// exactly), so a truncated or padded frame can never half-decode.
+func FuzzDecodeTIDs(f *testing.F) {
+	f.Add(EncodeTIDs(nil))
+	f.Add(EncodeTIDs([]uint64{1}))
+	f.Add(EncodeTIDs([]uint64{3, 5, 900}))
+	f.Add(EncodeTIDs([]uint64{1 << 63, 0, 42}))
+	f.Add(EncodeTIDs([]uint64{7, 300, 1 << 40})[:3]) // truncated
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x0f})      // absurd count
+	f.Add(append(EncodeTIDs([]uint64{1}), 0x00))     // trailing byte
+	f.Fuzz(func(t *testing.T, b []byte) {
+		tids, err := DecodeTIDs(b)
+		if err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("non-ErrBadFrame failure: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(EncodeTIDs(tids), b) {
+			t.Fatalf("non-canonical decode: %x -> %v", b, tids)
+		}
+	})
+}
+
+// FuzzDecodeRequest covers the full request decoder with the new
+// distributed ops seeded; a decode either fails or is total.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(EncodeRequest(&Request{ReqID: 1, Op: OpPrepare, Other: 9, Data: EncodeTIDs([]uint64{3, 5})}))
+	f.Add(EncodeRequest(&Request{ReqID: 2, Op: OpDecide, Other: 9, Mode: 1}))
+	f.Add(EncodeRequest(&Request{ReqID: 3, Op: OpVerdictQuery, Other: 9}))
+	f.Add(EncodeRequest(&Request{ReqID: 4, Op: OpCommit, TID: 8})[:5]) // truncated
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := DecodeRequest(b)
+		if err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("non-ErrBadFrame failure: %v", err)
+			}
+			return
+		}
+		if !r.Op.Valid() {
+			t.Fatalf("decoded invalid op %d", r.Op)
+		}
+	})
+}

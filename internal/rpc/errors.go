@@ -38,6 +38,8 @@ var Sentinels = []error{
 	core.ErrLeaseExpired,
 	core.ErrConnLost,
 	core.ErrUnknownOutcome,
+	core.ErrPrepared,
+	core.ErrUnknownGroup,
 }
 
 // WireError is an error decoded from a response: the message text plus

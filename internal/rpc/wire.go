@@ -68,6 +68,20 @@ const (
 	// OpReadCounter reads counter OID (response Val).
 	OpReadCounter
 
+	// OpPrepare asks the manager to prepare the GC closure of the
+	// transactions listed in Data (EncodeTIDs) as distributed group Other.
+	// Success is the participant's yes vote: the group is durably
+	// prepared and immune to unilateral abort.
+	OpPrepare
+	// OpDecide delivers the coordinator's verdict for group Other: Mode 1
+	// commits, 0 aborts. Idempotent under duplication and reordering.
+	OpDecide
+	// OpVerdictQuery asks the coordinator co-located with this server for
+	// the durable verdict on group Other (response Val: 1 commit, 2
+	// abort). Querying an undecided group forces a durable abort decision
+	// (presumed abort) — the recovery path a restarted participant uses.
+	OpVerdictQuery
+
 	opMax
 )
 
@@ -78,6 +92,7 @@ var opNames = [...]string{
 	OpFormDep: "formdep", OpLock: "lock", OpRead: "read", OpWrite: "write",
 	OpCreate: "create", OpDelete: "delete", OpAdd: "add", OpDeclareEscrow: "declare",
 	OpReadCounter: "readcounter",
+	OpPrepare:     "prepare", OpDecide: "decide", OpVerdictQuery: "verdictquery",
 }
 
 func (o Op) String() string {
@@ -213,6 +228,38 @@ func DecodeResponse(b []byte) (*Response, error) {
 func appendBytes(b, p []byte) []byte {
 	b = binary.AppendUvarint(b, uint64(len(p)))
 	return append(b, p...)
+}
+
+// EncodeTIDs packs a transaction-id list for an OpPrepare Data field.
+func EncodeTIDs(tids []uint64) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(tids)))
+	for _, t := range tids {
+		b = binary.AppendUvarint(b, t)
+	}
+	return b
+}
+
+// DecodeTIDs unpacks an EncodeTIDs list. A truncated or corrupt list
+// returns ErrBadFrame — never a silently shortened decode.
+func DecodeTIDs(b []byte) ([]uint64, error) {
+	d := &decoder{b: b}
+	n := d.u64()
+	if d.err == nil && n > uint64(len(d.b)) {
+		// Each tid takes at least one byte; a count beyond the remaining
+		// bytes is corrupt, not merely large.
+		d.err = fmt.Errorf("tid count %d exceeds %d remaining bytes", n, len(d.b))
+	}
+	var tids []uint64
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		tids = append(tids, d.u64())
+	}
+	if d.err == nil && len(d.b) != 0 {
+		d.err = fmt.Errorf("%d trailing bytes", len(d.b))
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: tid list: %w", ErrBadFrame, d.err)
+	}
+	return tids, nil
 }
 
 // decoder is a sticky-error cursor over a payload.

@@ -52,15 +52,28 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to ErrOverload responses;
 	// 0 means LeaseTTL/4.
 	RetryAfter time.Duration
+	// Verdicts, when non-nil, makes this server answer OpVerdictQuery: it
+	// is co-located with a distributed-commit coordinator whose durable
+	// decision log can resolve — or, for an undecided group, force — the
+	// verdict. Without it the op fails with ErrUnknownGroup.
+	Verdicts VerdictResolver
+}
+
+// VerdictResolver answers "did group gid commit?" from durable state,
+// forcing a presumed-abort decision for groups it never decided.
+// txcoord.Coordinator implements it.
+type VerdictResolver interface {
+	Resolve(gid uint64) (commit bool, err error)
 }
 
 // Server serves the ASSET wire protocol on one listener.
 type Server struct {
-	m     *core.Manager
-	lis   net.Listener
-	ttl   time.Duration
-	hint  time.Duration
-	epoch uint64
+	m        *core.Manager
+	lis      net.Listener
+	ttl      time.Duration
+	hint     time.Duration
+	epoch    uint64
+	verdicts VerdictResolver
 
 	// mu guards the session table and the closed flag. Held only for
 	// table surgery, never across manager calls or frame I/O.
@@ -91,6 +104,7 @@ func Serve(m *core.Manager, lis net.Listener, cfg Config) *Server {
 		ttl:      ttl,
 		hint:     hint,
 		epoch:    rand.Uint64() | 1, // nonzero: 0 means "no epoch known"
+		verdicts: cfg.Verdicts,
 		sessions: make(map[uint64]*session),
 		closeCh:  make(chan struct{}),
 	}
@@ -577,6 +591,46 @@ func (sess *session) execute(ctx context.Context, req *rpc.Request) *rpc.Respons
 		if err := m.FormDependency(xid.DepType(req.Mode), tid, xid.TID(req.Other)); err != nil {
 			return fail(err)
 		}
+	case rpc.OpPrepare:
+		raw, err := rpc.DecodeTIDs(req.Data)
+		if err != nil {
+			return fail(err)
+		}
+		ids := make([]xid.TID, len(raw))
+		for i, r := range raw {
+			ids[i] = xid.TID(r)
+			// Drive each body to completion first, wherever its session is
+			// — the prepare usually arrives on the coordinator's session
+			// for transactions built by the application's.
+			if _, t := sess.srv.findItx(ids[i]); t != nil {
+				if err := t.finishBody(ctx); err != nil {
+					return fail(err)
+				}
+			}
+		}
+		if err := m.PrepareCtx(ctx, req.Other, ids...); err != nil {
+			sess.srv.reapTerminated(ids)
+			return fail(err)
+		}
+	case rpc.OpDecide:
+		members := m.PreparedMembers(req.Other)
+		if err := m.Decide(req.Other, req.Mode == 1); err != nil {
+			return fail(err)
+		}
+		sess.srv.reapTerminated(members)
+	case rpc.OpVerdictQuery:
+		if sess.srv.verdicts == nil {
+			return fail(fmt.Errorf("%w: no coordinator at this server", core.ErrUnknownGroup))
+		}
+		commit, err := sess.srv.verdicts.Resolve(req.Other)
+		if err != nil {
+			return fail(err)
+		}
+		if commit {
+			resp.Val = 1
+		} else {
+			resp.Val = 2
+		}
 	case rpc.OpLock, rpc.OpRead, rpc.OpWrite, rpc.OpCreate, rpc.OpDelete,
 		rpc.OpAdd, rpc.OpDeclareEscrow, rpc.OpReadCounter:
 		t := sess.txn(tid)
@@ -636,6 +690,41 @@ func (sess *session) dataOp(ctx context.Context, req *rpc.Request, resp *rpc.Res
 			return err
 		}
 		return fmt.Errorf("server: not a data op: %v", req.Op)
+	}
+}
+
+// findItx locates tid's interactive body across every session: prepare
+// and decide arrive on the coordinator's session but operate on
+// transactions other sessions built.
+func (s *Server) findItx(tid xid.TID) (*session, *itx) {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		t := sess.txns[tid]
+		sess.mu.Unlock()
+		if t != nil {
+			return sess, t
+		}
+	}
+	return nil, nil
+}
+
+// reapTerminated unwinds and forgets the listed transactions wherever a
+// vote or verdict terminated them, releasing their interactive bodies.
+func (s *Server) reapTerminated(ids []xid.TID) {
+	for _, id := range ids {
+		if !s.m.StatusOf(id).Terminated() {
+			continue
+		}
+		if owner, t := s.findItx(id); t != nil {
+			t.unwind()
+			owner.forget(id)
+		}
 	}
 }
 

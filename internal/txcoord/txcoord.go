@@ -1,0 +1,279 @@
+// Package txcoord implements the coordinator half of ASSET's distributed
+// group commit: two-phase commit over the GC dependencies of transactions
+// spread across several managers (§3.1.2 scaled out — "both or neither"
+// across nodes instead of within one).
+//
+// The protocol against each participant (core.Manager, usually reached
+// through a client session):
+//
+//  1. Prepare: the participant drives the GC closure of its members to
+//     completion, forces a TPrepare record, and moves them to the
+//     prepared state — the yes vote. From then on no unilateral abort
+//     (lease expiry, watchdog, crash) can touch them.
+//  2. The coordinator collects the votes and records the verdict —
+//     commit iff every vote was yes — in its own durable decision log
+//     BEFORE releasing it to anyone.
+//  3. Decide: the verdict is delivered to every participant,
+//     best-effort. Delivery may fail or duplicate freely: participants
+//     apply verdicts idempotently, and a participant that restarts in
+//     doubt queries the coordinator (Resolve) until it learns the truth.
+//
+// Resolve is presumed abort with teeth: asking about an undecided group
+// FORCES a durable abort decision, so the answer is final either way —
+// the "always learn the verdict, never guess" property. The decision
+// log is the one source of truth; losing it loses the system's memory,
+// so it is synced on every decision.
+package txcoord
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultfs"
+	"repro/internal/wal"
+	"repro/internal/xid"
+)
+
+// Coordinator owns a durable decision log and runs commit rounds over it.
+type Coordinator struct {
+	// The coordinator latch is the outermost in the system — ordered
+	// before even the networked tier's — and is held only around the
+	// decision map and log append, never across a participant call.
+	//asset:latch order=1
+	mu      sync.Mutex
+	log     *wal.FileLog
+	decided map[uint64]bool
+
+	// DeliverAttempts is how many times CommitGroup tries to deliver the
+	// verdict to each participant before leaving it to recovery-time
+	// Resolve. Zero means 3.
+	DeliverAttempts int
+	// DeliverBackoff spaces delivery retries; zero means 10ms.
+	DeliverBackoff time.Duration
+}
+
+// Open opens (creating if needed) the decision log in dir. A nil fsys
+// means the real filesystem. Every verdict previously recorded is
+// reloaded; a torn tail (crash mid-append) cleanly drops the unwritten
+// decision — which is exactly a coordinator that crashed before
+// deciding, and resolves as presumed abort.
+func Open(fsys faultfs.FS, dir string) (*Coordinator, error) {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("txcoord: mkdir %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, "coord.log")
+	decided := make(map[uint64]bool)
+	if err := wal.ScanFileFS(fsys, path, func(r *wal.Record) error {
+		if r.Type == wal.TDecide {
+			if _, ok := decided[r.GID]; !ok { // first writer won
+				decided[r.GID] = r.Commit
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("txcoord: scan %s: %w", path, err)
+	}
+	log, err := wal.OpenFileFS(fsys, path, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{log: log, decided: decided}, nil
+}
+
+// Close closes the decision log.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.log.Close()
+}
+
+// NewGID mints a fresh nonzero group id. Random rather than sequential:
+// a gid handed to participants before the coordinator crashed never
+// reaches the decision log, so a restart cannot safely reuse a counter.
+func (c *Coordinator) NewGID() uint64 {
+	return rand.Uint64() | 1
+}
+
+// Verdict reports the recorded verdict for gid without forcing one.
+func (c *Coordinator) Verdict(gid uint64) (commit, decided bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	commit, decided = c.decided[gid]
+	return commit, decided
+}
+
+// decide records the verdict for gid durably and returns the winning
+// one. First writer wins: a racing Resolve (forced abort) and commit
+// round serialize here, and exactly one verdict ever exists. The verdict
+// is on disk before it is returned — nothing downstream can observe a
+// decision a crash could unmake.
+func (c *Coordinator) decide(gid uint64, commit bool) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.decided[gid]; ok {
+		return v, nil
+	}
+	if _, err := c.log.Append(&wal.Record{Type: wal.TDecide, GID: gid, Commit: commit}); err != nil {
+		return false, fmt.Errorf("txcoord: append decision for group %d: %w", gid, err)
+	}
+	if err := c.log.Flush(); err != nil {
+		return false, fmt.Errorf("txcoord: force decision for group %d: %w", gid, err)
+	}
+	c.decided[gid] = commit
+	return commit, nil
+}
+
+// Resolve answers "did group gid commit?" from durable state, forcing a
+// durable abort decision for a group never decided (presumed abort).
+// This is the recovery oracle: an in-doubt participant may ask any
+// number of times, across any number of coordinator restarts, and every
+// answer agrees. It also implements server.VerdictResolver.
+func (c *Coordinator) Resolve(gid uint64) (commit bool, err error) {
+	return c.decide(gid, false)
+}
+
+// Member is one participant's stake in a commit round: the transactions
+// it contributes and how to reach it. The closures are usually a
+// client session's Prepare/Decide (see Remote) or a co-located
+// manager's (see Local).
+type Member struct {
+	Name    string
+	TIDs    []xid.TID
+	Prepare func(ctx context.Context, gid uint64, tids []xid.TID) error
+	Decide  func(ctx context.Context, gid uint64, commit bool) error
+}
+
+// Remote binds a client session's participant surface to a member.
+type remoteSession interface {
+	Prepare(ctx context.Context, gid uint64, tids ...xid.TID) error
+	Decide(ctx context.Context, gid uint64, commit bool) error
+}
+
+// Remote adapts a connected client session into a Member contributing
+// tids. (client.Client satisfies the session interface.)
+func Remote(name string, cli remoteSession, tids ...xid.TID) Member {
+	return Member{
+		Name: name,
+		TIDs: tids,
+		Prepare: func(ctx context.Context, gid uint64, tids []xid.TID) error {
+			return cli.Prepare(ctx, gid, tids...)
+		},
+		Decide: func(ctx context.Context, gid uint64, commit bool) error {
+			return cli.Decide(ctx, gid, commit)
+		},
+	}
+}
+
+// Local adapts a co-located manager into a Member contributing tids —
+// no RPC hop, same protocol.
+func Local(name string, m *core.Manager, tids ...xid.TID) Member {
+	return Member{
+		Name: name,
+		TIDs: tids,
+		Prepare: func(ctx context.Context, gid uint64, tids []xid.TID) error {
+			return m.PrepareCtx(ctx, gid, tids...)
+		},
+		Decide: func(ctx context.Context, gid uint64, commit bool) error {
+			return m.Decide(gid, commit)
+		},
+	}
+}
+
+// CommitGroup runs one full commit round for gid over the members:
+// parallel prepares, a durable verdict (commit iff every vote was yes),
+// then best-effort parallel delivery. It returns whether the group
+// committed; a non-nil error with commit=false carries the vote (or
+// log) failure. Verdict delivery failures are NOT errors — a
+// participant that missed the verdict holds its group in doubt and
+// learns the truth from Resolve after its restart or retry.
+func (c *Coordinator) CommitGroup(ctx context.Context, gid uint64, members []Member) (bool, error) {
+	if gid == 0 {
+		return false, fmt.Errorf("txcoord: zero group id")
+	}
+	// Phase 1: collect votes in parallel. Any error is a no vote.
+	voteErrs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, mb := range members {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := mb.Prepare(ctx, gid, mb.TIDs); err != nil {
+				voteErrs[i] = fmt.Errorf("txcoord: %s voted no: %w", mb.Name, err)
+			}
+		}()
+	}
+	wg.Wait()
+	var voteErr error
+	for _, err := range voteErrs {
+		if err != nil {
+			voteErr = err
+			break
+		}
+	}
+	// Phase 2: the commit point. decide() may lose to a Resolve that
+	// already forced an abort — the durable log arbitrates.
+	verdict, err := c.decide(gid, voteErr == nil)
+	if err != nil {
+		// No verdict was released; participants stay prepared and will
+		// resolve (as presumed abort) against whatever log state survived.
+		return false, err
+	}
+	// Phase 3: deliver the verdict, best-effort with bounded retries.
+	attempts := c.DeliverAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	backoff := c.DeliverBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	for _, mb := range members {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for try := 0; try < attempts; try++ {
+				if mb.Decide(ctx, gid, verdict) == nil || ctx.Err() != nil {
+					return
+				}
+				select {
+				case <-time.After(backoff << uint(try)):
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if !verdict {
+		if voteErr != nil {
+			return false, voteErr
+		}
+		return false, fmt.Errorf("txcoord: group %d aborted by a prior forced decision", gid)
+	}
+	return true, nil
+}
+
+// ResolveInDoubt drives every in-doubt group of a restarted participant
+// to resolution: the resolver (a coordinator's Resolve, locally or over
+// a session's QueryVerdict) supplies the verdict and the manager applies
+// it. Multi-shot: safe to call again after a partial failure.
+func ResolveInDoubt(m *core.Manager, resolve func(gid uint64) (bool, error)) error {
+	for _, gid := range m.InDoubt() {
+		commit, err := resolve(gid)
+		if err != nil {
+			return fmt.Errorf("txcoord: resolving group %d: %w", gid, err)
+		}
+		if err := m.Decide(gid, commit); err != nil {
+			return fmt.Errorf("txcoord: applying verdict for group %d: %w", gid, err)
+		}
+	}
+	return nil
+}

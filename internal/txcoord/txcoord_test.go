@@ -1,0 +1,263 @@
+package txcoord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultfs"
+	"repro/internal/xid"
+)
+
+func openCoord(t *testing.T, mfs *faultfs.MemFS) *Coordinator {
+	t.Helper()
+	c, err := Open(mfs, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func memManager(t *testing.T) *core.Manager {
+	t.Helper()
+	m, err := core.Open(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// done initiates+begins fn and waits for its body to finish, leaving the
+// transaction completed and ready to prepare.
+func done(t *testing.T, m *core.Manager, fn core.TxnFunc) xid.TID {
+	t.Helper()
+	id, err := m.Initiate(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestVerdictDurableAcrossReopen(t *testing.T) {
+	mfs := faultfs.NewMem()
+	c := openCoord(t, mfs)
+	// An empty member list is a vacuous all-yes: the round records a
+	// durable commit verdict.
+	if ok, err := c.CommitGroup(context.Background(), 7, nil); err != nil || !ok {
+		t.Fatalf("CommitGroup = %v, %v", ok, err)
+	}
+	// Resolve on an undecided group forces a durable abort.
+	if commit, err := c.Resolve(9); err != nil || commit {
+		t.Fatalf("Resolve(9) = %v, %v, want forced abort", commit, err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := openCoord(t, mfs)
+	if commit, decided := c2.Verdict(7); !decided || !commit {
+		t.Fatalf("group 7 after reopen: commit=%v decided=%v", commit, decided)
+	}
+	if commit, decided := c2.Verdict(9); !decided || commit {
+		t.Fatalf("group 9 after reopen: commit=%v decided=%v", commit, decided)
+	}
+	// The forced abort is final: a later commit round loses to it.
+	if ok, err := c2.CommitGroup(context.Background(), 9, nil); ok || err == nil {
+		t.Fatalf("CommitGroup after forced abort = %v, %v", ok, err)
+	}
+	// And Resolve keeps agreeing with itself.
+	if commit, err := c2.Resolve(7); err != nil || !commit {
+		t.Fatalf("Resolve(7) = %v, %v, want commit", commit, err)
+	}
+}
+
+// fakeMember records the protocol a member observes.
+type fakeMember struct {
+	prepared  atomic.Int64
+	decides   atomic.Int64
+	gotCommit atomic.Bool
+	voteErr   error
+	failFirst int32 // Decide failures to inject before succeeding
+	fails     atomic.Int32
+}
+
+func (f *fakeMember) member(name string) Member {
+	return Member{
+		Name: name,
+		TIDs: []xid.TID{1},
+		Prepare: func(ctx context.Context, gid uint64, tids []xid.TID) error {
+			f.prepared.Add(1)
+			return f.voteErr
+		},
+		Decide: func(ctx context.Context, gid uint64, commit bool) error {
+			if f.fails.Add(1) <= f.failFirst {
+				return fmt.Errorf("transient delivery failure")
+			}
+			f.decides.Add(1)
+			f.gotCommit.Store(commit)
+			return nil
+		},
+	}
+}
+
+func TestCommitGroupVoting(t *testing.T) {
+	mfs := faultfs.NewMem()
+	c := openCoord(t, mfs)
+	yes1, yes2 := &fakeMember{}, &fakeMember{}
+	ok, err := c.CommitGroup(context.Background(), 11, []Member{yes1.member("a"), yes2.member("b")})
+	if err != nil || !ok {
+		t.Fatalf("all-yes round = %v, %v", ok, err)
+	}
+	if !yes1.gotCommit.Load() || !yes2.gotCommit.Load() {
+		t.Fatal("commit verdict not delivered to every member")
+	}
+
+	no := &fakeMember{voteErr: errors.New("load shed")}
+	yes3 := &fakeMember{}
+	ok, err = c.CommitGroup(context.Background(), 12, []Member{yes3.member("a"), no.member("b")})
+	if ok || err == nil {
+		t.Fatalf("one-no round = %v, %v, want abort", ok, err)
+	}
+	if yes3.gotCommit.Load() {
+		t.Fatal("yes voter was told commit despite a no vote")
+	}
+	if yes3.decides.Load() != 1 {
+		t.Fatal("abort verdict not delivered to the yes voter")
+	}
+	if commit, decided := c.Verdict(12); !decided || commit {
+		t.Fatalf("group 12 verdict: commit=%v decided=%v, want durable abort", commit, decided)
+	}
+}
+
+func TestDeliveryRetries(t *testing.T) {
+	mfs := faultfs.NewMem()
+	c := openCoord(t, mfs)
+	c.DeliverAttempts = 3
+	c.DeliverBackoff = 1 // nanosecond — keep the test fast
+	flaky := &fakeMember{failFirst: 2}
+	if ok, err := c.CommitGroup(context.Background(), 13, []Member{flaky.member("flaky")}); err != nil || !ok {
+		t.Fatalf("round = %v, %v", ok, err)
+	}
+	if flaky.decides.Load() != 1 {
+		t.Fatalf("delivery count = %d, want 1 after retries", flaky.decides.Load())
+	}
+}
+
+func TestCommitGroupLocalManagers(t *testing.T) {
+	c := openCoord(t, faultfs.NewMem())
+	m1, m2 := memManager(t), memManager(t)
+	var o1, o2 xid.OID
+	id1 := done(t, m1, func(tx *core.Tx) error {
+		var err error
+		o1, err = tx.Create([]byte("left"))
+		return err
+	})
+	id2 := done(t, m2, func(tx *core.Tx) error {
+		var err error
+		o2, err = tx.Create([]byte("right"))
+		return err
+	})
+	gid := c.NewGID()
+	ok, err := c.CommitGroup(context.Background(), gid,
+		[]Member{Local("m1", m1, id1), Local("m2", m2, id2)})
+	if err != nil || !ok {
+		t.Fatalf("round = %v, %v", ok, err)
+	}
+	if got := m1.StatusOf(id1); got != xid.StatusCommitted {
+		t.Fatalf("m1 txn = %v, want committed", got)
+	}
+	if got := m2.StatusOf(id2); got != xid.StatusCommitted {
+		t.Fatalf("m2 txn = %v, want committed", got)
+	}
+	if _, present := m1.Cache().Read(o1); !present {
+		t.Fatal("m1 payload missing")
+	}
+	if _, present := m2.Cache().Read(o2); !present {
+		t.Fatal("m2 payload missing")
+	}
+
+	// A member that already aborted drags the whole cross-node group down.
+	id3 := done(t, m1, func(tx *core.Tx) error {
+		_, err := tx.Create([]byte("doomed"))
+		return err
+	})
+	id4 := done(t, m2, func(tx *core.Tx) error {
+		var err error
+		o2, err = tx.Create([]byte("survivor?"))
+		return err
+	})
+	if err := m1.Abort(id3); err != nil {
+		t.Fatal(err)
+	}
+	gid2 := c.NewGID()
+	ok, err = c.CommitGroup(context.Background(), gid2,
+		[]Member{Local("m1", m1, id3), Local("m2", m2, id4)})
+	if ok || err == nil {
+		t.Fatalf("round with aborted member = %v, %v", ok, err)
+	}
+	if got := m2.StatusOf(id4); got != xid.StatusAborted {
+		t.Fatalf("m2 txn after cross-node abort = %v, want aborted", got)
+	}
+	if _, present := m2.Cache().Read(o2); present {
+		t.Fatal("aborted payload visible on m2")
+	}
+	if got := m1.InDoubt(); len(got) != 0 {
+		t.Fatalf("m1 in doubt = %v, want none", got)
+	}
+	if got := m2.InDoubt(); len(got) != 0 {
+		t.Fatalf("m2 in doubt = %v, want none", got)
+	}
+}
+
+func TestResolveInDoubt(t *testing.T) {
+	c := openCoord(t, faultfs.NewMem())
+	m := memManager(t)
+
+	// Group A: prepared, then the coordinator decides commit but the
+	// delivery is "lost" (we never call Decide on the manager).
+	idA := done(t, m, func(tx *core.Tx) error {
+		_, err := tx.Create([]byte("A"))
+		return err
+	})
+	if err := m.PrepareCtx(context.Background(), 21, idA); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.CommitGroup(context.Background(), 21, nil); err != nil || !ok {
+		t.Fatalf("decide 21 = %v, %v", ok, err)
+	}
+	// Group B: prepared but the coordinator never decided — presumed abort.
+	idB := done(t, m, func(tx *core.Tx) error {
+		_, err := tx.Create([]byte("B"))
+		return err
+	})
+	if err := m.PrepareCtx(context.Background(), 22, idB); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ResolveInDoubt(m, c.Resolve); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.StatusOf(idA); got != xid.StatusCommitted {
+		t.Fatalf("group 21 member = %v, want committed", got)
+	}
+	if got := m.StatusOf(idB); got != xid.StatusAborted {
+		t.Fatalf("group 22 member = %v, want aborted", got)
+	}
+	if got := m.InDoubt(); len(got) != 0 {
+		t.Fatalf("in doubt after resolution = %v", got)
+	}
+	// Multi-shot: nothing left, still fine.
+	if err := ResolveInDoubt(m, c.Resolve); err != nil {
+		t.Fatal(err)
+	}
+}

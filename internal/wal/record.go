@@ -33,6 +33,15 @@ const (
 	TAbort                      // a transaction aborted (its updates are void)
 	TUndo                       // an installation performed by abort
 	TCheckpoint                 // quiescent checkpoint: store is current
+	// TPrepare marks a local GC group as prepared under a distributed
+	// commit: the participant has voted yes for group GID and may no
+	// longer decide the listed transactions' fate unilaterally. Recovery
+	// holds them in doubt until the coordinator's verdict arrives.
+	TPrepare
+	// TDecide is a coordinator decision record (coordinator log only):
+	// group GID commits if Commit, aborts otherwise. The decision is
+	// forced durable before any participant learns it.
+	TDecide
 )
 
 // String returns the record type name.
@@ -52,6 +61,10 @@ func (t Type) String() string {
 		return "undo"
 	case TCheckpoint:
 		return "checkpoint"
+	case TPrepare:
+		return "prepare"
+	case TDecide:
+		return "decide"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -97,6 +110,8 @@ func (k UpdateKind) String() string {
 //	TUndo:       TID (the aborter), OID, Kind (KindModify/KindCreate install
 //	             After; KindDelete removes the object), After
 //	TCheckpoint: nothing
+//	TPrepare:    GID, TIDs (the prepared local group)
+//	TDecide:     GID, Commit
 type Record struct {
 	LSN    uint64
 	Type   Type
@@ -108,6 +123,10 @@ type Record struct {
 	After  []byte
 	OIDs   []xid.OID
 	TIDs   []xid.TID
+	// GID is the distributed-commit group id of a TPrepare/TDecide record.
+	GID uint64
+	// Commit is a TDecide record's verdict.
+	Commit bool
 }
 
 // appendBytes appends a length-prefixed byte string.
@@ -176,6 +195,19 @@ func (r *Record) marshalInto(buf []byte) []byte {
 		buf = appendBytes(buf, r.After)
 	case TCheckpoint:
 		// no payload
+	case TPrepare:
+		buf = binary.LittleEndian.AppendUint64(buf, r.GID)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.TIDs)))
+		for _, t := range r.TIDs {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(t))
+		}
+	case TDecide:
+		buf = binary.LittleEndian.AppendUint64(buf, r.GID)
+		if r.Commit {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
 	}
 	return buf
 }
@@ -302,6 +334,33 @@ func unmarshal(payload []byte) (*Record, error) {
 		}
 	case TCheckpoint:
 		// no payload
+	case TPrepare:
+		if r.GID, err = u64(); err != nil {
+			return nil, err
+		}
+		n, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(n)*8 > uint64(len(p)) {
+			return nil, errTruncated // count exceeds remaining payload
+		}
+		r.TIDs = make([]xid.TID, 0, n)
+		for i := uint32(0); i < n; i++ {
+			if v, err = u64(); err != nil {
+				return nil, err
+			}
+			r.TIDs = append(r.TIDs, xid.TID(v))
+		}
+	case TDecide:
+		if r.GID, err = u64(); err != nil {
+			return nil, err
+		}
+		flag, err := u8()
+		if err != nil {
+			return nil, err
+		}
+		r.Commit = flag == 1
 	default:
 		return nil, fmt.Errorf("wal: unknown record type %d", r.Type)
 	}

@@ -30,6 +30,24 @@ type State struct {
 	// Losers lists transactions that had begun but neither committed nor
 	// aborted by the end of the log (they lose: their updates are dropped).
 	Losers []xid.TID
+	// InDoubt maps each distributed-commit group id whose prepare record
+	// was found without a matching commit or abort to its prepared local
+	// members. These transactions are NOT losers: the participant voted
+	// yes, so their fate belongs to the coordinator, and the opener must
+	// hold their updates (InDoubtOps) and locks until the verdict arrives.
+	InDoubt map[uint64][]xid.TID
+	// InDoubtOps maps each in-doubt transaction to its pending redo
+	// operations in LSN order, to be installed if the verdict is commit
+	// and discarded if it is abort.
+	InDoubtOps map[xid.TID][]RedoOp
+}
+
+// RedoOp is one withheld update of an in-doubt (prepared) transaction.
+type RedoOp struct {
+	LSN   uint64
+	OID   xid.OID
+	Kind  UpdateKind
+	After []byte
 }
 
 // pendingOp is an update awaiting its responsible transaction's commit.
@@ -44,7 +62,12 @@ type pendingOp struct {
 type replayer struct {
 	pending map[xid.TID][]pendingOp
 	began   map[xid.TID]bool
-	st      *State
+	// prepared tracks TPrepare records awaiting their verdict: group id →
+	// members, and the member → group reverse index. A TCommit or TAbort
+	// covering a member resolves the whole group.
+	prepared   map[uint64][]xid.TID
+	preparedBy map[xid.TID]uint64
+	st         *State
 }
 
 // Recover replays the log at path and returns the committed state. Records
@@ -94,8 +117,10 @@ func RecoverRecords(recs []*Record) *State {
 
 func newReplayer() *replayer {
 	return &replayer{
-		pending: make(map[xid.TID][]pendingOp),
-		began:   make(map[xid.TID]bool),
+		pending:    make(map[xid.TID][]pendingOp),
+		began:      make(map[xid.TID]bool),
+		prepared:   make(map[uint64][]xid.TID),
+		preparedBy: make(map[xid.TID]uint64),
 		st: &State{
 			Objects: make(map[xid.OID][]byte),
 			Deleted: make(map[xid.OID]bool),
@@ -150,9 +175,13 @@ func (rp *replayer) apply(r *Record) {
 		for _, op := range ops {
 			rp.install(op.oid, op.kind, op.after)
 		}
+		for _, t := range r.TIDs {
+			rp.resolvePrepared(t)
+		}
 	case TAbort:
 		delete(rp.pending, r.TID)
 		delete(rp.began, r.TID)
+		rp.resolvePrepared(r.TID)
 	case TUndo:
 		// Physical undo installations change live (possibly committed)
 		// state — an aborter's before-image may deliberately clobber a
@@ -170,7 +199,28 @@ func (rp *replayer) apply(r *Record) {
 		rp.install(r.OID, r.Kind, r.After)
 	case TCheckpoint:
 		// No-op during replay: Recover already skipped the prefix.
+	case TPrepare:
+		rp.prepared[r.GID] = append([]xid.TID(nil), r.TIDs...)
+		for _, t := range r.TIDs {
+			rp.preparedBy[t] = r.GID
+		}
+	case TDecide:
+		// Coordinator decision records live in the coordinator's own log;
+		// a participant log never carries them. Bookkeeping only (note()).
 	}
+}
+
+// resolvePrepared clears the prepared tracking for t's group once a commit
+// or abort record decides it — the group is no longer in doubt.
+func (rp *replayer) resolvePrepared(t xid.TID) {
+	gid, ok := rp.preparedBy[t]
+	if !ok {
+		return
+	}
+	for _, member := range rp.prepared[gid] {
+		delete(rp.preparedBy, member)
+	}
+	delete(rp.prepared, gid)
 }
 
 // delegate moves pending ops for the given objects (nil = all) from one
@@ -262,6 +312,28 @@ func DecodeCounter(b []byte) uint64 {
 }
 
 func (rp *replayer) finish() *State {
+	// Prepared-but-undecided transactions are in doubt, not losers: carry
+	// their withheld updates out for the opener to hold until the verdict.
+	if len(rp.prepared) > 0 {
+		rp.st.InDoubt = make(map[uint64][]xid.TID, len(rp.prepared))
+		rp.st.InDoubtOps = make(map[xid.TID][]RedoOp)
+		for gid, members := range rp.prepared {
+			ms := append([]xid.TID(nil), members...)
+			sortTIDs(ms)
+			rp.st.InDoubt[gid] = ms
+			for _, t := range ms {
+				ops := rp.pending[t]
+				sortOps(ops)
+				redo := make([]RedoOp, 0, len(ops))
+				for _, op := range ops {
+					redo = append(redo, RedoOp{LSN: op.lsn, OID: op.oid, Kind: op.kind, After: op.after})
+				}
+				rp.st.InDoubtOps[t] = redo
+				delete(rp.pending, t)
+				delete(rp.began, t)
+			}
+		}
+	}
 	for t := range rp.began {
 		rp.st.Losers = append(rp.st.Losers, t)
 	}

@@ -128,12 +128,19 @@ const (
 	StatusCommitted                // terminated successfully
 	StatusAborting                 // inside the abort protocol
 	StatusAborted                  // terminated by abort
+	// StatusPrepared is the distributed-commit extension: the transaction
+	// has voted yes in a cross-manager group commit and holds its locks
+	// until the coordinator's verdict arrives — no unilateral abort (lease
+	// expiry, watchdog, explicit abort) may touch it. Appended after the
+	// original statuses because the value crosses the wire.
+	StatusPrepared
 )
 
 // Active reports whether the transaction has begun executing and has not
 // terminated (it may be running or completed).
 func (s Status) Active() bool {
-	return s == StatusRunning || s == StatusCompleted || s == StatusCommitting || s == StatusAborting
+	return s == StatusRunning || s == StatusCompleted || s == StatusCommitting ||
+		s == StatusAborting || s == StatusPrepared
 }
 
 // Terminated reports whether the transaction has committed or aborted.
@@ -156,6 +163,8 @@ func (s Status) String() string {
 		return "aborting"
 	case StatusAborted:
 		return "aborted"
+	case StatusPrepared:
+		return "prepared"
 	default:
 		return fmt.Sprintf("status(%d)", int32(s))
 	}
