@@ -93,11 +93,22 @@ type Config struct {
 	// reaped transactions return ErrUnknownTxn, so enable it only when
 	// callers act solely on commit/abort return values (benchmarks do).
 	ReapTerminated bool
+	// VerdictRetention bounds how many decided distributed-commit groups
+	// the manager remembers for idempotent verdict redelivery. Beyond it
+	// the oldest entries are dropped, and a duplicate Decide for a dropped
+	// group reports ErrUnknownGroup — which coordinators treat as already
+	// delivered. 0 picks the default (DefaultVerdictRetention); negative
+	// retains every verdict forever.
+	VerdictRetention int
 	// FS, when non-nil, replaces the OS filesystem for every durable file
 	// (WAL, page store, double-write journal). Used by the fault-injection
 	// and crash-simulation tests; nil means the real filesystem.
 	FS faultfs.FS
 }
+
+// DefaultVerdictRetention is the verdicts-map bound applied when
+// Config.VerdictRetention is zero.
+const DefaultVerdictRetention = 4096
 
 // truncatableLog is satisfied by logs that can drop their contents after a
 // checkpoint.
@@ -161,11 +172,14 @@ type Manager struct {
 	// Distributed-commit participant state, guarded by mu. prepared maps a
 	// group id to its local members (runtime-prepared or recovered in
 	// doubt); verdicts remembers decided groups so retransmitted votes and
-	// verdicts stay idempotent; preparing gates a vote whose TPrepare flush
-	// released mu (group-commit modes) — duplicates and verdicts wait it out.
-	prepared  map[uint64][]xid.TID
-	verdicts  map[uint64]bool
-	preparing map[uint64]chan struct{}
+	// verdicts stay idempotent, with verdictOrder the FIFO pruning order
+	// bounding it to cfg.VerdictRetention; preparing gates any window in
+	// which a vote's TPrepare flush or a verdict's TCommit flush released
+	// mu (group-commit modes) — duplicate votes and verdicts wait it out.
+	prepared     map[uint64][]xid.TID
+	verdicts     map[uint64]bool
+	verdictOrder []uint64
+	preparing    map[uint64]chan struct{}
 
 	closed atomic.Bool
 	// closeCh closes when Close begins, waking admission queuers and

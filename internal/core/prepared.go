@@ -48,11 +48,13 @@ func (m *Manager) PrepareCtx(ctx context.Context, gid uint64, ids ...xid.TID) er
 			return nil
 		}
 		if gate, ok := m.preparing[gid]; ok {
+			// Another driver's vote (or a verdict) for this gid is
+			// mid-flush. The gate always closes promptly — it is bounded
+			// by one log force — so wait on it alone; selecting on a
+			// possibly-done ctx here would relock and spin until the gate
+			// closed anyway.
 			m.mu.Unlock()
-			select {
-			case <-gate:
-			case <-done:
-			}
+			<-gate
 			m.mu.Lock()
 			continue
 		}
@@ -277,6 +279,15 @@ func (m *Manager) Decide(gid uint64, commit bool) error {
 		}
 		return fmt.Errorf("%w: %d", ErrUnknownGroup, gid)
 	}
+	// Gate the verdict window: commitPreparedLocked may release mu around
+	// a group-commit flush while m.prepared[gid] is still populated, and a
+	// duplicate Decide arriving then (a coordinator delivery retry racing
+	// a restarted participant's ResolveInDoubt) must not re-append the
+	// commit record or re-run the commit epilogue. Duplicates — and
+	// retransmitted votes — park on the gate and land on the idempotent
+	// verdicts path once it closes.
+	gate := make(chan struct{})
+	m.preparing[gid] = gate
 	group := make([]*txn, 0, len(tids))
 	for _, id := range tids {
 		if t, ok := m.txns.Get(uint64(id)); ok {
@@ -293,11 +304,36 @@ func (m *Manager) Decide(gid uint64, commit bool) error {
 		}
 	}
 	if err == nil {
-		m.verdicts[gid] = commit
+		m.recordVerdictLocked(gid, commit)
 		delete(m.prepared, gid)
 	}
+	delete(m.preparing, gid)
+	close(gate)
 	m.mu.Unlock()
 	return err
+}
+
+// recordVerdictLocked remembers a decided group for idempotent verdict
+// redelivery, pruning the oldest entries beyond the retention cap. A
+// duplicate Decide for a pruned group reports ErrUnknownGroup, which
+// coordinators treat as already delivered (nothing left to decide here).
+// Caller holds m.mu.
+func (m *Manager) recordVerdictLocked(gid uint64, commit bool) {
+	if _, ok := m.verdicts[gid]; !ok {
+		m.verdictOrder = append(m.verdictOrder, gid)
+	}
+	m.verdicts[gid] = commit
+	limit := m.cfg.VerdictRetention
+	if limit == 0 {
+		limit = DefaultVerdictRetention
+	}
+	if limit < 0 {
+		return
+	}
+	for len(m.verdictOrder) > limit {
+		delete(m.verdicts, m.verdictOrder[0])
+		m.verdictOrder = m.verdictOrder[1:]
+	}
 }
 
 // commitPreparedLocked commits a prepared group on the coordinator's

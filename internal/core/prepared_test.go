@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/faultfs"
 	"repro/internal/xid"
@@ -122,6 +124,88 @@ func TestPrepareDecideAbort(t *testing.T) {
 	}
 	if err := m.PrepareCtx(context.Background(), 5, id); !errors.Is(err, ErrAborted) {
 		t.Fatalf("prepare after abort verdict = %v, want ErrAborted", err)
+	}
+}
+
+// TestDecideDuplicateConcurrent races duplicate commit verdicts against
+// the group-commit flush window: commitPreparedLocked releases the
+// manager mutex around the log force, and a concurrent duplicate Decide
+// (a coordinator delivery retry racing a restarted participant's
+// ResolveInDoubt) must park on the verdict gate instead of re-running
+// the commit epilogue — which would append a second commit record,
+// double-count stats, and drive the live counter negative.
+func TestDecideDuplicateConcurrent(t *testing.T) {
+	m, err := Open(Config{BatchedCommits: true, CommitWindow: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := [2]xid.TID{
+		completed(t, m, func(tx *Tx) error { _, err := tx.Create([]byte("a")); return err }),
+		completed(t, m, func(tx *Tx) error { _, err := tx.Create([]byte("b")); return err }),
+	}
+	if err := m.FormDependency(xid.DepGC, ids[0], ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PrepareCtx(context.Background(), 77, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = m.Decide(77, true)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("decide %d: %v", i, err)
+		}
+	}
+	for _, id := range ids {
+		if got := m.StatusOf(id); got != xid.StatusCommitted {
+			t.Fatalf("%v status = %v, want committed", id, got)
+		}
+	}
+	if got := m.Stats().Commits; got != 2 {
+		t.Fatalf("commits = %d, want 2 (duplicate verdicts re-ran the epilogue)", got)
+	}
+	// A corrupted live counter would wedge or trip the Close drain check.
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerdictRetention bounds the decided-groups memory: beyond the cap
+// the oldest verdicts are forgotten, and a duplicate verdict for a
+// forgotten group reports ErrUnknownGroup — which coordinators treat as
+// already delivered.
+func TestVerdictRetention(t *testing.T) {
+	m, err := Open(Config{VerdictRetention: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	gids := []uint64{101, 102, 103}
+	for _, gid := range gids {
+		id := completed(t, m, noop)
+		if err := m.PrepareCtx(context.Background(), gid, id); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Decide(gid, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Decide(101, true); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("pruned verdict redelivery = %v, want ErrUnknownGroup", err)
+	}
+	if err := m.Decide(102, true); err != nil {
+		t.Fatalf("retained verdict redelivery: %v", err)
+	}
+	if err := m.Decide(103, true); err != nil {
+		t.Fatalf("retained verdict redelivery: %v", err)
 	}
 }
 

@@ -81,10 +81,10 @@ func (k Kind) String() string {
 
 // Rule triggers one fault at an exact point in the message stream.
 type Rule struct {
-	Dir  Direction // which traffic it can match (Both = either)
-	Conn int       // connection ID to match, 0 = any
-	Nth  int       // fire on the Nth matching message (1-based); 0 = every match
-	Kind Kind
+	Dir      Direction // which traffic it can match (Both = either)
+	Conn     int       // connection ID to match, 0 = any
+	Nth      int       // fire on the Nth matching message (1-based); 0 = every match
+	Kind     Kind
 	Keep     int           // Truncate: bytes delivered before the cut
 	Duration time.Duration // Delay: hold time; Partition: heal-after (0 = forever)
 }

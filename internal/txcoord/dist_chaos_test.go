@@ -509,7 +509,7 @@ func TestDistLeaseExpiryMidPrepare(t *testing.T) {
 		t.Fatalf("prepare b: %v", err)
 	}
 	// Kill node a's application session and let its lease lapse.
-	tr.appA.Close() //nolint:errcheck
+	tr.appA.Close()                    //nolint:errcheck
 	time.Sleep(400 * time.Millisecond) // >> LeaseTTL (150ms)
 	if got := w.a.m.StatusOf(tr.tidA); got != xid.StatusPrepared {
 		t.Fatalf("prepared txn after lease expiry = %v, want still prepared", got)

@@ -27,9 +27,11 @@ package txcoord
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -46,8 +48,11 @@ type Coordinator struct {
 	// decision map and log append, never across a participant call.
 	//asset:latch order=1
 	mu      sync.Mutex
+	fsys    faultfs.FS
+	path    string
 	log     *wal.FileLog
 	decided map[uint64]bool
+	retired int // decisions forgotten since the last compaction
 
 	// DeliverAttempts is how many times CommitGroup tries to deliver the
 	// verdict to each participant before leaving it to recovery-time
@@ -55,6 +60,19 @@ type Coordinator struct {
 	DeliverAttempts int
 	// DeliverBackoff spaces delivery retries; zero means 10ms.
 	DeliverBackoff time.Duration
+	// RetireAcked makes CommitGroup forget a decision once every member
+	// acknowledged its delivery, bounding the decided map (Compact bounds
+	// the log). Standard presumed-abort garbage collection: with all acks
+	// in, no participant can ever be in doubt about the group again, so
+	// nobody protocol-bound will ask. Enable it ONLY when every
+	// participant of every round is listed as a Member of that round — a
+	// participant prepared out-of-band still relies on Resolve, and
+	// resolving a forgotten commit re-answers presumed abort.
+	RetireAcked bool
+	// CompactEvery triggers an automatic log compaction after that many
+	// retired decisions. 0 means 1024; negative disables auto-compaction
+	// (explicit Compact still works).
+	CompactEvery int
 }
 
 // Open opens (creating if needed) the decision log in dir. A nil fsys
@@ -85,7 +103,7 @@ func Open(fsys faultfs.FS, dir string) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Coordinator{log: log, decided: decided}, nil
+	return &Coordinator{fsys: fsys, path: path, log: log, decided: decided}, nil
 }
 
 // Close closes the decision log.
@@ -138,6 +156,98 @@ func (c *Coordinator) decide(gid uint64, commit bool) (bool, error) {
 // answer agrees. It also implements server.VerdictResolver.
 func (c *Coordinator) Resolve(gid uint64) (commit bool, err error) {
 	return c.decide(gid, false)
+}
+
+// retire forgets a fully-acknowledged decision. Every participant has
+// durably applied (or never held) the verdict, so no protocol party is
+// left to ask about gid and the entry is dead weight. The forget is
+// in-memory — a restart resurrects retired decisions from the log until a
+// compaction rewrites it, which is merely over-retention, never loss.
+func (c *Coordinator) retire(gid uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.decided[gid]; !ok {
+		return
+	}
+	delete(c.decided, gid)
+	c.retired++
+	every := c.CompactEvery
+	if every == 0 {
+		every = 1024
+	}
+	if every > 0 && c.retired >= every {
+		// Best-effort: a failed auto-compaction leaves the log intact and
+		// merely oversized; the next retirement tries again.
+		if err := c.compactLocked(); err == nil {
+			c.retired = 0
+		}
+	}
+}
+
+// Compact rewrites the decision log to hold exactly the still-live
+// decisions, durably dropping retired ones and bounding the log's
+// otherwise append-only growth. Crash-safe: the replacement is written
+// aside, synced, and renamed over the old log, so every point of failure
+// leaves one intact log containing at least the live decisions.
+func (c *Coordinator) Compact() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.compactLocked(); err != nil {
+		return err
+	}
+	c.retired = 0
+	return nil
+}
+
+func (c *Coordinator) compactLocked() error {
+	tmp := c.path + ".compact"
+	_ = c.fsys.Remove(tmp) // stale leftover from a crashed compaction
+	nl, err := wal.OpenFileFS(c.fsys, tmp, true)
+	if err != nil {
+		return fmt.Errorf("txcoord: compact: %w", err)
+	}
+	gids := make([]uint64, 0, len(c.decided))
+	for gid := range c.decided {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		if _, err := nl.Append(&wal.Record{Type: wal.TDecide, GID: gid, Commit: c.decided[gid]}); err != nil {
+			nl.Close()
+			_ = c.fsys.Remove(tmp)
+			return fmt.Errorf("txcoord: compact append: %w", err)
+		}
+	}
+	if err := nl.Close(); err != nil { // Close flushes and fsyncs
+		_ = c.fsys.Remove(tmp)
+		return fmt.Errorf("txcoord: compact force: %w", err)
+	}
+	if err := c.log.Close(); err != nil {
+		// The old log failed to flush its tail; keep it as the log of
+		// record rather than replacing it with a possibly-older view.
+		reopenErr := c.reopenLocked()
+		return errors.Join(fmt.Errorf("txcoord: compact close: %w", err), reopenErr)
+	}
+	if err := c.fsys.Rename(tmp, c.path); err != nil {
+		reopenErr := c.reopenLocked()
+		return errors.Join(fmt.Errorf("txcoord: compact rename: %w", err), reopenErr)
+	}
+	if err := c.fsys.SyncDir(filepath.Dir(c.path)); err != nil {
+		reopenErr := c.reopenLocked()
+		return errors.Join(fmt.Errorf("txcoord: compact sync dir: %w", err), reopenErr)
+	}
+	return c.reopenLocked()
+}
+
+// reopenLocked re-opens the decision log at c.path after a compaction
+// attempt released the previous handle. Caller holds c.mu.
+func (c *Coordinator) reopenLocked() error {
+	log, err := wal.OpenFileFS(c.fsys, c.path, true)
+	if err != nil {
+		return fmt.Errorf("txcoord: compact reopen: %w", err)
+	}
+	c.log = log
+	return nil
 }
 
 // Member is one participant's stake in a commit round: the transactions
@@ -235,12 +345,23 @@ func (c *Coordinator) CommitGroup(ctx context.Context, gid uint64, members []Mem
 	if backoff <= 0 {
 		backoff = 10 * time.Millisecond
 	}
-	for _, mb := range members {
+	acked := make([]bool, len(members))
+	for i, mb := range members {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for try := 0; try < attempts; try++ {
-				if mb.Decide(ctx, gid, verdict) == nil || ctx.Err() != nil {
+				err := mb.Decide(ctx, gid, verdict)
+				if err == nil || errors.Is(err, core.ErrUnknownGroup) {
+					// ErrUnknownGroup is an ack, not a failure: nothing is
+					// left to decide there. The participant voted no (so an
+					// abort verdict finds neither prepared state nor a
+					// recorded verdict), or it already applied the verdict
+					// and has since restarted or pruned it.
+					acked[i] = true
+					return
+				}
+				if ctx.Err() != nil {
 					return
 				}
 				select {
@@ -252,6 +373,18 @@ func (c *Coordinator) CommitGroup(ctx context.Context, gid uint64, members []Mem
 		}()
 	}
 	wg.Wait()
+	if c.RetireAcked {
+		all := true
+		for _, a := range acked {
+			if !a {
+				all = false
+				break
+			}
+		}
+		if all {
+			c.retire(gid)
+		}
+	}
 	if !verdict {
 		if voteErr != nil {
 			return false, voteErr

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultfs"
@@ -150,6 +151,81 @@ func TestDeliveryRetries(t *testing.T) {
 	}
 	if flaky.decides.Load() != 1 {
 		t.Fatalf("delivery count = %d, want 1 after retries", flaky.decides.Load())
+	}
+}
+
+// TestNoVoterDeliveryShortCircuit: a participant that voted no has
+// neither prepared state nor a recorded verdict, so abort-verdict
+// delivery to it reports ErrUnknownGroup — which is an ack (nothing left
+// to decide there), not a failure to retry through the backoff schedule.
+func TestNoVoterDeliveryShortCircuit(t *testing.T) {
+	c := openCoord(t, faultfs.NewMem())
+	c.DeliverAttempts = 5
+	c.DeliverBackoff = time.Hour // a retry would hang the test
+	m := memManager(t)
+	id := done(t, m, func(tx *core.Tx) error {
+		_, err := tx.Create([]byte("doomed"))
+		return err
+	})
+	if err := m.Abort(id); err != nil {
+		t.Fatal(err)
+	}
+	var decides atomic.Int64
+	mb := Local("m", m, id)
+	inner := mb.Decide
+	mb.Decide = func(ctx context.Context, gid uint64, commit bool) error {
+		decides.Add(1)
+		return inner(ctx, gid, commit)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ok, err := c.CommitGroup(ctx, 19, []Member{mb})
+	if ok || err == nil {
+		t.Fatalf("round with aborted member = %v, %v, want abort", ok, err)
+	}
+	if got := decides.Load(); got != 1 {
+		t.Fatalf("deliveries to no-voter = %d, want 1 (ErrUnknownGroup is an ack)", got)
+	}
+}
+
+// TestRetireAckedCompactsLog: with RetireAcked on, a decision every
+// member acknowledged is forgotten, and compaction durably drops it from
+// the decision log; an unacknowledged decision survives both.
+func TestRetireAckedCompactsLog(t *testing.T) {
+	mfs := faultfs.NewMem()
+	c := openCoord(t, mfs)
+	c.RetireAcked = true
+	c.CompactEvery = 1 // compact on every retirement
+	c.DeliverAttempts = 1
+	c.DeliverBackoff = 1
+
+	acker := &fakeMember{}
+	if ok, err := c.CommitGroup(context.Background(), 31, []Member{acker.member("acker")}); err != nil || !ok {
+		t.Fatalf("acked round = %v, %v", ok, err)
+	}
+	if _, decided := c.Verdict(31); decided {
+		t.Fatal("fully-acknowledged decision was not retired")
+	}
+
+	deaf := &fakeMember{failFirst: 1 << 30} // never acks
+	if ok, err := c.CommitGroup(context.Background(), 32, []Member{deaf.member("deaf")}); err != nil || !ok {
+		t.Fatalf("unacked round = %v, %v", ok, err)
+	}
+	if commit, decided := c.Verdict(32); !decided || !commit {
+		t.Fatalf("unacknowledged decision retired early: commit=%v decided=%v", commit, decided)
+	}
+
+	// The compacted log is the durable truth: the retired decision is
+	// gone after a restart, the unacknowledged one intact.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := openCoord(t, mfs)
+	if _, decided := c2.Verdict(31); decided {
+		t.Fatal("retired decision resurrected from the compacted log")
+	}
+	if commit, decided := c2.Verdict(32); !decided || !commit {
+		t.Fatalf("live decision lost by compaction: commit=%v decided=%v", commit, decided)
 	}
 }
 
