@@ -135,7 +135,9 @@ func Dial(ctx context.Context, opts Options) (*Client, error) {
 		return nil, err
 	}
 	c.wg.Add(2)
+	//asset:goroutine joined-by=waitgroup
 	go c.retransmitLoop()
+	//asset:goroutine joined-by=waitgroup
 	go c.heartbeatLoop()
 	return c, nil
 }
@@ -326,6 +328,7 @@ func (c *Client) adopt(conn *cliConn, helloResp *rpc.Response) {
 	resend := c.pendingSnapshotLocked()
 	c.mu.Unlock()
 	c.wg.Add(1)
+	//asset:goroutine joined-by=waitgroup
 	go c.readLoop(conn)
 	for _, cl := range resend {
 		conn.send(cl.req) //nolint:errcheck

@@ -1,0 +1,214 @@
+// Command benchdiff compares two assetbench baseline files and fails on
+// regressions. It understands every BENCH_*.json shape the bench
+// harness emits — a flat array of sweep points, or an object of named
+// sub-sweeps — and classifies each numeric field by name into a metric
+// with a direction (locks_per_sec: higher is better; p99_us: lower is
+// better) or a series coordinate (workers, shards, arm). Two points in
+// the same series are compared metric by metric; a shared metric that
+// moved more than the threshold (default 15%) in the losing direction
+// is a regression and the exit status is 1.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.15] old.json new.json
+//
+// Series present in only one file are reported but never fail the run:
+// a new sweep arm is not a regression. CI runs benchdiff as an advisory
+// job against the committed baselines; the thresholds are deliberately
+// loose because bench numbers from shared runners wobble.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "relative regression threshold (0.15 = 15%)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldB, err := loadBaseline(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newB, err := loadBaseline(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	rep := diff(oldB, newB, *threshold)
+	for _, line := range rep.lines {
+		fmt.Println(line)
+	}
+	fmt.Printf("benchdiff: %d series compared, %d only-old, %d only-new, %d regressions (threshold %.0f%%)\n",
+		rep.compared, rep.onlyOld, rep.onlyNew, len(rep.regressions), *threshold*100)
+	if len(rep.regressions) > 0 {
+		os.Exit(1)
+	}
+}
+
+// baseline is one parsed BENCH_*.json: series key -> metric -> value.
+type baseline struct {
+	bench  string
+	series map[string]map[string]float64
+}
+
+// point is one sweep sample with arbitrary fields.
+type point map[string]any
+
+// benchFile is the on-disk shape; points is either []point or a named
+// map of sub-sweeps (the walgc baseline).
+type benchFile struct {
+	Bench  string          `json:"bench"`
+	Points json.RawMessage `json:"points"`
+}
+
+func loadBaseline(path string) (*baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	b := &baseline{bench: bf.Bench, series: make(map[string]map[string]float64)}
+	var flat []point
+	if err := json.Unmarshal(bf.Points, &flat); err == nil {
+		b.add("", flat)
+		return b, nil
+	}
+	var grouped map[string][]point
+	if err := json.Unmarshal(bf.Points, &grouped); err != nil {
+		return nil, fmt.Errorf("%s: points is neither an array nor named sub-sweeps: %w", path, err)
+	}
+	for name, pts := range grouped {
+		b.add(name, pts)
+	}
+	return b, nil
+}
+
+// add indexes one sweep's points under their series keys.
+func (b *baseline) add(group string, pts []point) {
+	for _, p := range pts {
+		key, metrics := classify(p)
+		if group != "" {
+			key = group + "/" + key
+		}
+		if len(metrics) == 0 {
+			continue
+		}
+		b.series[key] = metrics
+	}
+}
+
+// ignoredFields are per-point counters that are neither a series
+// coordinate nor a throughput/latency metric: they vary run to run
+// (deadlock counts, shed counts) without being a regression by
+// themselves — the goodput metrics already price them in.
+var ignoredFields = map[string]bool{
+	"errors": true, "faults": true, "deadlocks": true, "retries": true, "sheds": true,
+}
+
+// classify splits a point's fields into the series key (identity
+// coordinates, joined name=value) and its directed metrics.
+func classify(p point) (string, map[string]float64) {
+	var keys []string
+	metrics := make(map[string]float64)
+	for name, v := range p {
+		if ignoredFields[name] {
+			continue
+		}
+		if metricDir(name) != 0 {
+			if f, ok := v.(float64); ok {
+				metrics[name] = f
+			}
+			continue
+		}
+		keys = append(keys, fmt.Sprintf("%s=%v", name, v))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, " "), metrics
+}
+
+// metricDir returns +1 for higher-is-better metrics, -1 for
+// lower-is-better, 0 for a non-metric (series coordinate) field.
+func metricDir(name string) int {
+	switch {
+	case strings.HasSuffix(name, "_per_sec"),
+		strings.HasSuffix(name, "_per_fsync"),
+		strings.HasSuffix(name, "_throughput"),
+		name == "throughput", name == "goodput", name == "ops":
+		return +1
+	case strings.HasSuffix(name, "_us"), strings.HasSuffix(name, "_ms"),
+		strings.HasPrefix(name, "p50"), strings.HasPrefix(name, "p99"),
+		strings.Contains(name, "latency"):
+		return -1
+	}
+	return 0
+}
+
+// report is the outcome of one comparison.
+type report struct {
+	lines       []string
+	regressions []string
+	compared    int
+	onlyOld     int
+	onlyNew     int
+}
+
+// diff compares every series the two baselines share.
+func diff(oldB, newB *baseline, threshold float64) *report {
+	rep := &report{}
+	var keys []string
+	for key := range oldB.series {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		oldM := oldB.series[key]
+		newM, ok := newB.series[key]
+		if !ok {
+			rep.onlyOld++
+			continue
+		}
+		rep.compared++
+		var names []string
+		for name := range oldM {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ov := oldM[name]
+			nv, ok := newM[name]
+			if !ok || ov == 0 {
+				continue
+			}
+			rel := (nv - ov) / ov
+			worse := rel*float64(metricDir(name)) < -threshold
+			if worse {
+				line := fmt.Sprintf("REGRESSION %s: %s %.4g -> %.4g (%+.1f%%)", key, name, ov, nv, rel*100)
+				rep.regressions = append(rep.regressions, line)
+				rep.lines = append(rep.lines, line)
+			}
+		}
+	}
+	for key := range newB.series {
+		if _, ok := oldB.series[key]; !ok {
+			rep.onlyNew++
+		}
+	}
+	return rep
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldJSON = `{
+  "bench": "lock",
+  "points": [
+    {"dist": "disjoint", "workers": 1, "locks_per_sec": 1000000, "p99_us": 2.0},
+    {"dist": "disjoint", "workers": 2, "locks_per_sec": 2000000, "p99_us": 4.0},
+    {"dist": "hot", "workers": 4, "locks_per_sec": 500000, "p99_us": 8.0, "errors": 3}
+  ]
+}`
+
+func load(t *testing.T, body string) *baseline {
+	t.Helper()
+	b, err := loadBaseline(writeTemp(t, "b.json", body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// A synthetic 20% throughput drop in one shared series must be flagged
+// under the default 15% threshold; a 10% drop must not.
+func TestThroughputRegression(t *testing.T) {
+	oldB := load(t, oldJSON)
+	newB := load(t, `{
+  "bench": "lock",
+  "points": [
+    {"dist": "disjoint", "workers": 1, "locks_per_sec": 800000, "p99_us": 2.0},
+    {"dist": "disjoint", "workers": 2, "locks_per_sec": 1800000, "p99_us": 4.0},
+    {"dist": "hot", "workers": 4, "locks_per_sec": 500000, "p99_us": 8.0, "errors": 9}
+  ]
+}`)
+	rep := diff(oldB, newB, 0.15)
+	if len(rep.regressions) != 1 {
+		t.Fatalf("regressions = %v, want exactly the 20%% workers=1 drop", rep.regressions)
+	}
+	if rep.compared != 3 {
+		t.Errorf("compared = %d, want 3 (error counters must not split series identity)", rep.compared)
+	}
+}
+
+// Latency is lower-is-better: p99 doubling is a regression, p99 halving
+// is not.
+func TestLatencyDirection(t *testing.T) {
+	oldB := load(t, oldJSON)
+	newB := load(t, `{
+  "bench": "lock",
+  "points": [
+    {"dist": "disjoint", "workers": 1, "locks_per_sec": 1000000, "p99_us": 1.0},
+    {"dist": "disjoint", "workers": 2, "locks_per_sec": 2000000, "p99_us": 9.0},
+    {"dist": "hot", "workers": 4, "locks_per_sec": 500000, "p99_us": 8.0}
+  ]
+}`)
+	rep := diff(oldB, newB, 0.15)
+	if len(rep.regressions) != 1 {
+		t.Fatalf("regressions = %v, want exactly the workers=2 p99 jump", rep.regressions)
+	}
+}
+
+// Series present on only one side are counted, never failed: a new
+// sweep arm is not a regression, and a removed one is visible.
+func TestUnsharedSeries(t *testing.T) {
+	oldB := load(t, oldJSON)
+	newB := load(t, `{
+  "bench": "lock",
+  "points": [
+    {"dist": "disjoint", "workers": 1, "locks_per_sec": 1000000, "p99_us": 2.0},
+    {"dist": "disjoint", "workers": 8, "locks_per_sec": 3000000, "p99_us": 16.0}
+  ]
+}`)
+	rep := diff(oldB, newB, 0.15)
+	if len(rep.regressions) != 0 || rep.onlyOld != 2 || rep.onlyNew != 1 {
+		t.Fatalf("got regressions=%v onlyOld=%d onlyNew=%d, want 0/2/1",
+			rep.regressions, rep.onlyOld, rep.onlyNew)
+	}
+}
+
+// The walgc baseline stores points as named sub-sweeps; group names
+// become part of the series identity.
+func TestGroupedPoints(t *testing.T) {
+	grouped := `{
+  "bench": "walgc",
+  "points": {
+    "sweep": [{"workers": 1, "group": true, "commits_per_sec": 5000, "commits_per_fsync": 4}],
+    "gc":    [{"workers": 1, "group": true, "commits_per_sec": 7000, "commits_per_fsync": 6}]
+  }
+}`
+	oldB := load(t, grouped)
+	newB := load(t, `{
+  "bench": "walgc",
+  "points": {
+    "sweep": [{"workers": 1, "group": true, "commits_per_sec": 3000, "commits_per_fsync": 4}],
+    "gc":    [{"workers": 1, "group": true, "commits_per_sec": 7000, "commits_per_fsync": 6}]
+  }
+}`)
+	rep := diff(oldB, newB, 0.15)
+	if len(rep.regressions) != 1 || rep.compared != 2 {
+		t.Fatalf("regressions = %v compared = %d, want the sweep drop only", rep.regressions, rep.compared)
+	}
+}
+
+// The committed repo baselines must all parse — benchdiff understands
+// every shape assetbench emits.
+func TestCommittedBaselinesParse(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no committed baselines found: %v", err)
+	}
+	for _, path := range matches {
+		b, err := loadBaseline(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if len(b.series) == 0 {
+			t.Errorf("%s: parsed no series", path)
+		}
+	}
+}
+
+// A baseline diffed against itself is always clean — the advisory CI
+// job must not cry wolf on identical numbers.
+func TestSelfDiffClean(t *testing.T) {
+	for _, path := range []string{"BENCH_baseline.json", "BENCH_walgc_baseline.json"} {
+		b, err := loadBaseline(filepath.Join("..", "..", path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep := diff(b, b, 0.15); len(rep.regressions) != 0 {
+			t.Errorf("%s vs itself: %v", path, rep.regressions)
+		}
+	}
+}

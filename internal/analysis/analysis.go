@@ -32,6 +32,10 @@ var CheckerNames = []string{
 	"atomicmix",
 	"ctxflow",
 	"errcmp",
+	"goroleak",
+	"forceorder",
+	"rpcsymmetry",
+	"noalloc",
 }
 
 // Runner runs checkers over a loaded module (plus any fixture packages).
@@ -40,6 +44,7 @@ type Runner struct {
 	Enabled  map[string]bool // nil = all
 	latches  *latchSet
 	summary  map[funcKey]*funcSummary
+	effects  map[funcKey]*effects
 	diags    []Diagnostic
 	packages []*Package
 
@@ -103,13 +108,18 @@ func (r *Runner) Run(pkgs ...*Package) []Diagnostic {
 	all := append(append([]*Package(nil), r.Mod.Packages...), fixturesOf(pkgs)...)
 	r.latches = collectLatches(r, all)
 	r.summary = buildSummaries(r, all)
+	r.effects = buildEffects(r, all)
 
 	for _, p := range pkgs {
 		r.runFlow(p) // latchorder + leakedlatch + holdblock
 		r.atomicmix(p, all)
 		r.ctxflow(p)
 		r.errcmp(p)
+		r.goroleak(p)
+		r.forceorder(p)
 	}
+	r.rpcsymmetry() // whole-module registry symmetry
+	r.noalloc()     // escape-analysis gate over annotated hot paths
 
 	kept := suppress(r.Mod.Fset, pkgs, r.diags)
 	sort.Slice(kept, func(i, j int) bool {

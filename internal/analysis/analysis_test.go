@@ -184,6 +184,57 @@ func f(x *g, fail bool) bool {
 `,
 			wantMsg: "still locked",
 		},
+		{
+			name:    "goroleak-removed-done",
+			checker: "goroleak",
+			src: `package seeded
+
+import "sync"
+
+func f() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//asset:goroutine joined-by=waitgroup
+	go func() {}()
+	wg.Wait()
+}
+`,
+			wantMsg: "never calls WaitGroup.Done",
+		},
+		{
+			name:    "goroleak-unannotated-spawn",
+			checker: "goroleak",
+			src: `package seeded
+
+func f() {
+	go func() {}()
+}
+`,
+			wantMsg: "unannotated go statement",
+		},
+		{
+			name:    "forceorder-release-above-force",
+			checker: "forceorder",
+			src: `package seeded
+
+type wlog struct{}
+
+func (l *wlog) Flush() {}
+
+type locks struct{}
+
+func (l *locks) ReleaseAll() {}
+
+// f publishes the verdict before the log force lands.
+//
+//asset:durable before=ReleaseAll
+func f(l *wlog, lk *locks) {
+	lk.ReleaseAll()
+	l.Flush()
+}
+`,
+			wantMsg: "before a durable force",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// goroleak: every `go` statement must be provably joined. The spawn site
+// declares its join mechanism with an annotation on the go statement's
+// line (or the line above):
+//
+//	//asset:goroutine joined-by=waitgroup   Add before the spawn, Done in the body
+//	//asset:goroutine joined-by=channel     body sends on or closes a channel
+//	//asset:goroutine joined-by=ctx         body parks on a termination signal
+//
+// and the checker verifies the declared evidence against the goroutine
+// body (transitively, via effect summaries). Fire-and-forget spawns that
+// genuinely have no join — callback invocations, say — carry a
+// //lint:allow goroleak <reason> instead, so every unjoined goroutine in
+// the tree is a recorded decision rather than an accident (the finishBody
+// leak of PR 8 was exactly an unrecorded one).
+
+var goAnnotRe = regexp.MustCompile(`^//\s*asset:goroutine\b(.*)$`)
+
+// goAnnot is one //asset:goroutine annotation, keyed by file line.
+type goAnnot struct {
+	mech string
+	pos  token.Pos
+	used bool
+}
+
+// goroleak checks every go statement in the package.
+func (r *Runner) goroleak(p *Package) {
+	if !r.enabled("goroleak") {
+		return
+	}
+	annots := r.collectGoAnnots(p)
+	eachFunc(p, func(decl *ast.FuncDecl) {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			pos := r.Mod.Fset.Position(gs.Pos())
+			var a *goAnnot
+			for _, line := range []int{pos.Line, pos.Line - 1} {
+				if found := annots[lineKey{pos.Filename, line}]; found != nil {
+					a = found
+					break
+				}
+			}
+			if a == nil {
+				r.report(gs.Pos(), "goroleak",
+					"unannotated go statement: declare its join with //asset:goroutine joined-by=<waitgroup|channel|ctx> (or //lint:allow goroleak <reason> for fire-and-forget)")
+				return true
+			}
+			a.used = true
+			r.checkJoin(p, decl, gs, a)
+			return true
+		})
+	})
+	for _, a := range annots {
+		if !a.used {
+			r.report(a.pos, "goroleak", "//asset:goroutine annotation matches no go statement")
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// collectGoAnnots scans the package's comments for //asset:goroutine
+// annotations, validating their attribute list.
+func (r *Runner) collectGoAnnots(p *Package) map[lineKey]*goAnnot {
+	annots := make(map[lineKey]*goAnnot)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := goAnnotRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				a := &goAnnot{pos: c.Pos()}
+				bad := ""
+				for _, attr := range attrRe.FindAllStringSubmatch(m[1], -1) {
+					switch attr[1] {
+					case "joined":
+						// attrRe splits "joined-by=x" at the hyphen; accept the
+						// bare "joined" token and read the mechanism from "by".
+					case "by":
+						a.mech = attr[2]
+					default:
+						bad = "unknown attribute " + attr[1]
+					}
+				}
+				switch a.mech {
+				case "waitgroup", "channel", "ctx":
+				case "":
+					bad = "missing joined-by=<waitgroup|channel|ctx>"
+				default:
+					bad = "unknown join mechanism " + a.mech
+				}
+				if bad != "" {
+					r.report(c.Pos(), "goroleak", "bad //asset:goroutine annotation: %s", bad)
+					continue
+				}
+				pos := r.Mod.Fset.Position(c.Pos())
+				annots[lineKey{pos.Filename, pos.Line}] = a
+			}
+		}
+	}
+	return annots
+}
+
+// checkJoin verifies the annotated mechanism against the goroutine body.
+func (r *Runner) checkJoin(p *Package, decl *ast.FuncDecl, gs *ast.GoStmt, a *goAnnot) {
+	ev := r.spawnEffects(p, gs.Call)
+	if ev == nil {
+		r.report(gs.Pos(), "goroleak",
+			"goroutine target is not statically resolvable (function value or external callee); use //lint:allow goroleak <reason>")
+		return
+	}
+	switch a.mech {
+	case "waitgroup":
+		if !ev.wgDone {
+			r.report(gs.Pos(), "goroleak",
+				"joined-by=waitgroup but the goroutine body never calls WaitGroup.Done")
+			return
+		}
+		if !wgAddBefore(p, decl, gs) {
+			r.report(gs.Pos(), "goroleak",
+				"joined-by=waitgroup but no WaitGroup.Add call precedes the go statement in %s", decl.Name.Name)
+		}
+	case "channel":
+		if !ev.chanSig {
+			r.report(gs.Pos(), "goroleak",
+				"joined-by=channel but the goroutine body never sends on or closes a channel")
+		}
+	case "ctx":
+		if !ev.ctxRecv {
+			r.report(gs.Pos(), "goroleak",
+				"joined-by=ctx but the goroutine body never blocks on a termination signal (ctx.Done() or a done/stop channel)")
+		}
+	}
+}
+
+// spawnEffects computes the effect summary of the spawned body: a literal
+// is analyzed in place (callee bits merged from the transitive
+// summaries); a named module function uses its summary directly. Returns
+// nil when the target is opaque (function values, external callees).
+func (r *Runner) spawnEffects(p *Package, call *ast.CallExpr) *effects {
+	if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		e := &effects{callees: make(map[funcKey]bool)}
+		collectEffectFacts(r, p, fl.Body, e)
+		for callee := range e.callees {
+			if ce := r.effects[callee]; ce != nil {
+				e.wgDone = e.wgDone || ce.wgDone
+				e.chanSig = e.chanSig || ce.chanSig
+				e.ctxRecv = e.ctxRecv || ce.ctxRecv
+				e.forces = e.forces || ce.forces
+			}
+		}
+		return e
+	}
+	fn := calleeFunc(p, call)
+	if fn == nil || !inModule(r, fn) {
+		return nil
+	}
+	return r.effects[fn]
+}
+
+// wgAddBefore reports whether some WaitGroup.Add call textually precedes
+// the go statement inside the spawning function — the Add-before-spawn
+// half of the waitgroup join contract (Wait must observe the count).
+func wgAddBefore(p *Package, decl *ast.FuncDecl, gs *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.End() > gs.Pos() {
+			return true
+		}
+		if fn := calleeFunc(p, call); fn != nil && fn.Name() == "Add" && isWaitGroupMethod(fn) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// noalloc: a function annotated //asset:noalloc (doc comment) must not
+// heap-allocate in its own frame. The checker compiles each annotated
+// package with `go build -gcflags=<pkg>=-m` and flags any escape-analysis
+// diagnostic ("escapes to heap" / "moved to heap") whose position falls
+// inside an annotated function's line range. This turns the AllocsPerRun
+// spot checks into a repo-wide gate (ROADMAP item 4): the claim "the
+// enqueue is allocation-free once warmed" is verified by the compiler on
+// every lint run, not asserted by one benchmark.
+//
+// Escapes attributed to inlined callees land on the call-site line and
+// are charged to the annotated function — correctly so, since the
+// allocation happens in its frame. Cold paths that must allocate (error
+// construction, say) are outlined into //go:noinline helpers, which are
+// accounted to themselves.
+
+var noallocRe = regexp.MustCompile(`^//\s*asset:noalloc\s*$`)
+
+// noallocFn is one annotated function: its file and body line range.
+type noallocFn struct {
+	name      string
+	file      string
+	from, to  int
+	declPos   token.Pos
+	tokenFile *token.File
+}
+
+// escapeLineRe matches one compiler diagnostic line: file:line:col: msg.
+var escapeLineRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// noalloc runs the escape-analysis gate over every annotated function in
+// the analyzed (non-fixture) packages.
+func (r *Runner) noalloc() {
+	if !r.enabled("noalloc") {
+		return
+	}
+	byPkg := make(map[string][]noallocFn)
+	for _, p := range r.packages {
+		if p.Fixture {
+			continue // fixtures are not buildable packages
+		}
+		eachFunc(p, func(decl *ast.FuncDecl) {
+			if !hasNoallocAnnot(decl) {
+				return
+			}
+			start := r.Mod.Fset.Position(decl.Pos())
+			end := r.Mod.Fset.Position(decl.End())
+			byPkg[p.Path] = append(byPkg[p.Path], noallocFn{
+				name:      decl.Name.Name,
+				file:      start.Filename,
+				from:      start.Line,
+				to:        end.Line,
+				declPos:   decl.Pos(),
+				tokenFile: r.Mod.Fset.File(decl.Pos()),
+			})
+		})
+	}
+	paths := make([]string, 0, len(byPkg))
+	for path := range byPkg {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		r.noallocPackage(path, byPkg[path])
+	}
+}
+
+func hasNoallocAnnot(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if noallocRe.MatchString(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+// noallocPackage compiles one package with escape diagnostics enabled
+// and reports heap escapes inside annotated functions.
+func (r *Runner) noallocPackage(path string, fns []noallocFn) {
+	cmd := exec.Command("go", "build", "-gcflags="+path+"=-m", path)
+	cmd.Dir = r.Mod.Root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		r.report(fns[0].declPos, "noalloc", "go build -gcflags=-m %s failed: %v: %s",
+			path, err, strings.TrimSpace(string(out)))
+		return
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeLineRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		if strings.Contains(msg, "does not escape") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(r.Mod.Root, file)
+		}
+		lineNo := atoiSafe(m[2])
+		for _, fn := range fns {
+			if fn.file != file || lineNo < fn.from || lineNo > fn.to {
+				continue
+			}
+			pos := fn.declPos
+			if fn.tokenFile != nil && lineNo <= fn.tokenFile.LineCount() {
+				pos = fn.tokenFile.LineStart(lineNo)
+			}
+			r.report(pos, "noalloc", "//asset:noalloc function %s heap-allocates: %s", fn.name, msg)
+			break
+		}
+	}
+}
+
+func atoiSafe(s string) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// rpcsymmetry: registry-consistency checks over the wire protocol. The
+// protocol lives in three places that must agree — the Op constants and
+// opNames table in the rpc package, the server's dispatch switch, and
+// the client's encoders — plus the Sentinels table that gives errors a
+// wire identity. PR 9 added three ops by hand; drift between these
+// registries is silent until a chaos cell trips over an op the server
+// does not dispatch or an error that loses its identity crossing the
+// wire. The checker makes the symmetry structural:
+//
+//   - every Op* constant has a non-empty opNames entry,
+//   - every Op* constant is referenced by a package named "server"
+//     (a dispatch case) and by a package named "client" (an encoder),
+//   - every Op* constant is exercised by the rpc package's tests —
+//     by name, or via an exhaustive `opMax` loop,
+//   - every exported Err* sentinel in the core package appears in the
+//     rpc package's Sentinels table, with no duplicates and at most 63
+//     entries (the wire bitmask is a uint64 with bit 0 reserved).
+//
+// The checker runs only when the analyzed packages include an rpc-style
+// package (one declaring type Op, var opNames, and var Sentinels), so
+// fixture runs and partial loads are unaffected.
+
+// rpcsymmetry runs the registry checks over the analyzed packages.
+func (r *Runner) rpcsymmetry() {
+	if !r.enabled("rpcsymmetry") {
+		return
+	}
+	rpcPkg := findRPCPackage(r.packages)
+	if rpcPkg == nil {
+		return
+	}
+	ops := collectOps(rpcPkg)
+	if len(ops) == 0 {
+		return
+	}
+	r.checkOpNames(rpcPkg, ops)
+	r.checkOpUses(rpcPkg, ops)
+	r.checkOpTests(rpcPkg, ops)
+	r.checkSentinels(rpcPkg)
+}
+
+// findRPCPackage locates the package declaring the wire registry.
+func findRPCPackage(pkgs []*Package) *Package {
+	for _, p := range pkgs {
+		if p.Fixture && !strings.Contains(p.Path, "rpcsym") {
+			continue
+		}
+		scope := p.Pkg.Scope()
+		if tn, ok := scope.Lookup("Op").(*types.TypeName); ok && tn != nil &&
+			scope.Lookup("opNames") != nil && scope.Lookup("Sentinels") != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// opConst is one Op* protocol constant.
+type opConst struct {
+	obj   *types.Const
+	value int64
+	pos   token.Pos
+}
+
+// collectOps gathers the exported Op* constants of the rpc package's Op
+// type (opMax, the unexported bound, is excluded by the prefix rule).
+func collectOps(p *Package) []opConst {
+	var ops []opConst
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "Op") || !c.Exported() {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok || named.Obj().Name() != "Op" {
+			continue
+		}
+		v, ok := constant.Int64Val(c.Val())
+		if !ok {
+			continue
+		}
+		ops = append(ops, opConst{obj: c, value: v, pos: c.Pos()})
+	}
+	return ops
+}
+
+// checkOpNames requires a non-empty opNames entry per op, read from the
+// keyed composite literal.
+func (r *Runner) checkOpNames(p *Package, ops []opConst) {
+	lit := findVarLiteral(p, "opNames")
+	if lit == nil {
+		r.report(p.Files[0].Pos(), "rpcsymmetry", "cannot find the opNames composite literal")
+		return
+	}
+	named := make(map[int64]bool)
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		tv, ok := p.Info.Types[kv.Key]
+		if !ok || tv.Value == nil {
+			continue
+		}
+		idx, ok := constant.Int64Val(tv.Value)
+		if !ok {
+			continue
+		}
+		if s, ok := kv.Value.(*ast.BasicLit); ok && s.Kind == token.STRING && len(s.Value) > 2 {
+			named[idx] = true
+		}
+	}
+	for _, op := range ops {
+		if !named[op.value] {
+			r.report(op.pos, "rpcsymmetry", "%s has no opNames entry (its String() would print op(%d))",
+				op.obj.Name(), op.value)
+		}
+	}
+}
+
+// checkOpUses requires each op to be referenced by the server package (a
+// dispatch case) and the client package (an encoder).
+func (r *Runner) checkOpUses(rpcPkg *Package, ops []opConst) {
+	have := make(map[string]bool)
+	for _, p := range r.packages {
+		have[p.Pkg.Name()] = true
+	}
+	if !have["server"] || !have["client"] {
+		return // partial load (assetlint on a sub-pattern): nothing to compare
+	}
+	usedBy := make(map[*types.Const]map[string]bool)
+	for _, op := range ops {
+		usedBy[op.obj] = make(map[string]bool)
+	}
+	for _, p := range r.packages {
+		if p == rpcPkg {
+			continue
+		}
+		for _, obj := range p.Info.Uses {
+			c, ok := obj.(*types.Const)
+			if !ok {
+				continue
+			}
+			if m := usedBy[c]; m != nil {
+				m[p.Pkg.Name()] = true
+			}
+		}
+	}
+	for _, op := range ops {
+		if !usedBy[op.obj]["server"] {
+			r.report(op.pos, "rpcsymmetry", "%s has no server dispatch case (not referenced by any package named server)",
+				op.obj.Name())
+		}
+		if !usedBy[op.obj]["client"] {
+			r.report(op.pos, "rpcsymmetry", "%s has no client encoder (not referenced by any package named client)",
+				op.obj.Name())
+		}
+	}
+}
+
+// opTestIdentRe extracts identifiers from the rpc test corpus.
+var opTestIdentRe = regexp.MustCompile(`\b\w+\b`)
+
+// checkOpTests requires round-trip codec coverage: the rpc package's own
+// _test.go files must reference each op by name, or range exhaustively
+// via opMax. Test files are outside the type-checked load, so this is a
+// parse-level scan of the package directory.
+func (r *Runner) checkOpTests(p *Package, ops []opConst) {
+	entries, err := os.ReadDir(p.Dir)
+	if err != nil {
+		r.report(p.Files[0].Pos(), "rpcsymmetry", "cannot scan %s for test files: %v", p.Dir, err)
+		return
+	}
+	idents := make(map[string]bool)
+	sawTests := false
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			continue
+		}
+		sawTests = true
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				idents[id.Name] = true
+			}
+			return true
+		})
+	}
+	if !sawTests {
+		r.report(p.Files[0].Pos(), "rpcsymmetry", "rpc package has no _test.go round-trip coverage")
+		return
+	}
+	if idents["opMax"] {
+		return // an exhaustive loop over the op range covers every op
+	}
+	for _, op := range ops {
+		if !idents[op.obj.Name()] {
+			r.report(op.pos, "rpcsymmetry", "%s has no round-trip coverage in the rpc package tests",
+				op.obj.Name())
+		}
+	}
+}
+
+// checkSentinels requires every exported Err* error variable of the core
+// package to be registered in the Sentinels table, the table to be
+// duplicate-free, and its length to fit the wire bitmask.
+func (r *Runner) checkSentinels(rpcPkg *Package) {
+	lit := findVarLiteral(rpcPkg, "Sentinels")
+	if lit == nil {
+		r.report(rpcPkg.Files[0].Pos(), "rpcsymmetry", "cannot find the Sentinels composite literal")
+		return
+	}
+	registered := make(map[types.Object]bool)
+	for _, el := range lit.Elts {
+		obj := exprObject(rpcPkg, el)
+		if obj == nil {
+			r.report(el.Pos(), "rpcsymmetry", "Sentinels entry is not a resolvable error variable")
+			continue
+		}
+		if registered[obj] {
+			r.report(el.Pos(), "rpcsymmetry", "duplicate Sentinels entry %s (bit positions are wire ABI)", obj.Name())
+		}
+		registered[obj] = true
+	}
+	if len(lit.Elts) > 63 {
+		r.report(lit.Pos(), "rpcsymmetry",
+			"Sentinels has %d entries; the wire bitmask holds at most 63 (uint64 with bit 0 reserved)", len(lit.Elts))
+	}
+	for _, p := range r.packages {
+		if p.Pkg.Name() != "core" {
+			continue
+		}
+		if p.Fixture != rpcPkg.Fixture {
+			continue // fixture rpc registries pair with fixture core packages
+		}
+		scope := p.Pkg.Scope()
+		for _, name := range scope.Names() {
+			v, ok := scope.Lookup(name).(*types.Var)
+			if !ok || !strings.HasPrefix(name, "Err") || !v.Exported() {
+				continue
+			}
+			if !isErrorTypeT(v.Type()) {
+				continue
+			}
+			if !registered[v] && !registeredByName(registered, name) {
+				r.report(v.Pos(), "rpcsymmetry",
+					"core.%s crosses the wire without a Sentinels entry (clients would lose its identity)", name)
+			}
+		}
+	}
+}
+
+// registeredByName covers re-exported sentinels: core.ErrDeadlock is
+// lock.ErrDeadlock by assignment, so the Sentinels element resolves to
+// either object; name equality bridges the aliasing.
+func registeredByName(registered map[types.Object]bool, name string) bool {
+	for obj := range registered {
+		if obj.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// findVarLiteral returns the composite literal initializing a package
+// variable of the given name.
+func findVarLiteral(p *Package, name string) *ast.CompositeLit {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name != name || i >= len(vs.Values) {
+						continue
+					}
+					if cl, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit); ok {
+						return cl
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// exprObject resolves an identifier or selector expression to its object.
+func exprObject(p *Package, e ast.Expr) types.Object {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return p.Info.Uses[v]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[v.Sel]
+	}
+	return nil
+}

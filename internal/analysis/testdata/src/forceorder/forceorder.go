@@ -1,0 +1,108 @@
+// Package forceorder is a golden fixture for the forceorder checker: a
+// function annotated //asset:durable before=<event> must dominate each
+// direct call to the event with a durable force on every path.
+package forceorder
+
+type log struct{}
+
+// Flush is a durable force by name, like wal.Log.Flush.
+func (l *log) Flush() {}
+
+type locks struct{}
+
+// ReleaseAll is the release event, like lock.Manager.ReleaseAll.
+func (l *locks) ReleaseAll() {}
+
+// good forces before releasing.
+//
+//asset:durable before=ReleaseAll
+func good(l *log, lk *locks) {
+	l.Flush()
+	lk.ReleaseAll()
+}
+
+// bad releases first: the commit would be visible before it is durable.
+//
+//asset:durable before=ReleaseAll
+func bad(l *log, lk *locks) {
+	lk.ReleaseAll() // want `releases "ReleaseAll" before a durable force`
+	l.Flush()
+}
+
+// earlyReturn bails before the event; the abort path owes no force.
+//
+//asset:durable before=ReleaseAll
+func earlyReturn(l *log, lk *locks, fail bool) {
+	if fail {
+		return
+	}
+	l.Flush()
+	lk.ReleaseAll()
+}
+
+// halfForced forces on only one arm of the fork, so the merge point is
+// unforced.
+//
+//asset:durable before=ReleaseAll
+func halfForced(l *log, lk *locks, ok bool) {
+	if ok {
+		l.Flush()
+	}
+	lk.ReleaseAll() // want `releases "ReleaseAll" before a durable force`
+}
+
+// helperForce carries the force through a callee's effect summary.
+func helperForce(l *log) { l.Flush() }
+
+// forceViaHelper is forced transitively, not by a direct Flush.
+//
+//asset:durable before=ReleaseAll
+func forceViaHelper(l *log, lk *locks) {
+	helperForce(l)
+	lk.ReleaseAll()
+}
+
+// gate names the builtin close as its event: the ack gate must not open
+// before the vote is durable.
+//
+//asset:durable before=close
+func gate(l *log, ack chan struct{}) {
+	l.Flush()
+	close(ack)
+}
+
+// spawns launches the release in a goroutine after forcing: the
+// spawn-time state dominates the inlined body.
+//
+//asset:durable before=ReleaseAll
+func spawns(l *log, lk *locks, done chan struct{}) {
+	l.Flush()
+	//asset:goroutine joined-by=channel
+	go func() {
+		lk.ReleaseAll()
+		close(done)
+	}()
+}
+
+// spawnsUnforced launches the release before the force lands.
+//
+//asset:durable before=ReleaseAll
+func spawnsUnforced(l *log, lk *locks, done chan struct{}) {
+	//asset:goroutine joined-by=channel
+	go func() {
+		lk.ReleaseAll() // want `releases "ReleaseAll" before a durable force`
+		close(done)
+	}()
+	l.Flush()
+}
+
+// loopBody re-releases each iteration, but the force lands late: the
+// next iteration's entry (and the first) runs unforced.
+//
+//asset:durable before=ReleaseAll
+func loopBody(l *log, lk *locks, n int) {
+	for i := 0; i < n; i++ {
+		lk.ReleaseAll() // want `releases "ReleaseAll" before a durable force`
+		l.Flush()
+	}
+}

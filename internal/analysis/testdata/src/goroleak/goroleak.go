@@ -1,0 +1,96 @@
+// Package goroleak is a golden fixture for the goroleak checker: every
+// go statement declares its join mechanism with //asset:goroutine, and
+// the checker verifies the declared evidence against the spawned body —
+// transitively, via effect summaries.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// joinedByWaitGroup is the canonical shape: Add precedes the spawn,
+// Done in the body, Wait joins.
+func joinedByWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//asset:goroutine joined-by=waitgroup
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// missingDone declares a waitgroup join whose body never calls Done.
+func missingDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	//asset:goroutine joined-by=waitgroup
+	go func() { // want `never calls WaitGroup\.Done`
+	}()
+}
+
+// missingAdd has Done in the body but no Add before the spawn, so Wait
+// cannot observe the count.
+func missingAdd(wg *sync.WaitGroup) {
+	//asset:goroutine joined-by=waitgroup
+	go func() { // want `no WaitGroup\.Add call precedes the go statement`
+		wg.Done()
+	}()
+}
+
+// joinedByChannel closes its completion channel.
+func joinedByChannel() chan struct{} {
+	done := make(chan struct{})
+	//asset:goroutine joined-by=channel
+	go func() {
+		close(done)
+	}()
+	return done
+}
+
+// signaller carries the join evidence for joinedNamed.
+func signaller(done chan<- struct{}) { done <- struct{}{} }
+
+// joinedNamed spawns a named function; the evidence comes from its
+// transitive effect summary.
+func joinedNamed() {
+	done := make(chan struct{})
+	//asset:goroutine joined-by=channel
+	go signaller(done)
+	<-done
+}
+
+// noSignal declares a channel join whose body never signals.
+func noSignal() {
+	//asset:goroutine joined-by=channel
+	go func() { // want `never sends on or closes a channel`
+	}()
+}
+
+// joinedByCtx parks on the context's termination signal.
+func joinedByCtx(ctx context.Context) {
+	//asset:goroutine joined-by=ctx
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// joinedByStopChan parks on a stop-named signal channel.
+func joinedByStopChan(stop chan struct{}) {
+	//asset:goroutine joined-by=ctx
+	go func() {
+		<-stop
+	}()
+}
+
+// unannotated spawns carry no declared join at all.
+func unannotated() {
+	go func() {}() // want `unannotated go statement`
+}
+
+// fireAndForget spawns a function value: opaque to the checker, so the
+// decision is recorded with an explicit allow instead.
+func fireAndForget(f func()) {
+	//lint:allow goroleak fixture callback; the callee owns its lifetime
+	go f()
+}

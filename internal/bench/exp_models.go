@@ -220,6 +220,7 @@ func runE5(w io.Writer, quick bool) error {
 			stop := make(chan struct{})
 			activityDone := make(chan struct{})
 			// The activity loops for the whole measurement window.
+			//asset:goroutine joined-by=channel
 			go func() {
 				defer close(activityDone)
 				for {

@@ -50,6 +50,7 @@ func runE9(w io.Writer, quick bool) error {
 		}
 		stop := make(chan struct{})
 		scannerDone := make(chan struct{})
+		//asset:goroutine joined-by=channel
 		go func() {
 			defer close(scannerDone)
 			for {

@@ -233,6 +233,10 @@ func (m *Manager) examineGroupLocked(t *txn) ([]*txn, *obstacle) {
 // commitGroupLocked performs the final commit of a ready group: one commit
 // record, durable flush, then lock release and dependency cleanup for every
 // member. Caller holds m.mu.
+//
+// The release calls below are the commit's visibility point; the durable
+// flush must dominate them on every path (decide-before-release, §11).
+//asset:durable before=ReleaseAll,EscrowCommit
 func (m *Manager) commitGroupLocked(group []*txn) {
 	tids := make([]xid.TID, len(group))
 	for i, member := range group {

@@ -458,6 +458,10 @@ func (m *Manager) lookup(t xid.TID) (*txn, error) {
 // Checkpoint persists all committed changes to the backend and truncates
 // the log. The manager must be quiescent (no live transactions); it is the
 // caller's job to arrange that.
+//
+// Truncation discards the only redo history; the TCheckpoint flush must
+// dominate it (the PR 6 checkpoint-ahead-of-buffered-log bug, §11).
+//asset:durable before=Truncate
 func (m *Manager) Checkpoint() error {
 	m.mu.Lock()
 	if m.closed.Load() {

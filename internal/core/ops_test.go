@@ -313,3 +313,27 @@ func TestAbortRacingOperationDoesNotLeakLocks(t *testing.T) {
 		})
 	}
 }
+
+// TestLockFastPathAllocs: re-acquiring a held lock is allocation-free.
+// The unbound-context fast path must not materialize a fresh
+// context.Background() per call — the lockCtx escape fixed in the
+// //asset:noalloc burn-down (the compile-time gate proves the frame
+// clean; this pins the whole call chain at runtime).
+func TestLockFastPathAllocs(t *testing.T) {
+	m := newMem(t)
+	oid := seedObject(t, m, []byte("v"))
+	runTxn(t, m, func(tx *Tx) error {
+		if err := tx.Lock(oid, xid.OpRead); err != nil {
+			return err
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if err := tx.Lock(oid, xid.OpRead); err != nil {
+				t.Errorf("Lock: %v", err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("re-lock allocates %v objects per call, want 0", allocs)
+		}
+		return nil
+	})
+}

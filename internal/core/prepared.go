@@ -27,6 +27,11 @@ import (
 // aborted so the coordinator's abort decision has nothing left to do
 // here. Retransmits are idempotent: preparing an already-prepared gid
 // returns nil.
+//
+// Closing the preparing gate is the yes vote's escape point: parked
+// duplicate votes (and Decide) proceed on it, so the TPrepare force must
+// dominate the close on every successful path (ack-after-force, §14).
+//asset:durable before=close
 func (m *Manager) PrepareCtx(ctx context.Context, gid uint64, ids ...xid.TID) error {
 	if gid == 0 {
 		return fmt.Errorf("core: prepare: zero group id")
@@ -342,6 +347,7 @@ func (m *Manager) recordVerdictLocked(gid uint64, commit bool) {
 // its withheld after-images before its locks drop. On a log failure the
 // group stays prepared (still in doubt) so a later retry or restart can
 // finish the job; it is never half-committed. Caller holds m.mu.
+//asset:durable before=ReleaseAll,EscrowCommit
 func (m *Manager) commitPreparedLocked(group []*txn) error {
 	tids := make([]xid.TID, len(group))
 	for i, member := range group {

@@ -185,8 +185,10 @@ func (m *Manager) beginOne(ctx context.Context, id xid.TID) error {
 		return err
 	}
 	if ctxDone != nil {
+		//asset:goroutine joined-by=ctx
 		go m.watchCtx(t)
 	}
+	//asset:goroutine joined-by=channel
 	go m.run(t)
 	return nil
 }

@@ -26,6 +26,7 @@ const watchdogTick = 10 * time.Millisecond
 func (m *Manager) ensureWatchdog() {
 	m.watchdogOnce.Do(func() {
 		m.watchdogOn.Store(true)
+		//asset:goroutine joined-by=channel
 		go m.watchdog()
 	})
 }

@@ -75,12 +75,17 @@ type txn struct {
 	redo []wal.RedoOp
 }
 
+// bgCtx caches context.Background() so lockCtx stays allocation-free:
+// the literal backgroundCtx{} composite escapes at every call site it is
+// inlined into, which would charge one heap object per unbound Lock/Read.
+var bgCtx = context.Background()
+
 // lockCtx is the context the transaction's lock requests wait under.
 func (t *txn) lockCtx() context.Context {
 	if t.ctx != nil {
 		return t.ctx
 	}
-	return context.Background()
+	return bgCtx
 }
 
 func newTxn(id, parent xid.TID, fn TxnFunc) *txn {

@@ -270,6 +270,7 @@ func (m *Manager) acquire(ctx context.Context, tid xid.TID, oid xid.OID, mode xi
 		// other waiters re-evaluate.
 		stop := make(chan struct{})
 		defer close(stop)
+		//asset:goroutine joined-by=ctx
 		go func() {
 			select {
 			case <-done:
@@ -497,6 +498,10 @@ func (m *Manager) removePending(od *objDesc, req *lockReq) {
 func (m *Manager) killVictim(victim xid.TID) {
 	m.markVictim(victim)
 	if m.opts.OnVictim != nil {
+		// The victim callback is the one sanctioned fire-and-forget spawn:
+		// it is the notification seam to the transaction system, which owns
+		// its own lifetime (core aborts run on the caller's stack there).
+		//lint:allow goroleak fire-and-forget victim notification; callee owns its lifetime
 		go m.opts.OnVictim(victim)
 	}
 }

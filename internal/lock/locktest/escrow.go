@@ -211,6 +211,7 @@ func RunEscrow(t *testing.T, cfg EscrowConfig) {
 		var wgrp sync.WaitGroup
 		for w := 0; w < cfg.Workers; w++ {
 			wgrp.Add(1)
+			//asset:goroutine joined-by=waitgroup
 			go func(w int) {
 				defer wgrp.Done()
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(batch*cfg.Workers+w)))

@@ -85,6 +85,7 @@ func Run(t *testing.T, cfg Config) {
 		var group sync.WaitGroup
 		for w := 0; w < cfg.Workers; w++ {
 			group.Add(1)
+			//asset:goroutine joined-by=waitgroup
 			go func(w, batch int) {
 				defer group.Done()
 				h.workerBatch(w, rand.New(rand.NewSource(cfg.Seed+int64(w)+int64(batch)*7919)))

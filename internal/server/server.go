@@ -109,7 +109,9 @@ func Serve(m *core.Manager, lis net.Listener, cfg Config) *Server {
 		closeCh:  make(chan struct{}),
 	}
 	s.wg.Add(2)
+	//asset:goroutine joined-by=waitgroup
 	go s.acceptLoop()
+	//asset:goroutine joined-by=waitgroup
 	go s.leaseWatch()
 	return s
 }
@@ -165,6 +167,7 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.wg.Add(1)
+		//asset:goroutine joined-by=waitgroup
 		go func() {
 			defer s.wg.Done()
 			s.serveConn(nc)
@@ -222,6 +225,7 @@ func (s *Server) expire(sess *session, reason error) {
 	for tid, t := range txns {
 		tid, t := tid, t
 		s.wg.Add(1)
+		//asset:goroutine joined-by=waitgroup
 		go func() {
 			defer s.wg.Done()
 			// Unwind first so the abort reason seen by in-flight work is
@@ -271,6 +275,7 @@ func (s *Server) serveConn(nc net.Conn) {
 			return
 		default:
 			s.wg.Add(1)
+			//asset:goroutine joined-by=waitgroup
 			go func() {
 				defer s.wg.Done()
 				sess.dispatch(conn, req)

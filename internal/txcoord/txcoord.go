@@ -199,6 +199,11 @@ func (c *Coordinator) Compact() error {
 	return nil
 }
 
+// compactLocked rewrites the decision log as one TDecide per decided
+// group and atomically swaps it in. The write-aside log must be fully
+// durable (nl.Close flushes and fsyncs) before the rename publishes it
+// as the log of record. Caller holds c.mu.
+//asset:durable before=Rename
 func (c *Coordinator) compactLocked() error {
 	tmp := c.path + ".compact"
 	_ = c.fsys.Remove(tmp) // stale leftover from a crashed compaction
@@ -304,6 +309,11 @@ func Local(name string, m *core.Manager, tids ...xid.TID) Member {
 // log) failure. Verdict delivery failures are NOT errors — a
 // participant that missed the verdict holds its group in doubt and
 // learns the truth from Resolve after its restart or retry.
+//
+// Decide-before-release: the durable decision (decide forces the
+// coordinator log) must dominate every verdict delivery, including the
+// delivery goroutines — the checker inlines them at their spawn point.
+//asset:durable before=Decide
 func (c *Coordinator) CommitGroup(ctx context.Context, gid uint64, members []Member) (bool, error) {
 	if gid == 0 {
 		return false, fmt.Errorf("txcoord: zero group id")
@@ -313,6 +323,7 @@ func (c *Coordinator) CommitGroup(ctx context.Context, gid uint64, members []Mem
 	var wg sync.WaitGroup
 	for i, mb := range members {
 		wg.Add(1)
+		//asset:goroutine joined-by=waitgroup
 		go func() {
 			defer wg.Done()
 			if err := mb.Prepare(ctx, gid, mb.TIDs); err != nil {
@@ -348,6 +359,7 @@ func (c *Coordinator) CommitGroup(ctx context.Context, gid uint64, members []Mem
 	acked := make([]bool, len(members))
 	for i, mb := range members {
 		wg.Add(1)
+		//asset:goroutine joined-by=waitgroup
 		go func() {
 			defer wg.Done()
 			for try := 0; try < attempts; try++ {

@@ -1,7 +1,6 @@
 package wal
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -226,12 +225,15 @@ func createSegment(fsys faultfs.FS, dir string, seq, firstLSN uint64) (faultfs.F
 // Append encodes r, assigns it the next LSN (stored into r.LSN), and
 // frames it into the pending batch slab. No file I/O happens here; the
 // record becomes durable when a force covering its LSN completes.
-// Allocation-free once the slab has warmed to the batch working set.
+// Allocation-free once the slab has warmed to the batch working set —
+// verified by the compiler on every lint run, not just by the
+// AllocsPerRun benchmark.
+//asset:noalloc
 func (l *SegmentedLog) Append(r *Record) (uint64, error) {
 	l.appendMu.Lock()
 	defer l.appendMu.Unlock()
 	if l.closed.Load() {
-		return 0, errors.New("wal: append to closed log")
+		return 0, errAppendClosed
 	}
 	if l.poisoned.Load() {
 		return 0, l.perr
@@ -372,6 +374,7 @@ func (l *SegmentedLog) writeBatch(batch []byte, firstLSN uint64) error {
 // buffered mode: only the final segment of the chain may ever have a
 // torn tail, which is what lets recovery treat any mid-chain hole as
 // corruption instead of silently replaying around it.
+//asset:durable before=createSegment
 func (l *SegmentedLog) rotate(firstLSN uint64) error {
 	if err := l.cur.Sync(); err != nil {
 		return err
@@ -473,6 +476,11 @@ func (l *SegmentedLog) Truncate() error {
 // truncateChain performs the cutover, returning the high LSN of the
 // pending batch it drained into the old chain (0 for an empty one) so
 // the release can settle exactly those records.
+//
+// Seal-before-publish: the old chain's fsync must dominate the new
+// segment's creation, or a crash between them loses appended records
+// (the PR 6 truncation-without-seal bug, §11).
+//asset:durable before=createSegment
 func (l *SegmentedLog) truncateChain() (uint64, error) {
 	if l.poisoned.Load() {
 		return 0, l.perr

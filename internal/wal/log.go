@@ -38,6 +38,10 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // claim durability over a hole.
 var ErrPoisoned = errors.New("wal: log poisoned by an earlier write/sync failure")
 
+// errAppendClosed is a package sentinel so the Append fast path's
+// closed-log check stays allocation-free (//asset:noalloc).
+var errAppendClosed = errors.New("wal: append to closed log")
+
 // FileLog is a durable log backed by a single append-only file.
 type FileLog struct {
 	mu      sync.Mutex
@@ -98,7 +102,7 @@ func (l *FileLog) Append(r *Record) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
-		return 0, errors.New("wal: append to closed log")
+		return 0, errAppendClosed
 	}
 	if l.err != nil {
 		return 0, l.err

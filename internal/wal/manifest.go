@@ -130,6 +130,7 @@ func readManifest(fsys faultfs.FS, dir string) (*manifest, error) {
 // written to a temporary file, fsynced, and renamed over the old one, so
 // a crash at any point leaves one intact manifest — the old chain or the
 // new, never a torn in-between.
+//asset:durable before=Rename
 func writeManifest(fsys faultfs.FS, dir string, m *manifest) error {
 	tmp := filepath.Join(dir, manifestName+".tmp")
 	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)

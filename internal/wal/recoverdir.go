@@ -167,6 +167,7 @@ func scanChain(fsys faultfs.FS, dir string, parallel int, fn func(*Record) error
 		}
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
+			//asset:goroutine joined-by=waitgroup
 			go func() {
 				defer wg.Done()
 				for i := range idx {

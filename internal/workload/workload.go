@@ -156,6 +156,7 @@ func RunClosed(workers int, duration time.Duration, fn func(worker, iter int) er
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wgroup.Add(1)
+		//asset:goroutine joined-by=waitgroup
 		go func(w int) {
 			defer wgroup.Done()
 			for i := 0; !stop.Load(); i++ {
@@ -187,6 +188,7 @@ func RunOps(workers int, totalOps uint64, fn func(worker, iter int) error) Resul
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//asset:goroutine joined-by=waitgroup
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; ; i++ {

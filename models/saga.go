@@ -147,6 +147,7 @@ func (s *Saga) RunParallel() (*SagaResult, error) {
 	var wg sync.WaitGroup
 	for i := range s.steps {
 		wg.Add(1)
+		//asset:goroutine joined-by=waitgroup
 		go func(i int) {
 			defer wg.Done()
 			errs[i] = s.runStep(s.steps[i].Action)

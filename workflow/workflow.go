@@ -226,6 +226,7 @@ func runRace(m *asset.Manager, tasks []Task) (*Task, error) {
 	}
 	ch := make(chan outcome, len(tasks))
 	for i, t := range tids {
+		//asset:goroutine joined-by=channel
 		go func(i int, t asset.TID) { ch <- outcome{i, m.Wait(t)} }(i, t)
 	}
 	failures := 0
